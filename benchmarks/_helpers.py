@@ -1,0 +1,58 @@
+"""Common machinery for the evaluation benchmarks.
+
+The paper evaluates on 5/14/30/57/118-bus systems.  Our from-scratch SMT
+solver is pure Python, so the *combined* model is benchmarked with the
+same hybrid the paper itself adopts for large systems (Section IV-A): the
+full SMT framework up to 14 buses and the LODF/LCDF fast analyzer above.
+Set ``REPRO_BENCH_SCALE=paper`` to push the SMT models further up the
+sweep (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+from typing import Dict, List
+
+from repro.benchlib import randomize_attacker, scenario_seeds
+from repro.core.fast import FastImpactAnalyzer, FastQuery
+from repro.core.framework import ImpactAnalyzer, ImpactQuery
+from repro.grid.cases import get_case
+
+#: case name -> bus count, in the paper's sweep order.
+SWEEP: Dict[str, int] = {
+    "5bus-study2": 5,
+    "ieee14": 14,
+    "ieee30": 30,
+    "ieee57": 57,
+    "ieee118": 118,
+}
+
+#: sizes analyzed with the full SMT framework (the rest use the fast
+#: LODF/LCDF analyzer, as the paper does for its larger systems).
+SMT_SIZES = {"5bus-study2": 5}
+if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+    SMT_SIZES["ieee14"] = 14
+
+SCENARIOS: List[int] = scenario_seeds(3)
+
+
+def scenario_case(name: str, seed: int):
+    return randomize_attacker(get_case(name), seed)
+
+
+def combined_analysis(name: str, seed: int, with_state: bool,
+                      percent: Fraction):
+    """One combined-model run (Fig. 4 workload) at the right fidelity."""
+    case = scenario_case(name, seed)
+    if name in SMT_SIZES:
+        analyzer = ImpactAnalyzer(case)
+        return analyzer.analyze(ImpactQuery(
+            target_increase_percent=percent,
+            with_state_infection=with_state,
+            max_candidates=20))
+    analyzer = FastImpactAnalyzer(case)
+    return analyzer.analyze(FastQuery(
+        target_increase_percent=percent,
+        with_state_infection=with_state,
+        state_samples=8, seed=seed))

@@ -1,0 +1,70 @@
+"""Ablation: angle-formulation OPF vs shift-factor OPF with LODF/LCDF
+(paper Section IV-A, idea 2).
+
+Shows the speedup that motivated the paper's use of distribution factors
+for the large systems: for a sweep of single-line exclusion candidates,
+re-solving the angle formulation from scratch vs reusing one PTDF
+factorization with LODF corrections.
+"""
+
+import pytest
+
+from repro.benchlib import format_table, measured
+from repro.grid.cases import get_case
+from repro.opf import ShiftFactorOpf, TopologyChange, solve_dc_opf
+
+CASES = ("ieee14", "ieee30", "ieee57")
+
+
+@pytest.mark.paper("Section IV-A idea 2 (ablation)")
+@pytest.mark.parametrize("name", CASES)
+def test_ablation_opf_formulation(benchmark, name):
+    grid = get_case(name).build_grid()
+    all_lines = [l.index for l in grid.lines]
+    candidates = [
+        i for i in all_lines[: max(10, len(all_lines) // 4)]
+        if grid.is_connected([j for j in all_lines if j != i])
+    ]
+    results = {}
+
+    def run_all():
+        results.clear()
+
+        def angle_sweep():
+            costs = []
+            for out in candidates:
+                remaining = [j for j in all_lines if j != out]
+                costs.append(solve_dc_opf(grid, line_indices=remaining,
+                                          method="highs").cost)
+            return costs
+        angle_costs, angle_time = measured(angle_sweep)
+        results["angle formulation"] = angle_time
+
+        def factor_sweep():
+            solver = ShiftFactorOpf(grid)
+            costs = []
+            for out in candidates:
+                costs.append(solver.solve(
+                    change=TopologyChange("exclude", out)).cost)
+            return costs
+        factor_costs, factor_time = measured(factor_sweep)
+        results["shift factors + LODF"] = factor_time
+
+        # Both formulations agree on every candidate.
+        for a, b in zip(angle_costs, factor_costs):
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert abs(float(a) - float(b)) < 1e-4 * max(1.0, float(a))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    speedup = results["angle formulation"] / max(
+        results["shift factors + LODF"], 1e-9)
+    print()
+    print(format_table(
+        f"Ablation — OPF formulation, {name} "
+        f"({len(candidates)} exclusion candidates)",
+        ("formulation", "sweep time (s)"),
+        [(k, f"{v:.4f}") for k, v in results.items()]
+        + [("speedup", f"{speedup:.1f}x")]))

@@ -1,0 +1,50 @@
+"""Fig. 4(a): combined-model execution time vs bus count, topology
+attacks *without* state infection, three random attacker scenarios per
+problem size, 1-2% impact target.
+
+Expected shape (paper): time grows super-linearly (~quadratically) with
+the number of buses; satisfiable cases complete faster than unsatisfiable
+ones (Fig. 4(c)).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._helpers import SCENARIOS, SWEEP, combined_analysis
+from repro.benchlib import format_series, format_table, measured
+
+
+@pytest.mark.paper("Fig. 4(a)")
+@pytest.mark.parametrize("name", list(SWEEP))
+def test_fig4a_combined_time_no_state(benchmark, name, bench_results):
+    buses = SWEEP[name]
+    times = []
+    verdicts = []
+
+    def run_all():
+        times.clear()
+        verdicts.clear()
+        for seed in SCENARIOS:
+            report, elapsed = measured(
+                lambda s=seed: combined_analysis(
+                    name, s, with_state=False, percent=Fraction(1)))
+            times.append(elapsed)
+            verdicts.append("sat" if report.satisfiable else "unsat")
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    average = sum(times) / len(times)
+    bench_results.setdefault("fig4a", {})[buses] = average
+
+    print()
+    print(format_table(
+        f"Fig. 4(a) — {name} ({buses} buses), 3 scenarios",
+        ("scenario", "verdict", "time (s)"),
+        [(seed, verdict, f"{t:.3f}")
+         for seed, verdict, t in zip(SCENARIOS, verdicts, times)]))
+    series = bench_results.get("fig4a", {})
+    if buses == max(SWEEP.values()):
+        print(format_series("Fig. 4(a) average combined-model time",
+                            "buses", "seconds", dict(sorted(
+                                series.items()))))

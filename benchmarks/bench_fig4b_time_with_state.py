@@ -1,0 +1,56 @@
+"""Fig. 4(b): combined-model execution time vs bus count, topology
+attacks *including* state infection.
+
+Expected shape (paper): same growth as Fig. 4(a) but uniformly slower —
+state infection multiplies the attack search space.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._helpers import SCENARIOS, SWEEP, combined_analysis
+from repro.benchlib import format_series, format_table, measured
+
+
+@pytest.mark.paper("Fig. 4(b)")
+@pytest.mark.parametrize("name", list(SWEEP))
+def test_fig4b_combined_time_with_state(benchmark, name, bench_results):
+    buses = SWEEP[name]
+    times = []
+    verdicts = []
+
+    def run_all():
+        times.clear()
+        verdicts.clear()
+        for seed in SCENARIOS:
+            report, elapsed = measured(
+                lambda s=seed: combined_analysis(
+                    name, s, with_state=True, percent=Fraction(1)))
+            times.append(elapsed)
+            verdicts.append("sat" if report.satisfiable else "unsat")
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    average = sum(times) / len(times)
+    bench_results.setdefault("fig4b", {})[buses] = average
+
+    print()
+    print(format_table(
+        f"Fig. 4(b) — {name} ({buses} buses), 3 scenarios, with states",
+        ("scenario", "verdict", "time (s)"),
+        [(seed, verdict, f"{t:.3f}")
+         for seed, verdict, t in zip(SCENARIOS, verdicts, times)]))
+    if buses == max(SWEEP.values()):
+        print(format_series("Fig. 4(b) average combined-model time",
+                            "buses", "seconds",
+                            dict(sorted(bench_results["fig4b"].items()))))
+        fig4a = bench_results.get("fig4a", {})
+        shared = sorted(set(fig4a) & set(bench_results["fig4b"]))
+        if shared:
+            slower = sum(
+                bench_results["fig4b"][b] >= 0.5 * fig4a[b]
+                for b in shared)
+            print(f"   with-state slower or comparable at "
+                  f"{slower}/{len(shared)} sizes "
+                  f"(paper: uniformly slower)")

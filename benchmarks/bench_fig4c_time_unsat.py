@@ -1,0 +1,57 @@
+"""Fig. 4(c): combined-model execution time in *unsatisfiable* cases.
+
+Expected shape (paper): unsat verdicts take longer than sat verdicts at
+the same size — the solver must exhaust the attack-vector space to
+conclude no attack achieves the impact.
+
+The unsatisfiable workload uses an unreachable impact target: just above
+the known ceiling for the SMT-analyzed sizes (so the solver genuinely
+exhausts the attack-vector space rather than being cut off by the
+necessary-condition pruning) and a flat 40% for the fast-analyzer sizes.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._helpers import SCENARIOS, SMT_SIZES, SWEEP, combined_analysis
+from repro.benchlib import format_series, format_table, measured
+
+
+@pytest.mark.paper("Fig. 4(c)")
+@pytest.mark.parametrize("name", list(SWEEP))
+def test_fig4c_combined_time_unsat(benchmark, name, bench_results):
+    buses = SWEEP[name]
+    percent = Fraction(6) if name in SMT_SIZES else Fraction(40)
+    times = []
+
+    def run_all():
+        times.clear()
+        for seed in SCENARIOS:
+            report, elapsed = measured(
+                lambda s=seed: combined_analysis(
+                    name, s, with_state=False, percent=percent))
+            assert not report.satisfiable
+            times.append(elapsed)
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    average = sum(times) / len(times)
+    bench_results.setdefault("fig4c", {})[buses] = average
+
+    print()
+    print(format_table(
+        f"Fig. 4(c) — {name} ({buses} buses), unsat cases",
+        ("scenario", "verdict", "time (s)"),
+        [(seed, "unsat", f"{t:.3f}")
+         for seed, t in zip(SCENARIOS, times)]))
+    if buses == max(SWEEP.values()):
+        print(format_series("Fig. 4(c) average unsat time", "buses",
+                            "seconds",
+                            dict(sorted(bench_results["fig4c"].items()))))
+        fig4a = bench_results.get("fig4a", {})
+        shared = sorted(set(fig4a) & set(bench_results["fig4c"]))
+        for b in shared:
+            ratio = bench_results["fig4c"][b] / max(fig4a[b], 1e-9)
+            print(f"   {b} buses: unsat/sat time ratio = {ratio:.2f} "
+                  f"(paper: > 1)")

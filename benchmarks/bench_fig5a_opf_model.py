@@ -1,0 +1,64 @@
+"""Fig. 5(a): execution time of the *OPF model alone* vs problem size.
+
+The paper's observation: the OPF model dominates the attack model, and
+the tighter the cost constraint sits to the optimum, the longer the
+solver takes (fewer satisfying dispatches to find).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchlib import format_series, format_table, measured
+from repro.core.encoding import OpfModelEncoding
+from repro.grid.cases import get_case
+from repro.opf import solve_dc_opf
+
+import os
+
+SIZES = {"5bus-study2": 5, "ieee14": 14, "ieee30": 30}
+if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+    SIZES["ieee57"] = 57
+
+#: threshold = optimum * factor; closer to 1 = tighter.
+TIGHTNESS = (Fraction(101, 100), Fraction(11, 10), Fraction(3, 2))
+
+
+@pytest.mark.paper("Fig. 5(a)")
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig5a_opf_model_time(benchmark, name, bench_results):
+    buses = SIZES[name]
+    grid = get_case(name).build_grid()
+    loads = {b: l.existing for b, l in grid.loads.items()}
+    optimum = solve_dc_opf(grid, method="highs").require_feasible().cost
+    topology = [l.index for l in grid.lines if l.in_service]
+    times = {}
+
+    def run_all():
+        times.clear()
+        for factor in TIGHTNESS:
+            def check(f=factor):
+                encoding = OpfModelEncoding(grid, topology, loads)
+                return encoding.check(optimum * f)
+            sat, elapsed = measured(check)
+            assert sat  # threshold above the optimum: always satisfiable
+            times[float(factor)] = elapsed
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    bench_results.setdefault("fig5a", {})[buses] = times
+
+    print()
+    print(format_table(
+        f"Fig. 5(a) — OPF model, {name} ({buses} buses)",
+        ("threshold / optimum", "time (s)"),
+        [(f"{factor:.2f}x", f"{t:.4f}") for factor, t in times.items()]))
+    if buses == max(SIZES.values()):
+        series = {b: sum(v.values()) / len(v)
+                  for b, v in sorted(bench_results["fig5a"].items())}
+        print(format_series("Fig. 5(a) average OPF-model time", "buses",
+                            "seconds", series))
+        for b, v in sorted(bench_results["fig5a"].items()):
+            ordered = [v[float(f)] for f in TIGHTNESS]
+            print(f"   {b} buses: tight {ordered[0]:.4f}s vs loose "
+                  f"{ordered[-1]:.4f}s (paper: tighter is slower)")

@@ -1,0 +1,58 @@
+"""Fig. 5(b): execution time of the *topology attack model alone* vs
+problem size, three attacker-resource scenarios per size.
+
+The paper's observation: the attack model alone grows roughly linearly
+and is much cheaper than the OPF model.  The attack model here is the
+pure Section III-C encoding — no believed-system OPF block.
+"""
+
+import pytest
+
+from benchmarks._helpers import SCENARIOS, scenario_case
+from repro.benchlib import format_series, format_table, measured
+from repro.core.encoding import AttackEncodingConfig, AttackModelEncoding
+
+SIZES = {"5bus-study2": 5, "ieee14": 14}
+
+
+@pytest.mark.paper("Fig. 5(b)")
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig5b_attack_model_time(benchmark, name, bench_results):
+    buses = SIZES[name]
+    times = []
+    verdicts = []
+
+    def run_all():
+        times.clear()
+        verdicts.clear()
+        for seed in SCENARIOS:
+            case = scenario_case(name, seed)
+
+            def solve(c=case):
+                encoding = AttackModelEncoding(c, AttackEncodingConfig(
+                    require_believed_feasibility=False))
+                return encoding.solve()
+            solution, elapsed = measured(solve)
+            times.append(elapsed)
+            verdicts.append("sat" if solution is not None else "unsat")
+        return times
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    bench_results.setdefault("fig5b", {})[buses] = sum(times) / len(times)
+
+    print()
+    print(format_table(
+        f"Fig. 5(b) — attack model alone, {name} ({buses} buses)",
+        ("scenario", "verdict", "time (s)"),
+        [(seed, verdict, f"{t:.3f}")
+         for seed, verdict, t in zip(SCENARIOS, verdicts, times)]))
+    if buses == max(SIZES.values()):
+        print(format_series("Fig. 5(b) average attack-model time",
+                            "buses", "seconds",
+                            dict(sorted(bench_results["fig5b"].items()))))
+        fig5a = bench_results.get("fig5a", {})
+        for b in sorted(set(fig5a) & set(bench_results["fig5b"])):
+            opf_avg = sum(fig5a[b].values()) / len(fig5a[b])
+            print(f"   {b} buses: attack model "
+                  f"{bench_results['fig5b'][b]:.3f}s vs OPF model "
+                  f"{opf_avg:.3f}s")

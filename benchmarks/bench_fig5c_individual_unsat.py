@@ -1,0 +1,86 @@
+"""Fig. 5(c): execution time of both *individual* models in
+unsatisfiable cases.
+
+Workloads: the OPF model with a threshold strictly below the optimum
+(no dispatch can satisfy it) and the attack model with the attacker
+stripped of resources (no stealthy attack exists).  Expected shape
+(paper): unsat runs cost more than the corresponding sat runs.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from benchmarks._helpers import scenario_case
+from repro.benchlib import format_table, measured
+from repro.core.encoding import AttackEncodingConfig, AttackModelEncoding
+from repro.grid.caseio import CaseDefinition
+from repro.grid.cases import get_case
+from repro.opf import solve_dc_opf
+
+SIZES = {"5bus-study2": 5, "ieee14": 14}
+
+
+def _starved(case: CaseDefinition) -> CaseDefinition:
+    return CaseDefinition(
+        case.name + "-starved", case.line_specs, case.measurement_specs,
+        case.bus_types, case.generators, case.loads,
+        1, 1, case.base_cost, case.min_increase_percent)
+
+
+@pytest.mark.paper("Fig. 5(c)")
+@pytest.mark.parametrize("name", list(SIZES))
+def test_fig5c_unsat_individual_models(benchmark, name):
+    from repro.core.encoding import OpfModelEncoding
+    buses = SIZES[name]
+    case = get_case(name)
+    grid = case.build_grid()
+    loads = {b: l.existing for b, l in grid.loads.items()}
+    topology = [l.index for l in grid.lines if l.in_service]
+    optimum = solve_dc_opf(grid, method="highs").require_feasible().cost
+    results = {}
+
+    def run_all():
+        results.clear()
+
+        def opf_unsat():
+            encoding = OpfModelEncoding(grid, topology, loads)
+            return encoding.check(optimum * Fraction(99, 100))
+        sat, elapsed = measured(opf_unsat)
+        assert not sat
+        results["OPF model (unsat)"] = elapsed
+
+        def opf_sat():
+            encoding = OpfModelEncoding(grid, topology, loads)
+            return encoding.check(optimum * Fraction(3, 2))
+        sat, elapsed = measured(opf_sat)
+        assert sat
+        results["OPF model (sat)"] = elapsed
+
+        def attack_unsat():
+            # A starved attacker (1 measurement / 1 bus) that must alter
+            # something: a nonzero-flow single-line attack needs at least
+            # the line's two flow measurements, so this is unsat.
+            encoding = AttackModelEncoding(
+                _starved(case), AttackEncodingConfig(
+                    require_believed_feasibility=False,
+                    require_measurement_alteration=True))
+            return encoding.solve()
+        solution, elapsed = measured(attack_unsat)
+        assert solution is None
+        results["attack model (unsat)"] = elapsed
+
+        def attack_sat():
+            encoding = AttackModelEncoding(case, AttackEncodingConfig(
+                require_believed_feasibility=False))
+            return encoding.solve()
+        solution, elapsed = measured(attack_sat)
+        results["attack model (sat)"] = elapsed
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        f"Fig. 5(c) — individual models, {name} ({buses} buses)",
+        ("model / verdict", "time (s)"),
+        [(k, f"{v:.4f}") for k, v in results.items()]))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze the paper's 5-bus system end to end.
+
+Walks the public API in five steps:
+
+1. load a test case (the paper's Table-II scenario),
+2. solve the attack-free Optimal Power Flow,
+3. ask the formal framework whether a stealthy topology-poisoning attack
+   can raise the believed-optimal generation cost by at least 3%,
+4. print the attack vector the SMT solver found,
+5. double-check the impact with the paper's original SMT OPF check.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ImpactAnalyzer, ImpactQuery
+from repro.estimation import MeasurementPlan
+from repro.grid.cases import get_case
+from repro.opf import solve_dc_opf
+
+
+def main() -> None:
+    # 1. The paper's 5-bus system with the case-study-1 attacker scenario.
+    case = get_case("5bus-study1")
+    grid = case.build_grid()
+    print(f"loaded {case.name}: {grid}")
+
+    # 2. Attack-free OPF: what the grid *should* cost to run.
+    base = solve_dc_opf(grid, method="exact").require_feasible()
+    print(f"attack-free optimal cost: ${float(base.cost):.2f}")
+    print(f"congested (binding) lines: {base.binding_lines}")
+
+    # 3. Can a stealthy attacker make the EMS believe running the grid
+    #    must cost at least 3% more?
+    analyzer = ImpactAnalyzer(case)
+    report = analyzer.analyze(ImpactQuery(verify_with_smt_opf=True))
+
+    # 4. The attack vector, in the paper's reporting style.
+    print()
+    print(report.render(MeasurementPlan.from_case(case)))
+
+    # 5. The verdict is cross-checked two ways: an exact rational LP
+    #    minimization of the believed system's cost, and the paper's
+    #    original formulation — SMT unsatisfiability of "a dispatch
+    #    cheaper than the threshold exists" (Eq. 37).
+    if report.satisfiable:
+        assert report.smt_opf_unsat_confirmed
+        print("impact confirmed by both the exact LP oracle and the "
+              "SMT OPF model")
+
+
+if __name__ == "__main__":
+    main()

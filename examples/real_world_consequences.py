@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""What actually happens to the grid after the attack succeeds.
+
+The paper quantifies impact as the rise in the *believed* optimal cost —
+what the fooled EMS will pay.  This example follows the story one step
+further, onto the physical grid: the EMS re-dispatches to its believed
+optimum, but the real network still contains line 6 and carries the real
+loads.  We apply the fooled dispatch to the true system and measure
+
+* the real line loadings (does the fooled dispatch overload anything?),
+* the N-1 security margin before vs after the attack — the silent
+  degradation a stealthy attacker buys beyond the monetary impact.
+
+Run:  python examples/real_world_consequences.py
+"""
+
+from repro.core import ImpactAnalyzer, ImpactQuery
+from repro.grid.cases import get_case
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.opf import solve_dc_opf
+from repro.opf.contingency import screen_contingencies, security_margin
+
+
+def main() -> None:
+    case = get_case("5bus-study1")
+    grid = case.build_grid()
+
+    # The honest world: OPF on the true system.
+    honest = solve_dc_opf(grid, method="exact").require_feasible()
+    honest_dispatch = {b: float(v) for b, v in honest.dispatch.items()}
+    print(f"honest optimal cost      : ${float(honest.cost):.2f}")
+    print(f"honest N-1 margin        : "
+          f"{security_margin(grid, honest_dispatch):.1f}%")
+
+    # The attack (case study 1) and the dispatch the fooled EMS issues.
+    analyzer = ImpactAnalyzer(case)
+    report = analyzer.analyze(ImpactQuery())
+    assert report.satisfiable
+    attack = report.attack
+    believed_topology = attack.believed_topology(grid)
+    fooled = solve_dc_opf(grid, loads=attack.believed_loads,
+                          line_indices=believed_topology,
+                          method="exact").require_feasible()
+    fooled_dispatch = {b: float(v) for b, v in fooled.dispatch.items()}
+    print(f"\nattack: exclude line(s) {attack.excluded}; EMS believes "
+          f"optimal cost is ${float(fooled.cost):.2f} "
+          f"(+{float(report.achieved_increase_percent):.2f}%)")
+
+    # Apply the fooled dispatch to the REAL system (line 6 closed, real
+    # loads) and inspect the physical flows.
+    real = solve_dc_power_flow(grid, fooled_dispatch)
+    print("\nphysical line loadings under the fooled dispatch:")
+    overloaded = []
+    for line in grid.lines:
+        flow = real.flow(line.index)
+        loading = 100.0 * abs(flow) / float(line.capacity)
+        marker = "  <-- OVERLOAD" if loading > 100 + 1e-6 else ""
+        print(f"  line {line.index} ({line.from_bus}-{line.to_bus}): "
+              f"{loading:6.1f}% of capacity{marker}")
+        if loading > 100 + 1e-6:
+            overloaded.append(line.index)
+
+    margin = security_margin(grid, fooled_dispatch)
+    n1 = screen_contingencies(grid, fooled_dispatch)
+    print(f"\nN-1 margin under fooled dispatch: {margin:.1f}% "
+          f"({'secure' if n1.secure else 'INSECURE'})")
+    if not n1.secure:
+        worst = n1.worst()
+        if worst is not None:
+            print(f"  worst: losing line {worst.outaged_line} loads "
+                  f"line {worst.overloaded_line} to "
+                  f"{worst.loading_percent:.0f}%")
+        for outage in n1.islanding_outages:
+            print(f"  losing line {outage} islands part of the grid")
+
+    print("\ntakeaway: beyond the monetary impact the paper quantifies, "
+          "the fooled dispatch erodes the real grid's security margin — "
+          "the operator is flying blind on both cost and reliability.")
+
+
+if __name__ == "__main__":
+    main()

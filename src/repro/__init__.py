@@ -1,0 +1,17 @@
+"""repro — reproduction of "Impact Analysis of Topology Poisoning Attacks
+on Economic Operation of the Smart Power Grid" (Rahman, Al-Shaer,
+Kavasseri; IEEE ICDCS 2014).
+
+Public entry points:
+
+* :func:`repro.grid.cases.get_case` — load a test system,
+* :class:`repro.core.ImpactAnalyzer` — the paper's verification framework,
+* :class:`repro.core.FastImpactAnalyzer` — the LODF/LCDF fast analyzer,
+* :mod:`repro.smt` — the standalone SMT solver the framework runs on.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""Attack substrate: the attacker model (Table I attributes), classic UFDI
+attack construction, and concrete topology-poisoning attacks."""
+
+from repro.attacks.model import AttackerModel
+from repro.attacks.topology_poisoning import (
+    TopologyPoisoningAttack,
+    apply_to_readings,
+    apply_to_telemetry,
+    craft_topology_attack,
+    validate_against_attacker,
+)
+from repro.attacks.ufdi import (
+    UfdiAttack,
+    craft_attack,
+    feasible_attack,
+    restricted_attack_space,
+)
+
+__all__ = [
+    "AttackerModel",
+    "TopologyPoisoningAttack",
+    "UfdiAttack",
+    "apply_to_readings",
+    "apply_to_telemetry",
+    "craft_attack",
+    "craft_topology_attack",
+    "feasible_attack",
+    "restricted_attack_space",
+    "validate_against_attacker",
+]

@@ -1,0 +1,107 @@
+"""The attacker model: accessibility, resources and knowledge (Table I).
+
+Wraps a case definition's attack attributes behind the queries the
+framework and the fast analyzer need: which measurements the attacker can
+successfully alter (``r_i`` and ``s_i``), which line statuses can be
+spoofed (``v_i``, ``w_i`` and the per-line alterability), which admittances
+are known (``g_i``), and the resource budgets (measurement count and
+substation count ``T_B``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.estimation.measurement import MeasurementPlan
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition, LineSpec
+from repro.grid.network import Grid
+
+
+@dataclass
+class AttackerModel:
+    """All attack attributes of a scenario in queryable form."""
+
+    grid: Grid
+    plan: MeasurementPlan
+    line_specs: List[LineSpec]
+    max_measurements: int
+    max_buses: int
+
+    @classmethod
+    def from_case(cls, case: CaseDefinition,
+                  grid: Optional[Grid] = None) -> "AttackerModel":
+        grid = grid or case.build_grid()
+        plan = MeasurementPlan.from_case(case, grid)
+        return cls(grid, plan, list(case.line_specs),
+                   case.resource_measurements, case.resource_buses)
+
+    # -- line-level queries ---------------------------------------------------
+
+    def line_spec(self, line_index: int) -> LineSpec:
+        return self.line_specs[line_index - 1]
+
+    def knows_admittance(self, line_index: int) -> bool:
+        """g_i: can the attacker compute the right injection amounts?"""
+        return self.line_spec(line_index).knowledge
+
+    def can_exclude(self, line_index: int) -> bool:
+        """Preconditions of an exclusion attack (paper Eq. 11)."""
+        spec = self.line_spec(line_index)
+        return (spec.in_true_topology and not spec.in_core
+                and not spec.status_secured and spec.status_alterable)
+
+    def can_include(self, line_index: int) -> bool:
+        """Preconditions of an inclusion attack (paper Eq. 12)."""
+        spec = self.line_spec(line_index)
+        return (not spec.in_true_topology and not spec.status_secured
+                and spec.status_alterable)
+
+    def exclusion_candidates(self) -> List[int]:
+        return [s.index for s in self.line_specs if self.can_exclude(s.index)]
+
+    def inclusion_candidates(self) -> List[int]:
+        return [s.index for s in self.line_specs if self.can_include(s.index)]
+
+    # -- measurement-level queries --------------------------------------------
+
+    def can_alter_measurement(self, index: int) -> bool:
+        """r_i and not s_i — a successful false-data injection (Eq. 20)."""
+        return (self.plan.is_alterable(index)
+                and not self.plan.is_secured(index))
+
+    def alterable_measurements(self) -> List[int]:
+        total = self.grid.num_potential_measurements
+        return [i for i in range(1, total + 1)
+                if self.can_alter_measurement(i)]
+
+    def check_alteration_set(self, measurements: Set[int]) -> List[str]:
+        """Why (if at all) an alteration set violates the attacker model.
+
+        Returns a list of violated-constraint descriptions; empty means
+        the set is within the attacker's power (Eqs. 20-22).
+        """
+        problems = []
+        for index in sorted(measurements):
+            if not self.plan.is_taken(index):
+                problems.append(f"measurement {index} is not taken; "
+                                f"altering it is meaningless")
+            if not self.plan.is_alterable(index):
+                problems.append(f"measurement {index} is not accessible")
+            elif self.plan.is_secured(index):
+                problems.append(f"measurement {index} is secured")
+        if len(measurements) > self.max_measurements:
+            problems.append(
+                f"{len(measurements)} alterations exceed the budget of "
+                f"{self.max_measurements}")
+        buses = {self.plan.location_of(i) for i in measurements}
+        if len(buses) > self.max_buses:
+            problems.append(
+                f"measurements span {len(buses)} buses, more than T_B = "
+                f"{self.max_buses}")
+        return problems
+
+    def compromised_buses(self, measurements: Set[int]) -> Set[int]:
+        """h_j: the substations an alteration set requires (Eq. 21)."""
+        return {self.plan.location_of(i) for i in measurements}

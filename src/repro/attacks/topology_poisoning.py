@@ -1,0 +1,187 @@
+"""Concrete topology-poisoning attacks (paper Sections III-C and III-D).
+
+Given an operating point (the physical flows the attacker observes), an
+exclusion or inclusion target and an optional state shift, computes the
+exact false data that keeps the poisoned topology consistent — paper
+Eqs. (13)-(16) for the pure topology attack and (23)-(29) for the
+state-strengthened variant — and can apply it to simulated telemetry so
+the full SE + BDD pipeline can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.attacks.model import AttackerModel
+from repro.estimation.measurement import MeasurementPlan
+from repro.exceptions import ModelError
+from repro.grid.network import Grid
+from repro.topology.statuses import LineStatus, StatusTelemetry
+
+
+@dataclass
+class TopologyPoisoningAttack:
+    """A fully-specified stealthy topology attack.
+
+    ``excluded`` / ``included`` are line indices; ``state_shift`` maps bus
+    to the UFDI angle injection (empty for the pure topology variant).
+    ``measurement_deltas`` is the resulting false data (potential-
+    measurement index -> additive change), and ``believed_load_changes``
+    the induced change in the loads the EMS will estimate.
+    """
+
+    excluded: List[int]
+    included: List[int]
+    state_shift: Dict[int, float] = field(default_factory=dict)
+    measurement_deltas: Dict[int, float] = field(default_factory=dict)
+    believed_load_changes: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def altered_measurements(self) -> List[int]:
+        return sorted(i for i, d in self.measurement_deltas.items()
+                      if abs(d) > 1e-12)
+
+    def believed_topology(self, grid: Grid) -> List[int]:
+        mapped = [l.index for l in grid.lines
+                  if l.in_service and l.index not in set(self.excluded)]
+        mapped.extend(self.included)
+        return sorted(mapped)
+
+
+def craft_topology_attack(grid: Grid,
+                          flows: Dict[int, float],
+                          angles: Dict[int, float],
+                          excluded: Optional[List[int]] = None,
+                          included: Optional[List[int]] = None,
+                          state_shift: Optional[Dict[int, float]] = None,
+                          tolerance: float = 1e-12
+                          ) -> TopologyPoisoningAttack:
+    """Compute the required false data for a topology attack.
+
+    ``flows``/``angles`` describe the current physical operating point.
+    ``state_shift`` (``delta-theta``) adds the UFDI strengthening of paper
+    Section III-D; the reference bus cannot be shifted.
+    """
+    excluded = sorted(excluded or [])
+    included = sorted(included or [])
+    state_shift = dict(state_shift or {})
+    if grid.reference_bus in state_shift:
+        raise ModelError("cannot shift the reference-bus angle")
+    for line_index in excluded:
+        if not grid.line(line_index).in_service:
+            raise ModelError(f"line {line_index} is open; cannot exclude")
+    for line_index in included:
+        if grid.line(line_index).in_service:
+            raise ModelError(f"line {line_index} is closed; cannot include")
+    overlap = set(excluded) & set(included)
+    if overlap:
+        raise ModelError(f"lines {sorted(overlap)} both excluded and "
+                         f"included")
+
+    l = grid.num_lines
+    believed = set(l_.index for l_ in grid.lines if l_.in_service)
+    believed -= set(excluded)
+    believed |= set(included)
+
+    def dtheta(bus: int) -> float:
+        return state_shift.get(bus, 0.0)
+
+    # Per-line total measurement change Delta-P'_i^L (Eqs. 13-15, 23-27).
+    line_delta: Dict[int, float] = {}
+    for line in grid.lines:
+        idx = line.index
+        physical_flow = flows.get(idx, 0.0)
+        topo_delta = 0.0
+        if idx in excluded:
+            topo_delta = -physical_flow                   # Eq. 13
+        elif idx in included:
+            would_be = float(line.admittance) * (
+                angles[line.from_bus] - angles[line.to_bus])
+            topo_delta = would_be                          # Eq. 14
+        state_delta = 0.0
+        if idx in believed:                                # Eqs. 24-25
+            state_delta = float(line.admittance) * (
+                dtheta(line.from_bus) - dtheta(line.to_bus))
+        line_delta[idx] = topo_delta + state_delta         # Eq. 27
+
+    # Per-bus consumption change (Eqs. 16 / 28).
+    bus_delta: Dict[int, float] = {}
+    for bus in grid.buses:
+        total = 0.0
+        for line in grid.lines_in(bus.index):
+            total += line_delta[line.index]
+        for line in grid.lines_out(bus.index):
+            total -= line_delta[line.index]
+        bus_delta[bus.index] = total
+
+    deltas: Dict[int, float] = {}
+    for line in grid.lines:
+        change = line_delta[line.index]
+        if abs(change) > tolerance:
+            deltas[line.index] = change              # forward measurement
+            deltas[l + line.index] = -change         # backward measurement
+    for bus in grid.buses:
+        change = bus_delta[bus.index]
+        if abs(change) > tolerance:
+            deltas[2 * l + bus.index] = change
+
+    load_changes = {bus: change for bus, change in bus_delta.items()
+                    if abs(change) > tolerance}
+    return TopologyPoisoningAttack(excluded, included, state_shift,
+                                   deltas, load_changes)
+
+
+def validate_against_attacker(attack: TopologyPoisoningAttack,
+                              attacker: AttackerModel) -> List[str]:
+    """All attacker-model violations of a crafted attack (paper Eqs. 11,
+    12, 17-22); empty means the attack is within the attacker's power."""
+    problems: List[str] = []
+    for line_index in attack.excluded:
+        if not attacker.can_exclude(line_index):
+            problems.append(f"line {line_index} cannot be excluded "
+                            f"(core, secured, or status not alterable)")
+    for line_index in attack.included:
+        if not attacker.can_include(line_index):
+            problems.append(f"line {line_index} cannot be included")
+    needed = {
+        i for i in attack.altered_measurements
+        if attacker.plan.is_taken(i)
+    }
+    # Knowledge requirement (Eq. 19): flow changes require the admittance.
+    l = attacker.grid.num_lines
+    for index in needed:
+        if index <= 2 * l:
+            line_index = index if index <= l else index - l
+            if not attacker.knows_admittance(line_index):
+                problems.append(
+                    f"admittance of line {line_index} unknown; cannot "
+                    f"compute the required change of measurement {index}")
+    problems.extend(attacker.check_alteration_set(needed))
+    return problems
+
+
+def apply_to_readings(attack: TopologyPoisoningAttack,
+                      plan: MeasurementPlan,
+                      readings: np.ndarray) -> np.ndarray:
+    """Add the attack's false data to taken-measurement readings."""
+    taken = plan.taken_indices()
+    if len(readings) != len(taken):
+        raise ModelError("readings length does not match the plan")
+    attacked = readings.copy()
+    for position, index in enumerate(taken):
+        attacked[position] += attack.measurement_deltas.get(index, 0.0)
+    return attacked
+
+
+def apply_to_telemetry(attack: TopologyPoisoningAttack,
+                       telemetry: StatusTelemetry) -> StatusTelemetry:
+    """Spoof the breaker statuses of the attacked lines."""
+    poisoned = telemetry
+    for line_index in attack.excluded:
+        poisoned = poisoned.spoof(line_index, LineStatus.OPEN)
+    for line_index in attack.included:
+        poisoned = poisoned.spoof(line_index, LineStatus.CLOSED)
+    return poisoned

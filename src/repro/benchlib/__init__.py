@@ -1,0 +1,16 @@
+"""Benchmark harness support: scenario randomization, time/memory
+measurement and paper-style table formatting."""
+
+from repro.benchlib.measure import measured, MemoryProfile, profile_memory
+from repro.benchlib.scenarios import randomize_attacker, scenario_seeds
+from repro.benchlib.tables import format_series, format_table
+
+__all__ = [
+    "MemoryProfile",
+    "format_series",
+    "format_table",
+    "measured",
+    "profile_memory",
+    "randomize_attacker",
+    "scenario_seeds",
+]

@@ -1,0 +1,45 @@
+"""Time and memory measurement helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass
+class MemoryProfile:
+    """Peak allocation during a measured run (paper Table IV analogue)."""
+
+    peak_bytes: int
+    elapsed_seconds: float
+
+    @property
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measured(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """(result, wall-clock seconds) of a call."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def profile_memory(fn: Callable[[], Any]) -> Tuple[Any, MemoryProfile]:
+    """Run *fn* under tracemalloc; returns (result, profile).
+
+    The paper reports the SMT solver's memory by model; we report the
+    peak Python allocation of building + solving the model, which plays
+    the same role (growth *shape* with problem size).
+    """
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    elapsed = time.perf_counter() - started
+    return result, MemoryProfile(peak, elapsed)

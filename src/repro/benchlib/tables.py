@@ -1,0 +1,42 @@
+"""Paper-style output formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> str:
+    """A plain ASCII table with a title bar."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(columns)]
+
+    def line(row):
+        return " | ".join(v.ljust(w) for v, w in zip(row, widths))
+
+    bar = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", line(cells[0]), bar]
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def format_series(title: str, x_label: str, y_label: str,
+                  points: Dict, width: int = 40) -> str:
+    """An ASCII bar series: one bar per x value (paper figure analogue)."""
+    values = {k: float(v) for k, v in points.items()}
+    peak = max(values.values()) if values else 1.0
+    peak = peak if peak > 0 else 1.0
+    out = [f"== {title} ==", f"   ({y_label} by {x_label})"]
+    for key, value in values.items():
+        bar = "#" * max(1, int(width * value / peak))
+        out.append(f"  {str(key):>12} | {bar} {value:.4g}")
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro``.
+
+Mirrors the original tool's workflow — a case file in the paper's input
+format goes in, the analysis verdict and attack vector come out::
+
+    python -m repro analyze --case 5bus-study1
+    python -m repro analyze --input my_case.txt --target 5 --with-states
+    python -m repro analyze --case ieee57 --fast
+    python -m repro opf --case 5bus-study1
+    python -m repro cases
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Optional
+
+from repro.core import (
+    FastImpactAnalyzer,
+    FastQuery,
+    ImpactAnalyzer,
+    ImpactQuery,
+)
+from repro.estimation import MeasurementPlan
+from repro.grid import parse_case
+from repro.grid.caseio import CaseDefinition
+from repro.grid.cases import case_names, get_case
+from repro.opf import solve_dc_opf
+
+
+def _load_case(args) -> CaseDefinition:
+    if args.input:
+        with open(args.input) as handle:
+            return parse_case(handle.read(), name=args.input)
+    if args.case:
+        return get_case(args.case)
+    raise SystemExit("either --case <name> or --input <file> is required")
+
+
+def _cmd_cases(_args) -> int:
+    for name in case_names():
+        case = get_case(name)
+        print(f"{name:14} {case.num_buses:4} buses {case.num_lines:4} "
+              f"lines {len(case.generators):3} generators")
+    return 0
+
+
+def _cmd_opf(args) -> int:
+    case = _load_case(args)
+    grid = case.build_grid()
+    result = solve_dc_opf(grid, method=args.method)
+    if not result.feasible:
+        print("OPF infeasible")
+        return 1
+    print(f"optimal cost: {float(result.cost):.2f}")
+    for bus, power in sorted(result.dispatch.items()):
+        print(f"  generator at bus {bus}: {float(power):.4f} p.u.")
+    if result.binding_lines:
+        print(f"binding line limits: {result.binding_lines}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    case = _load_case(args)
+    target: Optional[Fraction] = None
+    if args.target is not None:
+        target = Fraction(args.target).limit_denominator(10000)
+
+    if args.fast:
+        analyzer = FastImpactAnalyzer(case)
+        report = analyzer.analyze(FastQuery(
+            target_increase_percent=target,
+            with_state_infection=args.with_states,
+            seed=args.seed))
+    else:
+        analyzer = ImpactAnalyzer(case)
+        report = analyzer.analyze(ImpactQuery(
+            target_increase_percent=target,
+            with_state_infection=args.with_states,
+            verify_with_smt_opf=args.verify_smt,
+            max_candidates=args.max_candidates))
+
+    plan = MeasurementPlan.from_case(case)
+    text = report.render(plan)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0 if report.satisfiable else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Impact analysis of stealthy topology poisoning "
+                    "attacks on Optimal Power Flow (ICDCS 2014 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cases = sub.add_parser("cases", help="list the bundled test systems")
+    cases.set_defaults(func=_cmd_cases)
+
+    def add_case_args(p):
+        p.add_argument("--case", help="bundled case name (see `cases`)")
+        p.add_argument("--input",
+                       help="case file in the paper's input format")
+
+    opf = sub.add_parser("opf", help="solve the attack-free OPF")
+    add_case_args(opf)
+    opf.add_argument("--method", choices=("exact", "highs"),
+                     default="exact")
+    opf.set_defaults(func=_cmd_opf)
+
+    analyze = sub.add_parser(
+        "analyze", help="search for a stealthy attack with the target "
+                        "OPF-cost impact")
+    add_case_args(analyze)
+    analyze.add_argument("--target", type=float,
+                         help="minimum cost increase in percent "
+                              "(default: the case's value)")
+    analyze.add_argument("--with-states", action="store_true",
+                         help="allow UFDI state infection "
+                              "(paper Section III-D)")
+    analyze.add_argument("--fast", action="store_true",
+                         help="use the LODF/LCDF fast analyzer "
+                              "(single-line attacks; 30+ bus systems)")
+    analyze.add_argument("--verify-smt", action="store_true",
+                         help="confirm the verdict with the SMT OPF "
+                              "model (paper Eq. 37/38)")
+    analyze.add_argument("--max-candidates", type=int, default=60)
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="seed for the fast analyzer's sampling")
+    analyze.add_argument("--output", help="write the report to a file "
+                                          "(the paper's output file)")
+    analyze.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

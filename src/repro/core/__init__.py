@@ -1,0 +1,33 @@
+"""The paper's contribution: formal impact analysis of stealthy topology
+poisoning attacks on Optimal Power Flow.
+
+* :mod:`repro.core.encoding` — SMT encodings of the attack model
+  (paper Eqs. 7-29) and the OPF model (Eqs. 30-36),
+* :mod:`repro.core.framework` — the Fig.-2 verification loop,
+* :mod:`repro.core.fast` — the LODF/LCDF-based scalable analyzer
+  (Section IV-A),
+* :mod:`repro.core.results` — reports and rendering.
+"""
+
+from repro.core.encoding import (
+    AttackEncodingConfig,
+    AttackModelEncoding,
+    AttackVectorSolution,
+    OpfModelEncoding,
+)
+from repro.core.fast import FastImpactAnalyzer, FastQuery
+from repro.core.framework import ImpactAnalyzer, ImpactQuery
+from repro.core.results import CandidateEvaluation, ImpactReport
+
+__all__ = [
+    "AttackEncodingConfig",
+    "AttackModelEncoding",
+    "AttackVectorSolution",
+    "CandidateEvaluation",
+    "FastImpactAnalyzer",
+    "FastQuery",
+    "ImpactAnalyzer",
+    "ImpactQuery",
+    "ImpactReport",
+    "OpfModelEncoding",
+]

@@ -1,0 +1,458 @@
+"""Scalable impact analysis (paper Section IV-A enhancements).
+
+The full SMT model becomes costly past ~14 buses (the paper reports the
+same), so this analyzer restricts attention to *single-line* exclusion or
+inclusion attacks — exactly the restriction the paper adopts for its
+LODF/LCDF evaluation — and exploits problem structure:
+
+* For a pure (no state infection) single-line attack the believed-load
+  vector is a **one-parameter family**: both endpoint loads shift by the
+  attacked line's flow ``f``.  The attacker-reachable range of ``f`` is
+  an interval (an LP over operating points), the believed system's
+  feasible range of ``f`` is an interval (parametric LP), and the
+  believed optimal cost is convex in ``f`` — so the worst case sits at an
+  interval endpoint, found by bisection + two OPF evaluations.
+
+* OPF evaluations use the PTDF-based formulation with LODF/LCDF
+  corrections (:class:`~repro.opf.shift_factor.ShiftFactorOpf`), so the
+  network matrices are factored once per case.
+
+* With state infection the believed loads gain extra degrees of freedom;
+  the analyzer samples seeded vertices of the believed-load box
+  (worst cases of a convex function lie on the boundary) and validates
+  each sample against the attacker model by reconstructing the required
+  state shift and measurement alterations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.attacks.model import AttackerModel
+from repro.attacks.topology_poisoning import (
+    craft_topology_attack,
+    validate_against_attacker,
+)
+from repro.core.results import CandidateEvaluation, ImpactReport
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition
+from repro.grid.matrices import state_order, susceptance_matrix
+from repro.opf.dcopf import solve_dc_opf
+from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
+from repro.smt.rational import to_fraction
+
+
+@dataclass
+class FastQuery:
+    target_increase_percent: Optional[Fraction] = None
+    with_state_infection: bool = False
+    state_samples: int = 24
+    seed: int = 0
+    bisection_tolerance: float = 1e-4
+
+
+class FastImpactAnalyzer:
+    """Single-line topology-attack impact analysis at IEEE-118 scale."""
+
+    def __init__(self, case: CaseDefinition) -> None:
+        self.case = case
+        self.grid = case.build_grid()
+        self.attacker = AttackerModel.from_case(case, self.grid)
+        self.base_topology = [l.index for l in self.grid.lines
+                              if l.in_service]
+        self._sf_opf = ShiftFactorOpf(self.grid, self.base_topology)
+        base = self._sf_opf.solve()
+        if not base.feasible:
+            raise ModelError(
+                f"case {case.name}: attack-free OPF is infeasible")
+        self.base_cost = base.cost
+        self.evaluations: List[CandidateEvaluation] = []
+
+    def threshold_for(self, percent) -> Fraction:
+        return self.base_cost * (1 + to_fraction(percent) / 100)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def analyze(self, query: Optional[FastQuery] = None) -> ImpactReport:
+        query = query or FastQuery()
+        percent = to_fraction(
+            query.target_increase_percent
+            if query.target_increase_percent is not None
+            else self.case.min_increase_percent)
+        threshold = self.threshold_for(percent)
+        started = time.perf_counter()
+        self.evaluations = []
+
+        best: Optional[CandidateEvaluation] = None
+        candidates = [("exclude", i)
+                      for i in self.attacker.exclusion_candidates()]
+        candidates += [("include", i)
+                       for i in self.attacker.inclusion_candidates()]
+        for kind, line_index in candidates:
+            evaluation = self._evaluate_candidate(
+                kind, line_index, threshold, query)
+            self.evaluations.append(evaluation)
+            if evaluation.best_increase_percent is None:
+                continue
+            if best is None or (evaluation.best_increase_percent
+                                > best.best_increase_percent):
+                best = evaluation
+
+        elapsed = time.perf_counter() - started
+        target = float(percent)
+        if best is not None and best.best_increase_percent > target:
+            believed_min = self.base_cost * to_fraction(
+                1 + best.best_increase_percent / 100)
+            from repro.core.encoding import AttackVectorSolution
+            solution = AttackVectorSolution(
+                excluded=[best.line_index] if best.kind == "exclude" else [],
+                included=[best.line_index] if best.kind == "include" else [],
+                infected_states=[],
+                altered_measurements=best.altered_measurements,
+                compromised_buses=sorted(
+                    {self.attacker.plan.location_of(m)
+                     for m in best.altered_measurements}),
+                believed_loads={b: to_fraction(round(v, 6))
+                                for b, v in best.believed_loads.items()},
+                state_shift={}, operating_dispatch={}, operating_flows={},
+                operating_cost=Fraction(0))
+            return ImpactReport(True, self.base_cost, threshold, percent,
+                                solution, believed_min,
+                                len(self.evaluations), elapsed)
+        return ImpactReport(False, self.base_cost, threshold, percent,
+                            candidates_examined=len(self.evaluations),
+                            elapsed_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate_candidate(self, kind: str, line_index: int,
+                            threshold: Fraction,
+                            query: FastQuery) -> CandidateEvaluation:
+        problems = self._required_alterations(kind, line_index)
+        if isinstance(problems, str):
+            return CandidateEvaluation(kind, line_index, False, problems)
+        altered = problems
+
+        flow_range = self._reachable_flow_range(kind, line_index)
+        if flow_range is None:
+            return CandidateEvaluation(kind, line_index, False,
+                                       "flow unreachable in operation")
+        lo, hi = flow_range
+
+        # Believability bounds on the endpoint loads (Eq. 36) shrink the
+        # usable flow range.
+        line = self.grid.line(line_index)
+        sign = 1.0 if kind == "exclude" else -1.0
+        window = self._load_window(line.from_bus, sign)
+        if window is None:
+            return CandidateEvaluation(kind, line_index, False,
+                                       "from-bus has no load headroom")
+        lo, hi = max(lo, window[0]), min(hi, window[1])
+        window = self._load_window(line.to_bus, -sign)
+        if window is None:
+            return CandidateEvaluation(kind, line_index, False,
+                                       "to-bus has no load headroom")
+        lo, hi = max(lo, window[0]), min(hi, window[1])
+        if lo > hi:
+            return CandidateEvaluation(kind, line_index, False,
+                                       "believability bounds empty")
+
+        best = self._maximize_over_interval(kind, line_index, lo, hi,
+                                            query.bisection_tolerance)
+        if best is None:
+            return CandidateEvaluation(kind, line_index, False,
+                                       "believed OPF never converges")
+        best_f, best_cost, loads = best
+
+        increase = 100 * (float(best_cost) / float(self.base_cost) - 1)
+        evaluation = CandidateEvaluation(
+            kind, line_index, True,
+            best_increase_percent=increase,
+            believed_loads=loads,
+            altered_measurements=sorted(altered))
+
+        if query.with_state_infection:
+            sampled = self._state_infection_samples(
+                kind, line_index, threshold, query)
+            if sampled is not None and sampled[0] > increase:
+                evaluation.best_increase_percent = sampled[0]
+                evaluation.believed_loads = sampled[1]
+                evaluation.altered_measurements = sampled[2]
+        return evaluation
+
+    def _required_alterations(self, kind: str, line_index: int):
+        """Measurements a nonzero-flow single-line attack must alter."""
+        plan = self.attacker.plan
+        line = self.grid.line(line_index)
+        l = self.grid.num_lines
+        needed = set()
+        for m in (line_index, l + line_index,
+                  2 * l + line.from_bus, 2 * l + line.to_bus):
+            if plan.is_taken(m):
+                needed.add(m)
+        if (plan.is_taken(line_index) or plan.is_taken(l + line_index)) \
+                and not self.attacker.knows_admittance(line_index):
+            return f"admittance of line {line_index} unknown"
+        problems = self.attacker.check_alteration_set(needed)
+        if problems:
+            return "; ".join(problems)
+        return needed
+
+    def _reachable_flow_range(self, kind: str, line_index: int
+                              ) -> Optional[Tuple[float, float]]:
+        """Range of the attacked line's (would-be) flow over feasible
+        operating points — an LP over dispatches."""
+        grid = self.grid
+        gens = sorted(grid.generators)
+        factors = self._sf_opf.factors
+        demand = np.zeros(grid.num_buses)
+        for load in grid.loads.values():
+            demand[load.bus - 1] = float(load.existing)
+
+        if kind == "exclude":
+            row = factors.ptdf[factors.row_of(line_index)]
+        else:
+            # Would-be flow of the open line: d * (theta_f - theta_e).
+            line = grid.line(line_index)
+            ref = grid.reference_bus - 1
+            keep = [i for i in range(grid.num_buses) if i != ref]
+            B_inv = np.linalg.inv(susceptance_matrix(
+                grid, self.base_topology, reduced=True))
+            e = np.zeros(grid.num_buses)
+            e[line.from_bus - 1] += 1.0
+            e[line.to_bus - 1] -= 1.0
+            row = np.zeros(grid.num_buses)
+            row[keep] = float(line.admittance) * (e[keep] @ B_inv)
+
+        gen_matrix = np.zeros((grid.num_buses, len(gens)))
+        for k, bus in enumerate(gens):
+            gen_matrix[bus - 1, k] = 1.0
+        flow_gen = row @ gen_matrix
+        flow_const = -float(row @ demand)
+
+        # Operating constraints: all base-topology line capacities.
+        M = factors.ptdf @ gen_matrix
+        base = -(factors.ptdf @ demand)
+        capacities = np.array([float(grid.line(i).capacity)
+                               for i in factors.lines])
+        A_ub = np.vstack([M, -M])
+        b_ub = np.concatenate([capacities - base, capacities + base])
+        A_eq = np.ones((1, len(gens)))
+        b_eq = np.array([float(demand.sum())])
+        bounds = [(float(grid.generators[b].p_min),
+                   float(grid.generators[b].p_max)) for b in gens]
+
+        extremes = []
+        for direction in (1.0, -1.0):
+            result = linprog(direction * flow_gen, A_ub=A_ub, b_ub=b_ub,
+                             A_eq=A_eq, b_eq=b_eq, bounds=bounds,
+                             method="highs")
+            if not result.success:
+                return None
+            extremes.append(float(flow_gen @ result.x) + flow_const)
+        low, high = min(extremes), max(extremes)
+        cap = float(self.grid.line(line_index).capacity)
+        return max(low, -cap), min(high, cap)
+
+    def _load_window(self, bus: int, sign: float
+                     ) -> Optional[Tuple[float, float]]:
+        """Flow interval keeping ``load + sign*f`` within Eq.-36 bounds."""
+        load = self.grid.loads.get(bus)
+        if load is None:
+            # No load to absorb the change: only f = 0 is consistent,
+            # which is a no-op attack.
+            return None
+        low = float(load.p_min - load.existing)
+        high = float(load.p_max - load.existing)
+        if sign > 0:
+            return low, high
+        return -high, -low
+
+    def _believed_cost(self, kind: str, line_index: int,
+                       f: float) -> Optional[Fraction]:
+        line = self.grid.line(line_index)
+        sign = 1.0 if kind == "exclude" else -1.0
+        loads = {bus: float(load.existing)
+                 for bus, load in self.grid.loads.items()}
+        loads[line.from_bus] = loads.get(line.from_bus, 0.0) + sign * f
+        loads[line.to_bus] = loads.get(line.to_bus, 0.0) - sign * f
+        change = TopologyChange(kind, line_index)
+        result = self._sf_opf.solve(
+            loads={b: to_fraction(round(v, 9)) for b, v in loads.items()},
+            change=change)
+        if not result.feasible:
+            return None
+        return result.cost
+
+    def _maximize_over_interval(self, kind: str, line_index: int,
+                                lo: float, hi: float, tolerance: float
+                                ) -> Optional[Tuple[float, Fraction, Dict]]:
+        """Max believed cost over the flow interval (convex => endpoints).
+
+        The believed system's feasible flow-set is itself an interval; its
+        boundaries are located by bisection before evaluating the cost at
+        the two boundary points.
+        """
+        feasible_points = [f for f in (lo, hi, 0.5 * (lo + hi))
+                           if self._believed_cost(kind, line_index, f)
+                           is not None]
+        if not feasible_points:
+            # Scan for any feasible point before giving up.
+            probes = np.linspace(lo, hi, 9)
+            feasible_points = [
+                float(f) for f in probes
+                if self._believed_cost(kind, line_index, float(f))
+                is not None]
+            if not feasible_points:
+                return None
+        anchor = feasible_points[0]
+
+        def boundary(toward: float) -> float:
+            good, bad = anchor, toward
+            if self._believed_cost(kind, line_index, toward) is not None:
+                return toward
+            while abs(bad - good) > tolerance:
+                mid = 0.5 * (good + bad)
+                if self._believed_cost(kind, line_index, mid) is not None:
+                    good = mid
+                else:
+                    bad = mid
+            return good
+
+        left = boundary(lo)
+        right = boundary(hi)
+        best = None
+        for f in {left, right}:
+            cost = self._believed_cost(kind, line_index, f)
+            if cost is None:
+                continue
+            if best is None or cost > best[1]:
+                line = self.grid.line(line_index)
+                sign = 1.0 if kind == "exclude" else -1.0
+                loads = {bus: float(load.existing)
+                         for bus, load in self.grid.loads.items()}
+                loads[line.from_bus] += sign * f
+                loads[line.to_bus] -= sign * f
+                best = (f, cost, loads)
+        return best
+
+    # ------------------------------------------------------------------
+    # State-infection sampling
+    # ------------------------------------------------------------------
+
+    def _state_infection_samples(self, kind: str, line_index: int,
+                                 threshold: Fraction, query: FastQuery
+                                 ) -> Optional[Tuple[float, Dict, List[int]]]:
+        """Seeded boundary samples of the believed-load box.
+
+        Each sample is validated by reconstructing the state shift that
+        realizes it (least squares on the consumption operator) and
+        checking the induced measurement alterations against the attacker
+        model.
+        """
+        grid = self.grid
+        rng = random.Random(query.seed * 7919 + line_index)
+        load_buses = sorted(grid.loads)
+        if len(load_buses) < 2:
+            return None
+        believed_topology = [i for i in self.base_topology
+                             if i != line_index] \
+            if kind == "exclude" else self.base_topology + [line_index]
+        if not grid.is_connected(believed_topology):
+            return None
+
+        # Consumption-change operator over the believed topology:
+        # delta_B = C @ delta_theta (reduced states).
+        order = state_order(grid)
+        C = np.zeros((grid.num_buses, len(order)))
+        for line in grid.lines:
+            if line.index not in set(believed_topology):
+                continue
+            y = float(line.admittance)
+            f, t = line.from_bus, line.to_bus
+            for bus, s in ((f, -1.0), (t, 1.0)):
+                # d(consumption at from) = -y*(dth_f - dth_t), at to: +y*...
+                if f != grid.reference_bus:
+                    C[bus - 1, order.index(f)] += s * y
+                if t != grid.reference_bus:
+                    C[bus - 1, order.index(t)] -= s * y
+
+        best: Optional[Tuple[float, Dict, List[int]]] = None
+        operating = solve_dc_opf(grid, method="highs")
+        if not operating.feasible:
+            return None
+        flows = {i: float(v) for i, v in operating.flows.items()}
+        angles = {b: float(v) for b, v in operating.angles.items()}
+
+        for _ in range(query.state_samples):
+            target: Dict[int, float] = {}
+            total_shift = 0.0
+            chosen = rng.sample(load_buses,
+                                min(len(load_buses), rng.randint(2, 4)))
+            for bus in chosen[:-1]:
+                load = grid.loads[bus]
+                extreme = float(load.p_max) if rng.random() < 0.5 \
+                    else float(load.p_min)
+                target[bus] = extreme
+                total_shift += extreme - float(load.existing)
+            balance_bus = chosen[-1]
+            load = grid.loads[balance_bus]
+            balanced = float(load.existing) - total_shift
+            if not float(load.p_min) <= balanced <= float(load.p_max):
+                continue
+            target[balance_bus] = balanced
+
+            delta_b = np.zeros(grid.num_buses)
+            for bus, value in target.items():
+                delta_b[bus - 1] = value - float(grid.loads[bus].existing)
+            # Account for the topology part of the load change.
+            line = grid.line(line_index)
+            f_now = flows.get(line_index, 0.0) if kind == "exclude" else \
+                float(line.admittance) * (angles[line.from_bus]
+                                          - angles[line.to_bus])
+            sign = 1.0 if kind == "exclude" else -1.0
+            topo_part = np.zeros(grid.num_buses)
+            topo_part[line.from_bus - 1] += sign * f_now
+            topo_part[line.to_bus - 1] -= sign * f_now
+            residual_target = delta_b - topo_part
+
+            dtheta, residuals, _, _ = np.linalg.lstsq(
+                C, residual_target, rcond=None)
+            if np.linalg.norm(C @ dtheta - residual_target) > 1e-8:
+                continue  # load vector not realizable by state shifts
+
+            shift = {bus: float(dtheta[pos])
+                     for pos, bus in enumerate(order)
+                     if abs(dtheta[pos]) > 1e-10}
+            attack = craft_topology_attack(
+                grid, flows, angles,
+                excluded=[line_index] if kind == "exclude" else [],
+                included=[line_index] if kind == "include" else [],
+                state_shift=shift)
+            if validate_against_attacker(attack, self.attacker):
+                continue
+
+            loads = {bus: float(load.existing) + delta_b[bus - 1]
+                     for bus, load in grid.loads.items()}
+            result = self._sf_opf.solve(
+                loads={b: to_fraction(round(v, 9))
+                       for b, v in loads.items()},
+                change=TopologyChange(kind, line_index))
+            if not result.feasible:
+                continue
+            increase = 100 * (float(result.cost)
+                              / float(self.base_cost) - 1)
+            if best is None or increase > best[0]:
+                best = (increase, loads, attack.altered_measurements)
+        return best

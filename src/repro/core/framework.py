@@ -1,0 +1,268 @@
+"""The verification framework of paper Fig. 2.
+
+The loop couples the two SMT models:
+
+1. solve the *stealthy attack model* for a candidate attack vector;
+2. update the system — believed topology and believed (estimated) loads;
+3. verify the *impact*: no OPF dispatch of the believed system costs less
+   than ``threshold = base_optimal * (1 + I/100)`` (paper Eq. 37) while a
+   dispatch does exist at higher cost (Eq. 38);
+4. on failure, block the attack vector at 2-decimal precision (the
+   paper's scalability idea 1) and iterate.
+
+Step 3's universal quantification is discharged by *minimizing* the
+believed system's cost exactly (the in-repo rational LP) and comparing to
+the threshold; optionally the paper's original formulation — an SMT
+unsatisfiability check of the OPF model at the threshold — is run as
+confirmation.
+
+For structures with continuous freedom (state infection), the analyzer
+additionally *extremizes* each believed load within the found structure
+(topology bits + infected states held fixed) before giving up on it —
+convexity of the OPF optimum in the loads puts the worst case on the
+boundary, so this finds high-impact instances orders of magnitude faster
+than blind vector enumeration.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoding import (
+    AttackEncodingConfig,
+    AttackModelEncoding,
+    AttackVectorSolution,
+    OpfModelEncoding,
+)
+from repro.core.results import ImpactReport
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition
+from repro.opf.dcopf import DcOpfResult, solve_dc_opf
+from repro.smt import Not, maximize, minimize
+from repro.smt.rational import to_fraction
+
+
+@dataclass
+class ImpactQuery:
+    """What to ask the framework.
+
+    ``target_increase_percent`` defaults to the case's value.  With
+    ``with_state_infection`` the attack model includes the UFDI
+    strengthening (paper Section III-D).
+    """
+
+    target_increase_percent: Optional[Fraction] = None
+    with_state_infection: bool = False
+    #: set False for the paper's "UFDI attacks alone" comparison: the
+    #: topology stays faithful and only state infection is allowed.
+    allow_topology_attack: bool = True
+    max_candidates: int = 60
+    precision: int = 2
+    verify_with_smt_opf: bool = False
+    opf_method: str = "exact"
+    extremize_structures: bool = True
+
+
+class ImpactAnalyzer:
+    """Analyzes one case for stealthy-attack impact on OPF."""
+
+    def __init__(self, case: CaseDefinition) -> None:
+        self.case = case
+        self.grid = case.build_grid()
+        self._base: Optional[DcOpfResult] = None
+
+    @property
+    def base_result(self) -> DcOpfResult:
+        """The attack-free OPF solution (exact)."""
+        if self._base is None:
+            self._base = solve_dc_opf(self.grid, method="exact")
+            if not self._base.feasible:
+                raise ModelError(
+                    f"case {self.case.name}: attack-free OPF is infeasible")
+        return self._base
+
+    @property
+    def base_cost(self) -> Fraction:
+        return self.base_result.cost
+
+    def threshold_for(self, percent: Fraction) -> Fraction:
+        """T_OPF = base * (1 + I/100)."""
+        return self.base_cost * (1 + to_fraction(percent) / 100)
+
+    # ------------------------------------------------------------------
+    # The Fig.-2 loop
+    # ------------------------------------------------------------------
+
+    def analyze(self, query: Optional[ImpactQuery] = None) -> ImpactReport:
+        query = query or ImpactQuery()
+        percent = to_fraction(
+            query.target_increase_percent
+            if query.target_increase_percent is not None
+            else self.case.min_increase_percent)
+        threshold = self.threshold_for(percent)
+        started = time.perf_counter()
+
+        if not query.allow_topology_attack \
+                and not query.with_state_infection:
+            raise ModelError("a query must allow topology attacks, state "
+                             "infection, or both")
+        config = AttackEncodingConfig(
+            include_state_infection=query.with_state_infection,
+            require_topology_attack=query.allow_topology_attack,
+            forbid_topology_attack=not query.allow_topology_attack,
+            require_state_infection=not query.allow_topology_attack,
+            # Necessary condition for pure topology attacks: the believed
+            # optimum never exceeds the current operating cost (the
+            # believed system still admits the physical operating point
+            # when the states are untouched), so the current cost must
+            # already exceed the threshold.
+            min_operating_cost=None if query.with_state_infection
+            else threshold,
+        )
+        encoding = AttackModelEncoding(self.case, config)
+
+        examined = 0
+        while examined < query.max_candidates:
+            solution = encoding.solve()
+            if solution is None:
+                return ImpactReport(
+                    False, self.base_cost, threshold, percent,
+                    candidates_examined=examined,
+                    elapsed_seconds=time.perf_counter() - started)
+            examined += 1
+            success, believed_min = self._evaluate(solution, threshold,
+                                                   query.opf_method)
+            if success:
+                return self._success_report(
+                    solution, believed_min, threshold, percent, examined,
+                    started, query)
+            if query.extremize_structures:
+                best = self._extremize_structure(encoding, solution,
+                                                 threshold, query)
+                if best is not None:
+                    solution2, believed_min2 = best
+                    examined += 1
+                    return self._success_report(
+                        solution2, believed_min2, threshold, percent,
+                        examined, started, query)
+                # The structure's believed-load boundary has been searched
+                # without reaching the threshold: prune the whole
+                # structure (convexity puts the worst case on the
+                # boundary).
+                encoding.block_structure(solution)
+            else:
+                encoding.block(solution, query.precision)
+
+        return ImpactReport(
+            False, self.base_cost, threshold, percent,
+            candidates_examined=examined,
+            elapsed_seconds=time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, solution: AttackVectorSolution,
+                  threshold: Fraction,
+                  opf_method: str) -> Tuple[bool, Optional[Fraction]]:
+        """(impact achieved?, believed minimum cost)."""
+        topology = solution.believed_topology(self.grid)
+        if not self.grid.is_connected(topology):
+            return False, None
+        result = solve_dc_opf(self.grid, loads=solution.believed_loads,
+                              line_indices=topology, method=opf_method)
+        if not result.feasible:
+            # Eq. 38 violated: the EMS's OPF would fail to converge.
+            return False, None
+        return result.cost > threshold, result.cost
+
+    def _success_report(self, solution, believed_min, threshold, percent,
+                        examined, started, query) -> ImpactReport:
+        confirmed = None
+        if query.verify_with_smt_opf:
+            confirmed = self.confirm_with_smt_opf(solution, threshold)
+        return ImpactReport(
+            True, self.base_cost, threshold, percent, solution,
+            believed_min, examined,
+            time.perf_counter() - started, confirmed)
+
+    def confirm_with_smt_opf(self, solution: AttackVectorSolution,
+                             threshold: Fraction) -> bool:
+        """The paper's original Eq. 37/38 discharge via SMT (un)sat."""
+        opf = OpfModelEncoding(self.grid,
+                               solution.believed_topology(self.grid),
+                               solution.believed_loads)
+        no_cheap_dispatch = not opf.check(threshold)     # Eq. 37: unsat
+        converges = opf.check(None)                      # Eq. 38: sat
+        return no_cheap_dispatch and converges
+
+    def _extremize_structure(self, encoding: AttackModelEncoding,
+                             solution: AttackVectorSolution,
+                             threshold: Fraction,
+                             query: ImpactQuery
+                             ) -> Optional[Tuple[AttackVectorSolution,
+                                                 Fraction]]:
+        """Search the found structure's believed-load boundary.
+
+        Holds the topology bits (and infected-state choice) fixed via
+        assumptions and pushes each believed load to its extremes; each
+        extremization yields a *complete consistent* attack instance
+        (the SMT model at the optimum), which is then evaluated exactly.
+        """
+        assumptions = []
+        chosen_p = set(solution.excluded)
+        chosen_q = set(solution.included)
+        for i, var in encoding.p.items():
+            assumptions.append(var if i in chosen_p else Not(var))
+        for i, var in encoding.q.items():
+            assumptions.append(var if i in chosen_q else Not(var))
+        if encoding.config.include_state_infection:
+            infected = set(solution.infected_states)
+            for j, var in encoding.c.items():
+                assumptions.append(var if j in infected else Not(var))
+
+        best: Optional[Tuple[AttackVectorSolution, Fraction]] = None
+        for bus, load_var in encoding.believed_load.items():
+            for optimizer in (maximize, minimize):
+                result = optimizer(encoding.solver, load_var,
+                                   assumptions=assumptions)
+                if not result.feasible or result.model is None:
+                    continue
+                candidate = encoding.decode(result.model)
+                success, believed_min = self._evaluate(
+                    candidate, threshold, query.opf_method)
+                if success and (best is None or believed_min > best[1]):
+                    best = (candidate, believed_min)
+        return best
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+
+    def max_achievable_increase(self,
+                                with_state_infection: bool = False,
+                                percent_grid: Sequence[int] = range(1, 26),
+                                max_candidates: int = 40
+                                ) -> Tuple[Fraction, Optional[ImpactReport]]:
+        """Largest target percentage that is still satisfiable.
+
+        Walks the given percentage grid upward and returns the last
+        satisfiable report (mirrors the paper's "we cannot increase the
+        cost more than 8%" analysis).
+        """
+        best_percent = Fraction(0)
+        best_report: Optional[ImpactReport] = None
+        for percent in percent_grid:
+            query = ImpactQuery(
+                target_increase_percent=to_fraction(percent),
+                with_state_infection=with_state_infection,
+                max_candidates=max_candidates)
+            report = self.analyze(query)
+            if not report.satisfiable:
+                break
+            best_percent = to_fraction(percent)
+            best_report = report
+        return best_percent, best_report

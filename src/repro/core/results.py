@@ -1,0 +1,98 @@
+"""Result types and reporting for the impact-analysis framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.core.encoding import AttackVectorSolution
+from repro.estimation.measurement import MeasurementPlan
+
+
+@dataclass
+class ImpactReport:
+    """Outcome of an impact-analysis query (the paper's sat/unsat answer).
+
+    ``satisfiable`` mirrors the paper's verdict: an attack vector exists
+    that raises the believed-optimal generation cost by at least the
+    target percentage.  ``believed_min_cost`` is the exact optimal cost of
+    the poisoned system the EMS will dispatch to.
+    """
+
+    satisfiable: bool
+    base_cost: Fraction
+    threshold: Fraction
+    target_increase_percent: Fraction
+    attack: Optional[AttackVectorSolution] = None
+    believed_min_cost: Optional[Fraction] = None
+    candidates_examined: int = 0
+    elapsed_seconds: float = 0.0
+    smt_opf_unsat_confirmed: Optional[bool] = None
+
+    @property
+    def achieved_increase_percent(self) -> Optional[Fraction]:
+        if self.believed_min_cost is None or self.base_cost == 0:
+            return None
+        return (self.believed_min_cost / self.base_cost - 1) * 100
+
+    def render(self, plan: Optional[MeasurementPlan] = None) -> str:
+        """Human-readable report in the style of the paper's output file."""
+        lines = []
+        lines.append("=" * 64)
+        lines.append("Impact analysis of stealthy topology poisoning on OPF")
+        lines.append("=" * 64)
+        lines.append(f"attack-free optimal cost : {float(self.base_cost):.2f}")
+        lines.append(f"target increase          : "
+                     f"{float(self.target_increase_percent):.1f}%")
+        lines.append(f"threshold cost           : "
+                     f"{float(self.threshold):.2f}")
+        lines.append(f"verdict                  : "
+                     f"{'sat' if self.satisfiable else 'unsat'}")
+        lines.append(f"attack vectors examined  : {self.candidates_examined}")
+        lines.append(f"analysis time            : "
+                     f"{self.elapsed_seconds:.3f}s")
+        if self.smt_opf_unsat_confirmed is not None:
+            lines.append(f"SMT OPF check (Eq. 37)   : "
+                         f"{'confirmed' if self.smt_opf_unsat_confirmed else 'FAILED'}")
+        attack = self.attack
+        if self.satisfiable and attack is not None:
+            lines.append("-" * 64)
+            if attack.excluded:
+                lines.append(f"exclusion attack on line(s) "
+                             f"{attack.excluded}: unmapped in the topology")
+            if attack.included:
+                lines.append(f"inclusion attack on line(s) "
+                             f"{attack.included}: mapped into the topology")
+            if attack.infected_states:
+                lines.append(f"UFDI attack on state(s) "
+                             f"{attack.infected_states}")
+            lines.append(f"measurements to alter    : "
+                         f"{attack.altered_measurements}")
+            lines.append(f"distributed in buses     : "
+                         f"{attack.compromised_buses}")
+            if plan is not None:
+                for m in attack.altered_measurements:
+                    lines.append(f"    {plan.describe(m)}")
+            loads = {bus: round(float(v), 4)
+                     for bus, v in attack.believed_loads.items()}
+            lines.append(f"believed loads after attack: {loads}")
+            lines.append(f"believed optimal cost    : "
+                         f"{float(self.believed_min_cost):.2f}")
+            lines.append(f"achieved increase        : "
+                         f"{float(self.achieved_increase_percent):.2f}%")
+        lines.append("=" * 64)
+        return "\n".join(lines)
+
+
+@dataclass
+class CandidateEvaluation:
+    """One examined candidate in the fast analyzer's enumeration."""
+
+    kind: str                        # "exclude" / "include"
+    line_index: int
+    feasible: bool
+    reason: str = ""
+    best_increase_percent: Optional[float] = None
+    believed_loads: Dict[int, float] = field(default_factory=dict)
+    altered_measurements: List[int] = field(default_factory=list)

@@ -1,0 +1,34 @@
+"""State estimation substrate: measurement model, WLS estimator,
+bad-data detection and observability analysis."""
+
+from repro.estimation.bdd import BadDataDetector, BadDataReport
+from repro.estimation.measurement import (
+    Measurement,
+    MeasurementPlan,
+    MeasurementType,
+    TelemetrySimulator,
+    measurement_catalog,
+)
+from repro.estimation.observability import (
+    is_numerically_observable,
+    is_topologically_observable,
+    observable_islands,
+    redundancy_level,
+)
+from repro.estimation.wls import StateEstimate, WlsEstimator
+
+__all__ = [
+    "BadDataDetector",
+    "BadDataReport",
+    "Measurement",
+    "MeasurementPlan",
+    "MeasurementType",
+    "StateEstimate",
+    "TelemetrySimulator",
+    "WlsEstimator",
+    "is_numerically_observable",
+    "is_topologically_observable",
+    "measurement_catalog",
+    "observable_islands",
+    "redundancy_level",
+]

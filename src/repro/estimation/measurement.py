@@ -1,0 +1,177 @@
+"""Measurement model: the m = 2l + b potential measurements.
+
+Numbering follows paper Section III-B exactly:
+
+* measurement ``i``      (1 <= i <= l): forward power flow of line ``i``,
+  physically taken at the line's *from* bus,
+* measurement ``l + i``:  backward power flow of line ``i``, taken at the
+  *to* bus,
+* measurement ``2l + j``: power consumption at bus ``j``.
+
+:class:`MeasurementPlan` carries the per-measurement flags from a case
+definition (taken ``t_i``, secured ``s_i``, attacker-alterable ``r_i``) and
+answers the locality queries the attack model needs (paper Eq. 21).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition, MeasurementSpec
+from repro.grid.network import Grid
+
+
+class MeasurementType(enum.Enum):
+    FORWARD_FLOW = "forward-flow"
+    BACKWARD_FLOW = "backward-flow"
+    BUS_CONSUMPTION = "bus-consumption"
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One potential measurement and where it physically resides."""
+
+    index: int
+    mtype: MeasurementType
+    line_index: Optional[int]   # for flow measurements
+    bus_index: Optional[int]    # for consumption measurements
+    location_bus: int           # the substation hosting the meter
+
+
+def measurement_catalog(grid: Grid) -> List[Measurement]:
+    """All m = 2l + b potential measurements in paper order."""
+    catalog: List[Measurement] = []
+    l = grid.num_lines
+    for line in grid.lines:
+        catalog.append(Measurement(line.index, MeasurementType.FORWARD_FLOW,
+                                   line.index, None, line.from_bus))
+    for line in grid.lines:
+        catalog.append(Measurement(l + line.index,
+                                   MeasurementType.BACKWARD_FLOW,
+                                   line.index, None, line.to_bus))
+    for bus in grid.buses:
+        catalog.append(Measurement(2 * l + bus.index,
+                                   MeasurementType.BUS_CONSUMPTION,
+                                   None, bus.index, bus.index))
+    return catalog
+
+
+class MeasurementPlan:
+    """The deployed-meter configuration plus per-measurement security.
+
+    Wraps the catalog with the ``t_i`` / ``s_i`` / ``r_i`` flags of the
+    paper's attack attributes (Table I).
+    """
+
+    def __init__(self, grid: Grid,
+                 specs: Sequence[MeasurementSpec]) -> None:
+        self.grid = grid
+        self.catalog = measurement_catalog(grid)
+        if len(specs) != len(self.catalog):
+            raise ModelError(
+                f"expected {len(self.catalog)} measurement specs, "
+                f"got {len(specs)}")
+        self.specs = list(specs)
+
+    @classmethod
+    def from_case(cls, case: CaseDefinition,
+                  grid: Optional[Grid] = None) -> "MeasurementPlan":
+        return cls(grid or case.build_grid(), case.measurement_specs)
+
+    @classmethod
+    def full(cls, grid: Grid) -> "MeasurementPlan":
+        """Every potential measurement taken, unsecured, alterable."""
+        total = grid.num_potential_measurements
+        specs = [MeasurementSpec(i, True, False, True)
+                 for i in range(1, total + 1)]
+        return cls(grid, specs)
+
+    # -- queries -------------------------------------------------------------
+
+    def measurement(self, index: int) -> Measurement:
+        return self.catalog[index - 1]
+
+    def spec(self, index: int) -> MeasurementSpec:
+        return self.specs[index - 1]
+
+    def is_taken(self, index: int) -> bool:
+        return self.specs[index - 1].taken
+
+    def is_secured(self, index: int) -> bool:
+        return self.specs[index - 1].secured
+
+    def is_alterable(self, index: int) -> bool:
+        return self.specs[index - 1].alterable
+
+    def taken_indices(self) -> List[int]:
+        return [spec.index for spec in self.specs if spec.taken]
+
+    def location_of(self, index: int) -> int:
+        """The substation (bus) where measurement *index* resides."""
+        return self.catalog[index - 1].location_bus
+
+    def measurements_at(self, bus: int) -> List[int]:
+        return [m.index for m in self.catalog if m.location_bus == bus]
+
+    def flow_measurements_of_line(self, line_index: int) -> tuple:
+        """(forward index, backward index) for a line."""
+        return line_index, self.grid.num_lines + line_index
+
+    def consumption_measurement_of_bus(self, bus: int) -> int:
+        return 2 * self.grid.num_lines + bus
+
+    def describe(self, index: int) -> str:
+        m = self.catalog[index - 1]
+        if m.mtype is MeasurementType.BUS_CONSUMPTION:
+            return f"m{index}: consumption at bus {m.bus_index}"
+        direction = "forward" if m.mtype is MeasurementType.FORWARD_FLOW \
+            else "backward"
+        return (f"m{index}: {direction} flow of line {m.line_index} "
+                f"(at bus {m.location_bus})")
+
+
+class TelemetrySimulator:
+    """Generates noisy meter readings from a physical operating point.
+
+    Used by the stealthiness validation path: simulate the SCADA readings
+    the EMS would receive, optionally with an attack vector added, and run
+    the estimator + bad-data detector on them.
+    """
+
+    def __init__(self, plan: MeasurementPlan, sigma: float = 0.005,
+                 seed: int = 0) -> None:
+        if sigma < 0:
+            raise ModelError("noise sigma must be non-negative")
+        self.plan = plan
+        self.sigma = sigma
+        self._rng = random.Random(seed)
+
+    def true_values(self, flows: Dict[int, float],
+                    consumption: Dict[int, float]) -> np.ndarray:
+        """Noise-free values of every potential measurement."""
+        grid = self.plan.grid
+        l = grid.num_lines
+        values = np.zeros(grid.num_potential_measurements)
+        for line in grid.lines:
+            flow = flows.get(line.index, 0.0)
+            values[line.index - 1] = flow
+            values[l + line.index - 1] = -flow
+        for bus in grid.buses:
+            values[2 * l + bus.index - 1] = consumption.get(bus.index, 0.0)
+        return values
+
+    def readings(self, flows: Dict[int, float],
+                 consumption: Dict[int, float]) -> np.ndarray:
+        """Noisy readings for the *taken* measurements (in taken order)."""
+        values = self.true_values(flows, consumption)
+        taken = self.plan.taken_indices()
+        return np.array([
+            values[i - 1] + self._rng.gauss(0.0, self.sigma)
+            for i in taken
+        ])

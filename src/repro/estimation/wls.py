@@ -1,0 +1,123 @@
+"""Weighted least squares state estimation (paper Eq. 1).
+
+Estimates the non-reference bus angles from the taken measurements:
+
+    x_hat = (H^T W H)^{-1} H^T W z
+
+where ``H`` is the taken-rows slice of the full measurement matrix for the
+topology the EMS currently believes (supplied by the topology processor),
+and ``W`` is the diagonal inverse-variance weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotObservableError
+from repro.estimation.measurement import MeasurementPlan
+from repro.grid.matrices import measurement_matrix, state_order
+from repro.grid.network import Grid
+
+
+@dataclass
+class StateEstimate:
+    """Result of a WLS estimation run.
+
+    ``angles`` includes the reference bus (fixed at zero).  ``flows`` and
+    ``loads`` are the quantities the EMS derives from the estimate and
+    feeds into OPF: line flows of the believed topology and per-bus
+    consumptions (paper: "summing up the net power flows incident on a bus
+    yields the estimated power (or load) at that bus").
+    """
+
+    angles: Dict[int, float]
+    flows: Dict[int, float]
+    consumption: Dict[int, float]
+    residual_norm: float
+    estimated_measurements: np.ndarray
+    taken_indices: List[int]
+
+    def estimated_loads(self, grid: Grid,
+                        dispatch: Dict[int, float]) -> Dict[int, float]:
+        """Loads implied by the estimate given known generator outputs.
+
+        Paper Eq. 9: P_j^B = P_j^D - P_j^G, so P_j^D = P_j^B + P_j^G.
+        Generation measurements are assumed secure (paper Section II-F).
+        """
+        loads = {}
+        for bus, consumption in self.consumption.items():
+            loads[bus] = consumption + dispatch.get(bus, 0.0)
+        return loads
+
+
+class WlsEstimator:
+    """WLS estimator bound to a measurement plan and a believed topology."""
+
+    def __init__(self, plan: MeasurementPlan,
+                 topology: Optional[Iterable[int]] = None,
+                 weights: Optional[np.ndarray] = None) -> None:
+        self.plan = plan
+        self.grid = plan.grid
+        self.topology = sorted(topology) if topology is not None else [
+            line.index for line in self.grid.lines if line.in_service]
+        self.taken = plan.taken_indices()
+        if not self.taken:
+            raise ModelError("no measurements taken")
+        H_full = measurement_matrix(self.grid, self.topology)
+        self.H = H_full[[i - 1 for i in self.taken], :]
+        if weights is None:
+            weights = np.ones(len(self.taken))
+        if len(weights) != len(self.taken):
+            raise ModelError("one weight per taken measurement required")
+        self.W = np.diag(weights)
+        gain = self.H.T @ self.W @ self.H
+        rank = np.linalg.matrix_rank(gain)
+        if rank < self.grid.num_buses - 1:
+            raise NotObservableError(
+                f"measurement set leaves the system unobservable "
+                f"(gain rank {rank} < {self.grid.num_buses - 1})")
+        self._gain_inv = np.linalg.inv(gain)
+
+    def estimate(self, z: np.ndarray) -> StateEstimate:
+        """Run WLS on readings *z* (taken-measurement order)."""
+        if len(z) != len(self.taken):
+            raise ModelError(
+                f"expected {len(self.taken)} readings, got {len(z)}")
+        x_hat = self._gain_inv @ self.H.T @ self.W @ z
+        estimated = self.H @ x_hat
+        residual = float(np.linalg.norm(z - estimated))
+
+        order = state_order(self.grid)
+        angles = {self.grid.reference_bus: 0.0}
+        for position, bus in enumerate(order):
+            angles[bus] = float(x_hat[position])
+
+        flows: Dict[int, float] = {}
+        for line_index in self.topology:
+            line = self.grid.line(line_index)
+            flows[line_index] = float(line.admittance) * (
+                angles[line.from_bus] - angles[line.to_bus])
+        consumption: Dict[int, float] = {}
+        for bus in self.grid.buses:
+            total = 0.0
+            for line in self.grid.lines_in(bus.index):
+                total += flows.get(line.index, 0.0)
+            for line in self.grid.lines_out(bus.index):
+                total -= flows.get(line.index, 0.0)
+            consumption[bus.index] = total
+
+        return StateEstimate(angles, flows, consumption, residual,
+                             estimated, list(self.taken))
+
+    @property
+    def hat_matrix(self) -> np.ndarray:
+        """K = H (H^T W H)^{-1} H^T W — maps readings to fitted values."""
+        return self.H @ self._gain_inv @ self.H.T @ self.W
+
+    @property
+    def residual_sensitivity(self) -> np.ndarray:
+        """S = I - K — maps readings to residuals."""
+        return np.eye(len(self.taken)) - self.hat_matrix

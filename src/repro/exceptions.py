@@ -1,0 +1,39 @@
+"""Exception hierarchy shared across the :mod:`repro` packages.
+
+Every package raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A model (grid, measurement plan, attack scenario) is ill-formed."""
+
+
+class SolverError(ReproError):
+    """An internal solver (SAT, simplex, LP, SMT) was misused or failed."""
+
+
+class UnboundedError(SolverError):
+    """An optimization objective is unbounded in the feasible region."""
+
+
+class InfeasibleError(SolverError):
+    """A problem that was required to be feasible has no solution."""
+
+
+class NotObservableError(ModelError):
+    """The measurement set does not make the system observable."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative routine exhausted its iteration budget."""
+
+
+class InputFormatError(ReproError):
+    """A case-definition file could not be parsed."""

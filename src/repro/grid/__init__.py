@@ -1,0 +1,29 @@
+"""Power-grid substrate: components, network matrices, DC power flow,
+sensitivity factors, test systems and case I/O."""
+
+from repro.grid.components import Bus, Generator, Line, Load
+from repro.grid.network import Grid
+from repro.grid.dcpf import DcPowerFlowResult, net_injections, solve_dc_power_flow
+from repro.grid.caseio import (
+    CaseDefinition,
+    LineSpec,
+    MeasurementSpec,
+    parse_case,
+    write_case,
+)
+
+__all__ = [
+    "Bus",
+    "CaseDefinition",
+    "DcPowerFlowResult",
+    "Generator",
+    "Grid",
+    "Line",
+    "LineSpec",
+    "Load",
+    "MeasurementSpec",
+    "net_injections",
+    "parse_case",
+    "solve_dc_power_flow",
+    "write_case",
+]

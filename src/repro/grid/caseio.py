@@ -1,0 +1,286 @@
+"""The paper's case-definition format: data model, parser and writer.
+
+The paper drives its tool with a text *input file* (Tables II and III)
+whose sections are::
+
+    # Topology (Line) Information
+    # (line no, from bus, to bus, admittance, line capacity, knowledge?,
+    #  in true topology?, in core?, secured?, can alter?)
+    1 1 2 16.90 0.15 1 1 1 0 0
+    ...
+    # Measurement Information
+    # (measurement no, measurement taken?, secured?, can attacker alter?)
+    1 1 1 0
+    ...
+    # Attacker's Resource Limitation (measurements, buses)
+    8 3
+    # Bus Types (bus no, is generator?, is load?)
+    1 1 0
+    ...
+    # Generator Information (bus no, max generation, min generation,
+    #                        cost coefficient)
+    1 0.80 0.10 60 1800
+    ...
+    # Load Information (bus no, existing load, max load, min load)
+    2 0.21 0.30 0.10
+    ...
+    # Cost Constraint, Minimum Cost Increase by Attack (in percentage)
+    1580 3
+
+:class:`CaseDefinition` is the parsed form; it also serves as the
+programmatic case-construction API used by :mod:`repro.grid.cases`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InputFormatError, ModelError
+from repro.grid.components import Bus, Generator, Line, Load
+from repro.grid.network import Grid
+from repro.smt.rational import to_fraction
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    """One row of the "Topology (Line) Information" section."""
+
+    index: int
+    from_bus: int
+    to_bus: int
+    admittance: Fraction
+    capacity: Fraction
+    knowledge: bool          # g_i: attacker knows the admittance
+    in_true_topology: bool   # u_i
+    in_core: bool            # v_i: fixed line, never opened
+    status_secured: bool     # w_i
+    status_alterable: bool   # attacker can spoof this line's status
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "admittance", to_fraction(self.admittance))
+        object.__setattr__(self, "capacity", to_fraction(self.capacity))
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """One row of the "Measurement Information" section."""
+
+    index: int
+    taken: bool       # t_i
+    secured: bool     # s_i
+    alterable: bool   # r_i
+
+
+@dataclass
+class CaseDefinition:
+    """A complete analysis case in the paper's input format."""
+
+    name: str
+    line_specs: List[LineSpec]
+    measurement_specs: List[MeasurementSpec]
+    bus_types: List[Tuple[int, bool, bool]]  # (bus, is_gen, is_load)
+    generators: List[Generator]
+    loads: List[Load]
+    resource_measurements: int   # max measurements alterable at once
+    resource_buses: int          # T_B: max substations compromised
+    base_cost: Fraction          # attack-free OPF cost constraint
+    min_increase_percent: Fraction
+    reference_bus: int = 1
+
+    def __post_init__(self) -> None:
+        self.base_cost = to_fraction(self.base_cost)
+        self.min_increase_percent = to_fraction(self.min_increase_percent)
+        expected = 2 * len(self.line_specs) + len(self.bus_types)
+        if self.measurement_specs and len(self.measurement_specs) != expected:
+            raise ModelError(
+                f"case {self.name}: expected {expected} potential "
+                f"measurements, got {len(self.measurement_specs)}")
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def num_buses(self) -> int:
+        return len(self.bus_types)
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.line_specs)
+
+    @property
+    def num_potential_measurements(self) -> int:
+        return 2 * self.num_lines + self.num_buses
+
+    def build_grid(self) -> Grid:
+        """The physical grid implied by this case."""
+        buses = [Bus(index, is_gen, is_load)
+                 for index, is_gen, is_load in self.bus_types]
+        lines = [Line(spec.index, spec.from_bus, spec.to_bus,
+                      spec.admittance, spec.capacity,
+                      in_service=spec.in_true_topology)
+                 for spec in self.line_specs]
+        return Grid(buses, lines, self.generators, self.loads,
+                    self.reference_bus)
+
+    def measurement(self, index: int) -> MeasurementSpec:
+        return self.measurement_specs[index - 1]
+
+    def line_spec(self, index: int) -> LineSpec:
+        return self.line_specs[index - 1]
+
+    def with_target_increase(self, percent) -> "CaseDefinition":
+        """A copy with a different attack-impact target."""
+        clone = replace(self)
+        clone.min_increase_percent = to_fraction(percent)
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_SECTIONS = (
+    "topology",
+    "measurement",
+    "resource",
+    "bus types",
+    "generator",
+    "load",
+    "cost",
+)
+
+
+def _section_of(header: str) -> Optional[str]:
+    lowered = header.lower()
+    if "topology" in lowered and "line" in lowered:
+        return "topology"
+    if "measurement information" in lowered:
+        return "measurement"
+    if "resource" in lowered:
+        return "resource"
+    if "bus types" in lowered:
+        return "bus types"
+    if "generator information" in lowered:
+        return "generator"
+    if "load information" in lowered:
+        return "load"
+    if "cost constraint" in lowered:
+        return "cost"
+    return None
+
+
+def parse_case(text: str, name: str = "case") -> CaseDefinition:
+    """Parse a case file in the paper's input format."""
+    section: Optional[str] = None
+    rows: Dict[str, List[List[str]]] = {key: [] for key in _SECTIONS}
+    for raw_line in text.splitlines():
+        stripped = raw_line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            found = _section_of(stripped)
+            if found is not None:
+                section = found
+            continue
+        if section is None:
+            raise InputFormatError(
+                f"data line before any section header: {stripped!r}")
+        rows[section].append(stripped.split())
+
+    def as_bool(token: str) -> bool:
+        if token not in ("0", "1"):
+            raise InputFormatError(f"expected 0/1 flag, got {token!r}")
+        return token == "1"
+
+    try:
+        line_specs = [
+            LineSpec(int(r[0]), int(r[1]), int(r[2]),
+                     to_fraction(r[3]), to_fraction(r[4]),
+                     as_bool(r[5]), as_bool(r[6]), as_bool(r[7]),
+                     as_bool(r[8]), as_bool(r[9]))
+            for r in rows["topology"]
+        ]
+        measurement_specs = [
+            MeasurementSpec(int(r[0]), as_bool(r[1]), as_bool(r[2]),
+                            as_bool(r[3]))
+            for r in rows["measurement"]
+        ]
+        bus_types = [(int(r[0]), as_bool(r[1]), as_bool(r[2]))
+                     for r in rows["bus types"]]
+        generators = [
+            Generator(int(r[0]), to_fraction(r[1]), to_fraction(r[2]),
+                      to_fraction(r[3]), to_fraction(r[4]))
+            for r in rows["generator"]
+        ]
+        loads = [
+            Load(int(r[0]), to_fraction(r[1]), to_fraction(r[2]),
+                 to_fraction(r[3]))
+            for r in rows["load"]
+        ]
+        if len(rows["resource"]) != 1 or len(rows["resource"][0]) != 2:
+            raise InputFormatError(
+                "resource section must hold one '<measurements> <buses>' row")
+        resource_measurements, resource_buses = map(
+            int, rows["resource"][0])
+        if len(rows["cost"]) != 1 or len(rows["cost"][0]) != 2:
+            raise InputFormatError(
+                "cost section must hold one '<cost> <percent>' row")
+        base_cost = to_fraction(rows["cost"][0][0])
+        percent = to_fraction(rows["cost"][0][1])
+    except (ValueError, IndexError) as exc:
+        raise InputFormatError(f"malformed case file: {exc}") from exc
+
+    return CaseDefinition(
+        name=name,
+        line_specs=line_specs,
+        measurement_specs=measurement_specs,
+        bus_types=bus_types,
+        generators=generators,
+        loads=loads,
+        resource_measurements=resource_measurements,
+        resource_buses=resource_buses,
+        base_cost=base_cost,
+        min_increase_percent=percent,
+    )
+
+
+def write_case(case: CaseDefinition) -> str:
+    """Serialize a case back to the paper's input format."""
+    out: List[str] = []
+    out.append("# Topology (Line) Information")
+    out.append("# (line no, from bus, to bus, admittance, line capacity, "
+               "knowledge?, in true topology?, in core?, secured?, "
+               "can alter?)")
+    for s in case.line_specs:
+        out.append(f"{s.index} {s.from_bus} {s.to_bus} "
+                   f"{float(s.admittance):g} {float(s.capacity):g} "
+                   f"{int(s.knowledge)} {int(s.in_true_topology)} "
+                   f"{int(s.in_core)} {int(s.status_secured)} "
+                   f"{int(s.status_alterable)}")
+    out.append("# Measurement Information")
+    out.append("# (measurement no, measurement taken?, secured?, "
+               "can attacker alter?)")
+    for m in case.measurement_specs:
+        out.append(f"{m.index} {int(m.taken)} {int(m.secured)} "
+                   f"{int(m.alterable)}")
+    out.append("# Attacker's Resource Limitation (measurements, buses)")
+    out.append(f"{case.resource_measurements} {case.resource_buses}")
+    out.append("# Bus Types (bus no, is generator?, is load?)")
+    for bus, is_gen, is_load in case.bus_types:
+        out.append(f"{bus} {int(is_gen)} {int(is_load)}")
+    out.append("# Generator Information (bus no, max generation, "
+               "min generation, cost coefficient)")
+    for g in case.generators:
+        out.append(f"{g.bus} {float(g.p_max):g} {float(g.p_min):g} "
+                   f"{float(g.cost_alpha):g} {float(g.cost_beta):g}")
+    out.append("# Load Information (bus no, existing load, max load, "
+               "min load)")
+    for l in case.loads:
+        out.append(f"{l.bus} {float(l.existing):g} {float(l.p_max):g} "
+                   f"{float(l.p_min):g}")
+    out.append("# Cost Constraint, Minimum Cost Increase by Attack "
+               "(in percentage)")
+    out.append(f"{float(case.base_cost):g} "
+               f"{float(case.min_increase_percent):g}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,187 @@
+"""Shared machinery for finishing test cases into full CaseDefinitions.
+
+The IEEE archive provides topologies, reactances and loads, but the paper's
+analysis additionally needs line capacities, generator cost curves, load
+bounds and a measurement plan, none of which the archive (or the paper)
+specifies for the larger systems.  These are synthesized deterministically
+here: capacities from a proportional base-case dispatch with headroom,
+costs from a seeded spread of realistic $/p.u. slopes, and a measurement
+plan with full redundancy.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition, LineSpec, MeasurementSpec
+from repro.grid.components import Bus, Generator, Line, Load
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.grid.network import Grid
+from repro.smt.rational import to_fraction
+
+
+def proportional_dispatch(generators: Sequence[Generator],
+                          total_load: Fraction) -> Dict[int, Fraction]:
+    """Dispatch meeting *total_load* proportionally to capacity headroom."""
+    capacity = sum((g.p_max for g in generators), Fraction(0))
+    if capacity < total_load:
+        raise ModelError("insufficient generation capacity")
+    if capacity == 0:
+        return {g.bus: Fraction(0) for g in generators}
+    scale = total_load / capacity
+    return {g.bus: g.p_max * scale for g in generators}
+
+
+def synthesize_capacities(grid_wo_capacity: Grid,
+                          dispatch: Dict[int, Fraction],
+                          headroom: float = 1.6,
+                          floor: float = 0.05) -> Dict[int, Fraction]:
+    """Line capacities sized from a base-case flow with headroom.
+
+    A moderate headroom keeps line limits *binding enough* that topology
+    attacks can move the OPF cost — mirroring the paper's observation that
+    cost increases arise from transmission limits.
+    """
+    result = solve_dc_power_flow(
+        grid_wo_capacity,
+        {bus: float(p) for bus, p in dispatch.items()})
+    capacities: Dict[int, Fraction] = {}
+    for line in grid_wo_capacity.lines:
+        base = abs(result.flow(line.index))
+        value = max(base * headroom, floor)
+        capacities[line.index] = to_fraction(round(value, 3))
+    return capacities
+
+
+def synthesize_costs(gen_buses: Sequence[int], seed: int
+                     ) -> List[Tuple[int, Fraction, Fraction]]:
+    """Seeded (bus, alpha, beta) cost coefficients.
+
+    Slopes spread over roughly 2x so the OPF has meaningful merit order
+    (the paper takes its coefficients "arbitrarily" as well).
+    """
+    rng = random.Random(seed)
+    rows = []
+    for bus in gen_buses:
+        alpha = Fraction(rng.randint(30, 90))
+        beta = Fraction(rng.randint(24, 48) * 50)  # 1200 .. 2400 $/p.u.
+        rows.append((bus, alpha, beta))
+    return rows
+
+
+def full_measurement_plan(num_lines: int, num_buses: int
+                          ) -> List[MeasurementSpec]:
+    """Every potential measurement taken, unsecured, alterable."""
+    total = 2 * num_lines + num_buses
+    return [MeasurementSpec(i, True, False, True)
+            for i in range(1, total + 1)]
+
+
+def finalize_case(name: str,
+                  branches: Sequence[Tuple[int, int, float]],
+                  load_map: Dict[int, float],
+                  gen_buses: Sequence[int],
+                  num_buses: int,
+                  seed: int,
+                  capacity_headroom: float = 1.6,
+                  gen_margin: float = 1.6) -> CaseDefinition:
+    """Build a complete CaseDefinition from raw topology + load data.
+
+    Parameters
+    ----------
+    branches:
+        ``(from_bus, to_bus, reactance)`` rows, 1-based buses.
+    load_map:
+        bus -> demand in p.u.
+    gen_buses:
+        buses hosting a generator.
+    seed:
+        Drives every synthesized quantity (costs, bounds); two calls with
+        the same arguments produce identical cases.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    total_load = sum((to_fraction(v) for v in load_map.values()),
+                     Fraction(0))
+
+    # Generators: capacity proportional with margin, seeded costs.
+    share = total_load * to_fraction(gen_margin) / len(gen_buses)
+    costs = synthesize_costs(gen_buses, seed)
+    generators = []
+    for (bus, alpha, beta) in costs:
+        jitter = Fraction(rng.randint(80, 125), 100)
+        p_max = to_fraction(round(float(share * jitter), 3))
+        p_min = to_fraction(round(float(p_max) * 0.1, 3))
+        generators.append(Generator(bus, p_max, p_min, alpha, beta))
+
+    loads = []
+    for bus, demand in sorted(load_map.items()):
+        value = to_fraction(demand)
+        loads.append(Load(bus, value,
+                          to_fraction(round(float(value) * 1.8 + 0.03, 3)),
+                          to_fraction(round(float(value) * 0.35, 3))))
+
+    # Capacities need a grid: build once with dummy capacities.
+    buses = [Bus(i, i in set(gen_buses), i in load_map)
+             for i in range(1, num_buses + 1)]
+    draft_lines = [
+        Line(i + 1, f, t, to_fraction(round(1.0 / x, 4)), Fraction(10))
+        for i, (f, t, x) in enumerate(branches)
+    ]
+    draft = Grid(buses, draft_lines, generators, loads)
+    dispatch = proportional_dispatch(generators, total_load)
+    capacities = synthesize_capacities(draft, dispatch,
+                                       headroom=capacity_headroom)
+
+    # Line attack attributes: seeded structure mirroring the case studies —
+    # part of a spanning tree is fixed "core" topology, some statuses are
+    # integrity-protected.  (Keeping the protected set sparse leaves the
+    # attack surface the paper's scenarios exhibit.)
+    tree = _spanning_tree_lines(draft)
+    line_specs = []
+    for line in draft_lines:
+        in_core = line.index in tree and rng.random() < 0.4
+        secured = in_core and rng.random() < 0.4
+        line_specs.append(LineSpec(
+            line.index, line.from_bus, line.to_bus,
+            line.admittance, capacities[line.index],
+            knowledge=True,
+            in_true_topology=True,
+            in_core=in_core,
+            status_secured=secured,
+            status_alterable=not secured or rng.random() < 0.3,
+        ))
+
+    return CaseDefinition(
+        name=name,
+        line_specs=line_specs,
+        measurement_specs=full_measurement_plan(len(branches), num_buses),
+        bus_types=[(i, i in set(gen_buses), i in load_map)
+                   for i in range(1, num_buses + 1)],
+        generators=generators,
+        loads=loads,
+        resource_measurements=max(6, num_buses // 2),
+        resource_buses=max(3, num_buses // 8),
+        base_cost=Fraction(0),  # computed by the framework when 0
+        min_increase_percent=Fraction(1),
+    )
+
+
+def _spanning_tree_lines(grid: Grid) -> set:
+    """Indices of a spanning tree (the 'core' fixed topology)."""
+    seen = {grid.buses[0].index}
+    tree = set()
+    changed = True
+    while changed:
+        changed = False
+        for line in grid.lines:
+            if line.index in tree:
+                continue
+            f_in, t_in = line.from_bus in seen, line.to_bus in seen
+            if f_in != t_in:
+                tree.add(line.index)
+                seen.add(line.from_bus if t_in else line.to_bus)
+                changed = True
+    return tree

@@ -1,0 +1,62 @@
+"""The IEEE 14-bus test system.
+
+Topology, branch reactances and bus loads follow the IEEE Common Data
+Format archive (University of Washington PSTCA).  Generator placement is
+the standard set {1, 2, 3, 6, 8} — five generators, matching the count the
+paper uses for its 14-bus experiments.  Capacities, cost curves and load
+bounds are synthesized deterministically (see
+:mod:`repro.grid.cases.builders`), since neither the archive nor the paper
+provides them.
+"""
+
+from __future__ import annotations
+
+from repro.grid.caseio import CaseDefinition
+from repro.grid.cases.builders import finalize_case
+
+#: (from bus, to bus, reactance X in p.u.) — IEEE CDF branch data.
+BRANCHES = [
+    (1, 2, 0.05917),
+    (1, 5, 0.22304),
+    (2, 3, 0.19797),
+    (2, 4, 0.17632),
+    (2, 5, 0.17388),
+    (3, 4, 0.17103),
+    (4, 5, 0.04211),
+    (4, 7, 0.20912),
+    (4, 9, 0.55618),
+    (5, 6, 0.25202),
+    (6, 11, 0.19890),
+    (6, 12, 0.25581),
+    (6, 13, 0.13027),
+    (7, 8, 0.17615),
+    (7, 9, 0.11001),
+    (9, 10, 0.08450),
+    (9, 14, 0.27038),
+    (10, 11, 0.19207),
+    (12, 13, 0.19988),
+    (13, 14, 0.34802),
+]
+
+#: bus -> real power demand (p.u. on 100 MVA base) — IEEE CDF bus data.
+LOADS = {
+    2: 0.217,
+    3: 0.942,
+    4: 0.478,
+    5: 0.076,
+    6: 0.112,
+    9: 0.295,
+    10: 0.090,
+    11: 0.035,
+    12: 0.061,
+    13: 0.135,
+    14: 0.149,
+}
+
+GENERATOR_BUSES = [1, 2, 3, 6, 8]
+
+
+def ieee14(seed: int = 14) -> CaseDefinition:
+    """The IEEE 14-bus case (5 generators, 20 lines)."""
+    return finalize_case("ieee14", BRANCHES, LOADS, GENERATOR_BUSES,
+                         num_buses=14, seed=seed)

@@ -1,0 +1,140 @@
+"""Physical components of the transmission grid model.
+
+All power quantities are in per-unit (p.u.) on a common MVA base (the paper
+uses a 100 MVA base, so 0.83 p.u. equals 83 MW).  Values are stored as exact
+:class:`~fractions.Fraction` so the SMT encodings stay rational; numeric
+code converts to ``float`` where needed.
+
+Bus and line numbering follows the paper: 1-based indices, each line has a
+*from* bus and a *to* bus defining the positive flow direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Optional, Union
+
+from repro.exceptions import ModelError
+from repro.smt.rational import to_fraction
+
+Num = Union[int, float, str, Fraction]
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A network bus (substation node).
+
+    ``is_generator`` / ``is_load`` mirror the "Bus Types" section of the
+    paper's case format.
+    """
+
+    index: int
+    is_generator: bool = False
+    is_load: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ModelError(f"bus index must be >= 1, got {self.index}")
+        if not self.name:
+            object.__setattr__(self, "name", f"bus{self.index}")
+
+
+@dataclass(frozen=True)
+class Line:
+    """A transmission line (branch).
+
+    ``admittance`` is the DC-model line admittance (reciprocal of the
+    reactance).  ``capacity`` is the thermal limit on the absolute power
+    flow (paper Eq. 5).  ``in_service`` is the *true* breaker status (the
+    paper's ``u_i``); the topology processor may be fooled into seeing a
+    different status.
+    """
+
+    index: int
+    from_bus: int
+    to_bus: int
+    admittance: Fraction
+    capacity: Fraction
+    in_service: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "admittance", to_fraction(self.admittance))
+        object.__setattr__(self, "capacity", to_fraction(self.capacity))
+        if self.index < 1:
+            raise ModelError(f"line index must be >= 1, got {self.index}")
+        if self.from_bus == self.to_bus:
+            raise ModelError(
+                f"line {self.index} connects bus {self.from_bus} to itself")
+        if self.admittance <= 0:
+            raise ModelError(
+                f"line {self.index} admittance must be positive")
+        if self.capacity <= 0:
+            raise ModelError(f"line {self.index} capacity must be positive")
+
+    @property
+    def reactance(self) -> Fraction:
+        return Fraction(1) / self.admittance
+
+    def touches(self, bus: int) -> bool:
+        return bus in (self.from_bus, self.to_bus)
+
+    def other_end(self, bus: int) -> int:
+        if bus == self.from_bus:
+            return self.to_bus
+        if bus == self.to_bus:
+            return self.from_bus
+        raise ModelError(f"line {self.index} does not touch bus {bus}")
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A generating unit with a single-segment linear cost function.
+
+    Cost model (paper Section III-E): ``C(P) = alpha + beta * P`` with
+    ``P`` in p.u.  ``p_min``/``p_max`` are the dispatch limits of paper
+    Eq. (6)/(31).
+    """
+
+    bus: int
+    p_max: Fraction
+    p_min: Fraction
+    cost_alpha: Fraction
+    cost_beta: Fraction
+
+    def __post_init__(self) -> None:
+        for name in ("p_max", "p_min", "cost_alpha", "cost_beta"):
+            object.__setattr__(self, name, to_fraction(getattr(self, name)))
+        if self.p_min < 0 or self.p_max < self.p_min:
+            raise ModelError(
+                f"generator at bus {self.bus}: need 0 <= p_min <= p_max, "
+                f"got [{self.p_min}, {self.p_max}]")
+
+    def cost(self, output: Num) -> Fraction:
+        """Generation cost at dispatch level *output* (p.u.)."""
+        return self.cost_alpha + self.cost_beta * to_fraction(output)
+
+
+@dataclass(frozen=True)
+class Load:
+    """A bus load with its plausible range (paper Eq. 36).
+
+    ``existing`` is the true demand; ``p_min``/``p_max`` bound what the
+    grid operator would consider believable for this bus, which constrains
+    how far an attacker can shift the *estimated* load without raising
+    suspicion.
+    """
+
+    bus: int
+    existing: Fraction
+    p_max: Fraction
+    p_min: Fraction
+
+    def __post_init__(self) -> None:
+        for name in ("existing", "p_max", "p_min"):
+            object.__setattr__(self, name, to_fraction(getattr(self, name)))
+        if not (self.p_min <= self.existing <= self.p_max):
+            raise ModelError(
+                f"load at bus {self.bus}: existing value {self.existing} "
+                f"outside [{self.p_min}, {self.p_max}]")

@@ -1,0 +1,132 @@
+"""Network matrices of the DC model (paper Section II).
+
+Conventions (matching the paper):
+
+* The connectivity matrix **A** is l x b with ``A[i, f_i] = +1`` and
+  ``A[i, e_i] = -1`` for line ``i`` (0-based internally).
+* **D** is the diagonal branch-admittance matrix.
+* Line flows: ``P_L = D A theta`` (forward direction).
+* Bus *consumption* follows paper Eq. (8): incoming minus outgoing flow,
+  i.e. ``P_B = -A^T D A theta``.  (The paper's Eq. (2) writes the last
+  block as ``A^T D A``; with its own Eq. (8) sign convention for
+  consumption the block is the negative — we follow Eq. (8) so that the
+  measurement model, the attack equations and the case studies stay
+  mutually consistent.)
+* The measurement matrix **H** stacks forward flows, backward flows and
+  bus consumptions, restricted to a chosen topology (set of closed lines)
+  with the reference-bus column dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.grid.network import Grid
+
+
+def _active_line_list(grid: Grid,
+                      line_indices: Optional[Iterable[int]]) -> List[int]:
+    if line_indices is None:
+        return [line.index for line in grid.lines if line.in_service]
+    return sorted(set(line_indices))
+
+
+def connectivity_matrix(grid: Grid,
+                        line_indices: Optional[Iterable[int]] = None
+                        ) -> np.ndarray:
+    """The l_active x b connectivity (incidence) matrix **A**.
+
+    Rows follow the order of ``sorted(line_indices)``; use
+    :func:`active_lines` for the row-to-line mapping.
+    """
+    active = _active_line_list(grid, line_indices)
+    matrix = np.zeros((len(active), grid.num_buses))
+    for row, line_index in enumerate(active):
+        line = grid.line(line_index)
+        matrix[row, line.from_bus - 1] = 1.0
+        matrix[row, line.to_bus - 1] = -1.0
+    return matrix
+
+
+def active_lines(grid: Grid,
+                 line_indices: Optional[Iterable[int]] = None) -> List[int]:
+    """Line indices corresponding to matrix rows, in row order."""
+    return _active_line_list(grid, line_indices)
+
+
+def admittance_matrix(grid: Grid,
+                      line_indices: Optional[Iterable[int]] = None
+                      ) -> np.ndarray:
+    """The diagonal branch admittance matrix **D** for the active lines."""
+    active = _active_line_list(grid, line_indices)
+    return np.diag([float(grid.line(i).admittance) for i in active])
+
+
+def susceptance_matrix(grid: Grid,
+                       line_indices: Optional[Iterable[int]] = None,
+                       reduced: bool = True) -> np.ndarray:
+    """The nodal susceptance matrix ``B = A^T D A``.
+
+    With ``reduced=True`` the reference-bus row and column are removed,
+    yielding the invertible (b-1)-dimensional matrix of ``B theta = P``.
+    """
+    A = connectivity_matrix(grid, line_indices)
+    D = admittance_matrix(grid, line_indices)
+    B = A.T @ D @ A
+    if not reduced:
+        return B
+    ref = grid.reference_bus - 1
+    keep = [i for i in range(grid.num_buses) if i != ref]
+    return B[np.ix_(keep, keep)]
+
+
+def measurement_matrix(grid: Grid,
+                       line_indices: Optional[Iterable[int]] = None
+                       ) -> np.ndarray:
+    """The full potential-measurement matrix **H** (paper Eq. 2).
+
+    Shape is ``(2 * l + b, b - 1)``: every *potential* measurement gets a
+    row (flows of excluded lines are structurally zero), and states are
+    the non-reference bus angles.  Row layout matches the paper's
+    measurement numbering:
+
+    * rows ``0 .. l-1``  — forward flow of line ``i+1``,
+    * rows ``l .. 2l-1`` — backward flow of line ``i+1-l``,
+    * rows ``2l .. 2l+b-1`` — consumption at bus ``j+1-2l``.
+    """
+    l = grid.num_lines
+    b = grid.num_buses
+    active = set(_active_line_list(grid, line_indices))
+    ref = grid.reference_bus - 1
+    keep = [i for i in range(b) if i != ref]
+
+    forward = np.zeros((l, b))
+    for line in grid.lines:
+        if line.index not in active:
+            continue
+        row = line.index - 1
+        forward[row, line.from_bus - 1] = float(line.admittance)
+        forward[row, line.to_bus - 1] = -float(line.admittance)
+    consumption = np.zeros((b, b))
+    for line in grid.lines:
+        if line.index not in active:
+            continue
+        # Consumption = incoming - outgoing (paper Eq. 8):
+        # the flow of an incoming line adds, an outgoing line subtracts.
+        y = float(line.admittance)
+        f, t = line.from_bus - 1, line.to_bus - 1
+        # Flow (theta_f - theta_t) * y leaves bus f and enters bus t.
+        consumption[f, f] -= y
+        consumption[f, t] += y
+        consumption[t, f] += y
+        consumption[t, t] -= y
+    H = np.vstack([forward, -forward, consumption])
+    return H[:, keep]
+
+
+def state_order(grid: Grid) -> List[int]:
+    """Bus indices corresponding to the state-vector entries."""
+    return [b.index for b in grid.buses if b.index != grid.reference_bus]

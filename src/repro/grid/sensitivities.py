@@ -1,0 +1,169 @@
+"""Linear sensitivity factors: PTDF, LODF and LCDF.
+
+These implement the scalability enhancement of paper Section IV-A: instead
+of re-solving the angle equations for every candidate topology, line flows
+are expressed through *generation-to-load distribution factors* (shift
+factors / PTDF), corrected for a single line exclusion with Line Outage
+Distribution Factors (LODF) or a single line inclusion with Line Closure
+Distribution Factors (LCDF) — the "extended factors" of Sauer, Reinhard
+and Overbye (HICSS 2001).
+
+All factors are relative to a *base topology* (a set of closed lines) and
+the grid's reference bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.grid.matrices import (
+    active_lines,
+    connectivity_matrix,
+    admittance_matrix,
+    susceptance_matrix,
+)
+from repro.grid.network import Grid
+
+
+@dataclass
+class SensitivityFactors:
+    """PTDF bundle for a fixed base topology.
+
+    ``ptdf`` has one row per active line (in ``lines`` order) and one
+    column per bus (0-based, including the reference whose column is all
+    zeros): entry ``(i, j)`` is the change in flow on line i per unit of
+    injection at bus j (withdrawn at the reference bus).
+    """
+
+    grid: Grid
+    lines: List[int]
+    ptdf: np.ndarray
+
+    def row_of(self, line_index: int) -> int:
+        try:
+            return self.lines.index(line_index)
+        except ValueError:
+            raise ModelError(
+                f"line {line_index} is not part of the base topology")
+
+    def flows_for_injections(self, injections: np.ndarray) -> np.ndarray:
+        """Line flows (active-line order) for a bus injection vector."""
+        return self.ptdf @ injections
+
+    def transfer_factor(self, line_index: int, from_bus: int,
+                        to_bus: int) -> float:
+        """Flow change on *line_index* per unit transfer from->to bus."""
+        row = self.ptdf[self.row_of(line_index)]
+        return float(row[from_bus - 1] - row[to_bus - 1])
+
+
+def compute_ptdf(grid: Grid,
+                 line_indices: Optional[Iterable[int]] = None
+                 ) -> SensitivityFactors:
+    """Power Transfer Distribution Factors for a base topology."""
+    lines = active_lines(grid, line_indices)
+    if not grid.is_connected(lines):
+        raise ModelError("PTDF requires a connected base topology")
+    A = connectivity_matrix(grid, lines)
+    D = admittance_matrix(grid, lines)
+    B = susceptance_matrix(grid, lines, reduced=True)
+    ref = grid.reference_bus - 1
+    keep = [i for i in range(grid.num_buses) if i != ref]
+    # theta_reduced = B^-1 P_reduced ; flows = D A theta.
+    B_inv = np.linalg.inv(B)
+    ptdf = np.zeros((len(lines), grid.num_buses))
+    ptdf[:, keep] = (D @ A)[:, keep] @ B_inv
+    return SensitivityFactors(grid, lines, ptdf)
+
+
+def lodf_column(factors: SensitivityFactors, outaged_line: int) -> np.ndarray:
+    """LODF vector for the outage of *outaged_line*.
+
+    Entry ``r`` (in active-line order) is the fraction of the outaged
+    line's pre-outage flow that reappears on line ``r``:
+    ``flow_r' = flow_r + LODF[r] * flow_k``.  The outaged line's own entry
+    is set to -1 (its post-outage flow is zero).
+    """
+    grid = factors.grid
+    line = grid.line(outaged_line)
+    k = factors.row_of(outaged_line)
+    # phi[r] = flow on r per unit transfer from line k's from-bus to to-bus.
+    phi = factors.ptdf[:, line.from_bus - 1] - factors.ptdf[:, line.to_bus - 1]
+    denominator = 1.0 - phi[k]
+    if abs(denominator) < 1e-9:
+        raise ModelError(
+            f"line {outaged_line} is a bridge: outage splits the network")
+    column = phi / denominator
+    column[k] = -1.0
+    return column
+
+
+def lcdf_flow(factors: SensitivityFactors, new_line: int,
+              injections: np.ndarray) -> float:
+    """Post-closure flow on *new_line* (not in the base topology).
+
+    Uses the closure analogue of the LODF derivation: let ``delta`` be the
+    angle difference across the open line's terminals in the base case and
+    ``phi_kk`` the self-transfer factor of the candidate line computed on
+    the base network.  Then the closed line carries
+    ``y_k * delta / (1 + y_k * x_equivalent)``.
+    """
+    grid = factors.grid
+    line = grid.line(new_line)
+    if new_line in factors.lines:
+        raise ModelError(f"line {new_line} is already in the base topology")
+    y = float(line.admittance)
+    ref = grid.reference_bus - 1
+    keep = [i for i in range(grid.num_buses) if i != ref]
+    B = susceptance_matrix(grid, factors.lines, reduced=True)
+    B_inv = np.linalg.inv(B)
+    e = np.zeros(grid.num_buses)
+    e[line.from_bus - 1] += 1.0
+    e[line.to_bus - 1] -= 1.0
+    theta = np.zeros(grid.num_buses)
+    theta[keep] = B_inv @ injections[keep]
+    delta = theta[line.from_bus - 1] - theta[line.to_bus - 1]
+    # Thevenin "resistance" seen by the new line across its terminals.
+    x_thevenin = float(e[keep] @ B_inv @ e[keep])
+    return y * delta / (1.0 + y * x_thevenin)
+
+
+def lcdf_column(factors: SensitivityFactors, new_line: int) -> np.ndarray:
+    """Flow change on every base line per unit of flow on the closed line.
+
+    ``flow_r' = flow_r - LCDF[r] * flow_new`` would double-count signs; we
+    define it so that ``flow_r' = flow_r + column[r] * flow_new`` where
+    ``flow_new`` is the new line's post-closure flow (from
+    :func:`lcdf_flow`).  Closing a line that carries flow ``f`` from bus m
+    to bus n is equivalent to injecting ``-f`` at m and ``+f`` at n on the
+    base network (the new line diverts that power).
+    """
+    grid = factors.grid
+    line = grid.line(new_line)
+    phi = factors.ptdf[:, line.from_bus - 1] - factors.ptdf[:, line.to_bus - 1]
+    return -phi
+
+
+def flows_after_exclusion(factors: SensitivityFactors,
+                          base_flows: np.ndarray,
+                          outaged_line: int) -> np.ndarray:
+    """Exact post-outage flows from base flows via LODF."""
+    column = lodf_column(factors, outaged_line)
+    k = factors.row_of(outaged_line)
+    flows = base_flows + column * base_flows[k]
+    flows[k] = 0.0
+    return flows
+
+
+def flows_after_inclusion(factors: SensitivityFactors,
+                          base_flows: np.ndarray,
+                          new_line: int,
+                          injections: np.ndarray) -> tuple:
+    """Post-closure flows: (updated base-line flows, new line's flow)."""
+    new_flow = lcdf_flow(factors, new_line, injections)
+    column = lcdf_column(factors, new_line)
+    return base_flows + column * new_flow, new_flow

@@ -1,0 +1,20 @@
+"""Optimal Power Flow substrate: cost curves, an exact LP solver, the
+angle-formulation DC-OPF and the shift-factor (PTDF/LODF/LCDF) fast OPF."""
+
+from repro.opf.cost import CostSegment, PiecewiseLinearCost, total_cost
+from repro.opf.dcopf import DcOpfResult, solve_dc_opf
+from repro.opf.lp import LinearProgram, LpResult, LpStatus
+from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
+
+__all__ = [
+    "CostSegment",
+    "DcOpfResult",
+    "LinearProgram",
+    "LpResult",
+    "LpStatus",
+    "PiecewiseLinearCost",
+    "ShiftFactorOpf",
+    "TopologyChange",
+    "solve_dc_opf",
+    "total_cost",
+]

@@ -1,0 +1,141 @@
+"""N-1 contingency analysis.
+
+The EMS pipeline the paper describes (Fig. 1, Section III-E) runs
+contingency analysis alongside OPF: after every re-dispatch, check that no
+single line outage overloads the remaining network.  Two evaluation paths:
+
+* ``screen_contingencies`` — fast LODF-based screening (one PTDF
+  factorization, linear update per outage — the Sauer et al. factors),
+* ``exact_outage_flows`` — full power-flow recompute, used as the oracle.
+
+This module is also how the *real* impact of a topology-poisoning attack
+shows up: the dispatch the fooled EMS issues can leave the physical grid
+insecure even when every believed constraint is satisfied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.grid.dcpf import net_injections, solve_dc_power_flow
+from repro.grid.network import Grid
+from repro.grid.sensitivities import (
+    compute_ptdf,
+    flows_after_exclusion,
+)
+
+
+@dataclass
+class Overload:
+    """One post-contingency limit violation."""
+
+    outaged_line: int
+    overloaded_line: int
+    flow: float
+    capacity: float
+
+    @property
+    def loading_percent(self) -> float:
+        return 100.0 * abs(self.flow) / self.capacity
+
+
+@dataclass
+class ContingencyReport:
+    """Outcome of an N-1 screening for one operating point."""
+
+    secure: bool
+    overloads: List[Overload] = field(default_factory=list)
+    islanding_outages: List[int] = field(default_factory=list)
+
+    def worst(self) -> Optional[Overload]:
+        if not self.overloads:
+            return None
+        return max(self.overloads, key=lambda o: o.loading_percent)
+
+
+def screen_contingencies(grid: Grid,
+                         dispatch: Dict[int, float],
+                         loads: Optional[Dict[int, float]] = None,
+                         outages: Optional[Iterable[int]] = None,
+                         tolerance: float = 1e-6) -> ContingencyReport:
+    """LODF-based N-1 screening of a dispatch.
+
+    ``outages`` defaults to every in-service line.  Bridge outages (which
+    island part of the grid) are reported separately — they are security
+    violations of a different kind, not overloads.
+    """
+    active = [line.index for line in grid.lines if line.in_service]
+    if outages is None:
+        outages = list(active)
+    factors = compute_ptdf(grid, active)
+    injections = net_injections(grid, dispatch, loads)
+    base = factors.flows_for_injections(injections)
+
+    overloads: List[Overload] = []
+    islanding: List[int] = []
+    for outage in outages:
+        if outage not in factors.lines:
+            raise ModelError(f"line {outage} is not in service")
+        remaining = [i for i in active if i != outage]
+        if not grid.is_connected(remaining):
+            islanding.append(outage)
+            continue
+        post = flows_after_exclusion(factors, base, outage)
+        for row, line_index in enumerate(factors.lines):
+            if line_index == outage:
+                continue
+            capacity = float(grid.line(line_index).capacity)
+            if abs(post[row]) > capacity + tolerance:
+                overloads.append(Overload(outage, line_index,
+                                          float(post[row]), capacity))
+    secure = not overloads and not islanding
+    return ContingencyReport(secure, overloads, islanding)
+
+
+def exact_outage_flows(grid: Grid,
+                       dispatch: Dict[int, float],
+                       outage: int,
+                       loads: Optional[Dict[int, float]] = None
+                       ) -> Dict[int, float]:
+    """Oracle: post-outage flows from a fresh power-flow solve."""
+    remaining = [line.index for line in grid.lines
+                 if line.in_service and line.index != outage]
+    result = solve_dc_power_flow(grid, dispatch, loads,
+                                 line_indices=remaining)
+    return result.flows
+
+
+def security_margin(grid: Grid, dispatch: Dict[int, float],
+                    loads: Optional[Dict[int, float]] = None) -> float:
+    """Smallest post-contingency capacity headroom, in percent.
+
+    100% means some line is exactly at its limit after the worst single
+    outage; below 0 the dispatch is N-1 insecure.  Islanding outages are
+    ignored here (no meaningful loading number).
+    """
+    report = screen_contingencies(grid, dispatch, loads)
+    if report.overloads:
+        worst = report.worst()
+        return 100.0 - worst.loading_percent
+    # Secure: find the tightest loading across all outages.
+    active = [line.index for line in grid.lines if line.in_service]
+    factors = compute_ptdf(grid, active)
+    injections = net_injections(grid, dispatch, loads)
+    base = factors.flows_for_injections(injections)
+    tightest = 0.0
+    for outage in active:
+        remaining = [i for i in active if i != outage]
+        if not grid.is_connected(remaining):
+            continue
+        post = flows_after_exclusion(factors, base, outage)
+        for row, line_index in enumerate(factors.lines):
+            if line_index == outage:
+                continue
+            capacity = float(grid.line(line_index).capacity)
+            loading = 100.0 * abs(float(post[row])) / capacity
+            tightest = max(tightest, loading)
+    return 100.0 - tightest

@@ -1,0 +1,108 @@
+"""Generator cost functions.
+
+The paper models costs as piecewise-linear convex functions and uses the
+single-segment form ``C(P) = alpha + beta * P`` in its case studies.  We
+implement the general multi-segment form (what "many electric utilities
+prefer", paper Section III-E) and treat the single segment as the common
+special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple, Union
+
+from repro.exceptions import ModelError
+from repro.grid.components import Generator
+from repro.smt.rational import to_fraction
+
+Num = Union[int, float, str, Fraction]
+
+
+@dataclass(frozen=True)
+class CostSegment:
+    """One linear segment: valid for output in [start, end] with slope."""
+
+    start: Fraction
+    end: Fraction
+    slope: Fraction
+
+    def __post_init__(self) -> None:
+        for name in ("start", "end", "slope"):
+            object.__setattr__(self, name, to_fraction(getattr(self, name)))
+        if self.end < self.start:
+            raise ModelError("segment end before start")
+
+
+class PiecewiseLinearCost:
+    """A convex piecewise-linear cost curve.
+
+    ``base`` is the cost at the first breakpoint (the alpha of the paper's
+    single-segment form); segments must be contiguous with non-decreasing
+    slopes (convexity), which is what lets OPF treat each segment as an
+    independent dispatch variable.
+    """
+
+    def __init__(self, base: Num, segments: Sequence[CostSegment]) -> None:
+        if not segments:
+            raise ModelError("at least one cost segment required")
+        self.base = to_fraction(base)
+        self.segments: List[CostSegment] = list(segments)
+        previous_end = None
+        previous_slope = None
+        for segment in self.segments:
+            if previous_end is not None and segment.start != previous_end:
+                raise ModelError("cost segments must be contiguous")
+            if previous_slope is not None and segment.slope < previous_slope:
+                raise ModelError("cost curve must be convex "
+                                 "(non-decreasing slopes)")
+            previous_end = segment.end
+            previous_slope = segment.slope
+
+    @classmethod
+    def single_segment(cls, generator: Generator) -> "PiecewiseLinearCost":
+        """The paper's ``alpha + beta P`` over the dispatch range."""
+        return cls(generator.cost_alpha + generator.cost_beta * generator.p_min,
+                   [CostSegment(generator.p_min, generator.p_max,
+                                generator.cost_beta)])
+
+    @property
+    def p_min(self) -> Fraction:
+        return self.segments[0].start
+
+    @property
+    def p_max(self) -> Fraction:
+        return self.segments[-1].end
+
+    def evaluate(self, output: Num) -> Fraction:
+        """Total cost at *output* (must lie within the dispatch range)."""
+        output = to_fraction(output)
+        if not (self.p_min <= output <= self.p_max):
+            raise ModelError(
+                f"output {output} outside [{self.p_min}, {self.p_max}]")
+        total = self.base
+        for segment in self.segments:
+            if output <= segment.start:
+                break
+            span = min(output, segment.end) - segment.start
+            total += segment.slope * span
+        return total
+
+    def marginal_cost(self, output: Num) -> Fraction:
+        """Slope of the active segment at *output*."""
+        output = to_fraction(output)
+        for segment in self.segments:
+            if output <= segment.end:
+                return segment.slope
+        return self.segments[-1].slope
+
+
+def total_cost(generators: Sequence[Generator],
+               dispatch: dict) -> Fraction:
+    """Total system cost of a dispatch, paper Eq. 3 objective."""
+    total = Fraction(0)
+    for gen in generators:
+        output = to_fraction(dispatch.get(gen.bus, 0))
+        total += gen.cost(output)
+    return total

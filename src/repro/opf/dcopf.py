@@ -1,0 +1,234 @@
+"""DC Optimal Power Flow (paper Eqs. 3-6 / 30-36).
+
+Angle formulation: decision variables are the non-reference bus angles and
+the generator outputs; constraints are the bus power balances, line
+capacities and dispatch limits; the objective is total linear generation
+cost.
+
+Two solution paths:
+
+* ``method="exact"`` — the in-repo rational simplex
+  (:class:`~repro.opf.lp.LinearProgram`); exact optima, used wherever the
+  framework compares costs to thresholds.
+* ``method="highs"`` — scipy's HiGHS, for the large scalability sweeps.
+
+Both paths build the identical constraint system and are cross-checked in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, ModelError
+from repro.grid.matrices import active_lines
+from repro.grid.network import Grid
+from repro.opf.lp import LinearProgram, LpStatus
+from repro.smt.rational import to_fraction
+
+
+@dataclass
+class DcOpfResult:
+    """An OPF solution.
+
+    ``cost`` includes the fixed alpha terms.  ``binding_lines`` lists the
+    lines whose capacity constraint is tight at the optimum — the
+    congestion that topology attacks manipulate.
+    """
+
+    feasible: bool
+    cost: Optional[Fraction]
+    dispatch: Dict[int, Fraction] = field(default_factory=dict)
+    flows: Dict[int, Fraction] = field(default_factory=dict)
+    angles: Dict[int, Fraction] = field(default_factory=dict)
+    binding_lines: List[int] = field(default_factory=list)
+
+    def require_feasible(self) -> "DcOpfResult":
+        if not self.feasible:
+            raise InfeasibleError("OPF has no feasible dispatch")
+        return self
+
+
+def solve_dc_opf(grid: Grid,
+                 loads: Optional[Dict[int, Fraction]] = None,
+                 line_indices: Optional[Iterable[int]] = None,
+                 method: str = "exact",
+                 binding_tolerance: float = 1e-7) -> DcOpfResult:
+    """Minimize generation cost subject to the DC network constraints.
+
+    Parameters
+    ----------
+    loads:
+        bus -> demand; defaults to each load's ``existing`` value.  This is
+        where the framework injects attack-shifted estimated loads.
+    line_indices:
+        The topology OPF believes (defaults to in-service lines) — the
+        believed view from the topology processor, *not* necessarily the
+        physical truth.
+    """
+    if method not in ("exact", "highs"):
+        raise ModelError(f"unknown OPF method {method!r}")
+    lines = active_lines(grid, line_indices)
+    if not grid.is_connected(lines):
+        return DcOpfResult(False, None)
+    demand = {}
+    if loads is None:
+        demand = {l.bus: l.existing for l in grid.loads.values()}
+    else:
+        demand = {bus: to_fraction(v) for bus, v in loads.items()}
+
+    if method == "exact":
+        return _solve_exact(grid, demand, lines, binding_tolerance)
+    return _solve_highs(grid, demand, lines, binding_tolerance)
+
+
+def _solve_exact(grid: Grid, demand: Dict[int, Fraction],
+                 lines: List[int], binding_tolerance: float) -> DcOpfResult:
+    lp = LinearProgram()
+    # Variables: angles (all buses; reference fixed via equality bounds),
+    # then generator outputs.
+    theta = {}
+    for bus in grid.buses:
+        if bus.index == grid.reference_bus:
+            theta[bus.index] = lp.add_variable(0, 0, f"theta{bus.index}")
+        else:
+            theta[bus.index] = lp.add_variable(None, None,
+                                               f"theta{bus.index}")
+    gen_vars = {}
+    for gen in grid.generators.values():
+        gen_vars[gen.bus] = lp.add_variable(gen.p_min, gen.p_max,
+                                            f"g{gen.bus}")
+
+    # Line capacity: -cap <= d_i (theta_f - theta_e) <= cap  (Eq. 5/34).
+    line_rows: Dict[int, Dict[int, Fraction]] = {}
+    for line_index in lines:
+        line = grid.line(line_index)
+        row = {theta[line.from_bus]: line.admittance,
+               theta[line.to_bus]: -line.admittance}
+        line_rows[line_index] = row
+        lp.add_constraint(row, lower=-line.capacity, upper=line.capacity)
+
+    # Bus power balance (Eqs. 32-33): sum(in flows) - sum(out flows)
+    #   = demand - generation.
+    active = set(lines)
+    for bus in grid.buses:
+        coeffs: Dict[int, Fraction] = {}
+
+        def accumulate(row: Dict[int, Fraction], sign: int) -> None:
+            for var, coeff in row.items():
+                coeffs[var] = coeffs.get(var, Fraction(0)) + sign * coeff
+
+        for line in grid.lines_in(bus.index):
+            if line.index in active:
+                accumulate(line_rows[line.index], +1)
+        for line in grid.lines_out(bus.index):
+            if line.index in active:
+                accumulate(line_rows[line.index], -1)
+        if bus.index in gen_vars:
+            coeffs[gen_vars[bus.index]] = coeffs.get(
+                gen_vars[bus.index], Fraction(0)) + 1
+        lp.add_equality(coeffs, demand.get(bus.index, Fraction(0)))
+
+    objective = {gen_vars[gen.bus]: gen.cost_beta
+                 for gen in grid.generators.values()}
+    constant = sum((gen.cost_alpha for gen in grid.generators.values()),
+                   Fraction(0))
+    lp.set_objective(objective, constant)
+
+    result = lp.solve()
+    if result.status is not LpStatus.OPTIMAL:
+        return DcOpfResult(False, None)
+
+    angles = {bus.index: result.values[theta[bus.index]]
+              for bus in grid.buses}
+    dispatch = {bus: result.values[var] for bus, var in gen_vars.items()}
+    flows: Dict[int, Fraction] = {}
+    binding: List[int] = []
+    for line_index in lines:
+        line = grid.line(line_index)
+        flow = line.admittance * (angles[line.from_bus] - angles[line.to_bus])
+        flows[line_index] = flow
+        if abs(float(line.capacity - abs(flow))) <= binding_tolerance:
+            binding.append(line_index)
+    return DcOpfResult(True, result.objective, dispatch, flows, angles,
+                       binding)
+
+
+def _solve_highs(grid: Grid, demand: Dict[int, Fraction],
+                 lines: List[int], binding_tolerance: float) -> DcOpfResult:
+    buses = grid.num_buses
+    gens = sorted(grid.generators)
+    n = buses + len(gens)  # angles then generator outputs
+    gen_pos = {bus: buses + k for k, bus in enumerate(gens)}
+
+    c = np.zeros(n)
+    for bus in gens:
+        c[gen_pos[bus]] = float(grid.generators[bus].cost_beta)
+
+    bounds: List[tuple] = []
+    for bus in grid.buses:
+        if bus.index == grid.reference_bus:
+            bounds.append((0.0, 0.0))
+        else:
+            bounds.append((None, None))
+    for bus in gens:
+        gen = grid.generators[bus]
+        bounds.append((float(gen.p_min), float(gen.p_max)))
+
+    A_ub_rows, b_ub = [], []
+    for line_index in lines:
+        line = grid.line(line_index)
+        y = float(line.admittance)
+        row = np.zeros(n)
+        row[line.from_bus - 1] = y
+        row[line.to_bus - 1] = -y
+        A_ub_rows.append(row.copy())
+        b_ub.append(float(line.capacity))
+        A_ub_rows.append(-row)
+        b_ub.append(float(line.capacity))
+
+    A_eq_rows, b_eq = [], []
+    active = set(lines)
+    for bus in grid.buses:
+        row = np.zeros(n)
+        for line in grid.lines_in(bus.index):
+            if line.index in active:
+                y = float(line.admittance)
+                row[line.from_bus - 1] += y
+                row[line.to_bus - 1] -= y
+        for line in grid.lines_out(bus.index):
+            if line.index in active:
+                y = float(line.admittance)
+                row[line.from_bus - 1] -= y
+                row[line.to_bus - 1] += y
+        if bus.index in gen_pos:
+            row[gen_pos[bus.index]] = 1.0
+        A_eq_rows.append(row)
+        b_eq.append(float(demand.get(bus.index, 0)))
+
+    result = linprog(c, A_ub=np.array(A_ub_rows), b_ub=np.array(b_ub),
+                     A_eq=np.array(A_eq_rows), b_eq=np.array(b_eq),
+                     bounds=bounds, method="highs")
+    if not result.success:
+        return DcOpfResult(False, None)
+
+    constant = sum(float(g.cost_alpha) for g in grid.generators.values())
+    angles = {bus.index: to_fraction(round(result.x[bus.index - 1], 12))
+              for bus in grid.buses}
+    dispatch = {bus: to_fraction(round(result.x[gen_pos[bus]], 12))
+                for bus in gens}
+    flows: Dict[int, Fraction] = {}
+    binding: List[int] = []
+    for line_index in lines:
+        line = grid.line(line_index)
+        flow = line.admittance * (angles[line.from_bus] - angles[line.to_bus])
+        flows[line_index] = flow
+        if abs(float(line.capacity - abs(flow))) <= binding_tolerance * 10:
+            binding.append(line_index)
+    return DcOpfResult(True, to_fraction(round(result.fun + constant, 9)),
+                       dispatch, flows, angles, binding)

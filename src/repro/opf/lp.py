@@ -1,0 +1,138 @@
+"""A standalone exact linear-programming interface.
+
+A thin, LP-shaped facade over the general simplex core
+(:mod:`repro.smt.simplex`): variables with bounds, linear constraints with
+lower/upper limits, a linear objective, exact `Fraction` arithmetic.  This
+is the reference OPF oracle — slower than a floating-point solver but
+immune to tolerance artifacts, which matters when the framework compares
+costs against a threshold that differs by fractions of a percent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import SolverError, UnboundedError
+from repro.smt.rational import DeltaRational, to_fraction
+from repro.smt.simplex import NO_LIT, Simplex
+
+Num = Union[int, float, str, Fraction]
+
+
+class LpStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class LpResult:
+    status: LpStatus
+    objective: Optional[Fraction]
+    values: List[Fraction]
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LpStatus.OPTIMAL
+
+
+class LinearProgram:
+    """Exact LP: build with variables/constraints, then :meth:`solve`."""
+
+    def __init__(self) -> None:
+        self._simplex = Simplex()
+        self._variables: List[int] = []
+        self._objective: Dict[int, Fraction] = {}
+        self._objective_const = Fraction(0)
+        self._trivially_infeasible = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_variable(self, lower: Optional[Num] = None,
+                     upper: Optional[Num] = None, name: str = "") -> int:
+        """Create a variable; returns its handle (dense 0-based id)."""
+        var = self._simplex.new_variable()
+        self._variables.append(var)
+        handle = len(self._variables) - 1
+        if lower is not None:
+            conflict = self._simplex.assert_lower(
+                var, DeltaRational(to_fraction(lower)), NO_LIT)
+            if conflict is not None:
+                self._trivially_infeasible = True
+        if upper is not None:
+            conflict = self._simplex.assert_upper(
+                var, DeltaRational(to_fraction(upper)), NO_LIT)
+            if conflict is not None:
+                self._trivially_infeasible = True
+        return handle
+
+    def add_constraint(self, coeffs: Dict[int, Num],
+                       lower: Optional[Num] = None,
+                       upper: Optional[Num] = None) -> None:
+        """Add ``lower <= sum(coeff * var) <= upper`` (either side optional)."""
+        if lower is None and upper is None:
+            raise SolverError("constraint needs at least one bound")
+        row = {self._variables[handle]: to_fraction(value)
+               for handle, value in coeffs.items() if to_fraction(value) != 0}
+        if not row:
+            lo = to_fraction(lower) if lower is not None else None
+            hi = to_fraction(upper) if upper is not None else None
+            if (lo is not None and lo > 0) or (hi is not None and hi < 0):
+                # 0 constrained to be nonzero: mark as trivially infeasible.
+                self._trivially_infeasible = True
+            return
+        slack = self._simplex.add_row(row)
+        if lower is not None:
+            conflict = self._simplex.assert_lower(
+                slack, DeltaRational(to_fraction(lower)), NO_LIT)
+            if conflict is not None:
+                self._trivially_infeasible = True
+        if upper is not None:
+            conflict = self._simplex.assert_upper(
+                slack, DeltaRational(to_fraction(upper)), NO_LIT)
+            if conflict is not None:
+                self._trivially_infeasible = True
+
+    def add_equality(self, coeffs: Dict[int, Num], value: Num) -> None:
+        self.add_constraint(coeffs, lower=value, upper=value)
+
+    def set_objective(self, coeffs: Dict[int, Num],
+                      constant: Num = 0) -> None:
+        """Objective to *minimize*: ``sum(coeff * var) + constant``."""
+        self._objective = {handle: to_fraction(value)
+                           for handle, value in coeffs.items()}
+        self._objective_const = to_fraction(constant)
+
+    # -- solving --------------------------------------------------------
+
+    def solve(self) -> LpResult:
+        if self._trivially_infeasible:
+            return LpResult(LpStatus.INFEASIBLE, None, [])
+        conflict = self._simplex.check()
+        if conflict is not None:
+            return LpResult(LpStatus.INFEASIBLE, None, [])
+        objective_row = {
+            self._variables[handle]: coeff
+            for handle, coeff in self._objective.items() if coeff != 0
+        }
+        if objective_row:
+            objective_var = self._simplex.add_row(objective_row)
+            try:
+                minimum = self._simplex.minimize(objective_var)
+            except UnboundedError:
+                return LpResult(LpStatus.UNBOUNDED, None, [])
+            objective_value = minimum.c + self._objective_const
+        else:
+            objective_value = self._objective_const
+        values = self._extract_values()
+        return LpResult(LpStatus.OPTIMAL, objective_value, values)
+
+    def _extract_values(self) -> List[Fraction]:
+        concrete = self._simplex.concrete_values()
+        return [concrete[var] for var in self._variables]
+
+    def value(self, result: LpResult, handle: int) -> Fraction:
+        return result.values[handle]

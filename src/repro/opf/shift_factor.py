@@ -1,0 +1,167 @@
+"""Shift-factor (PTDF) formulation of DC-OPF with LODF/LCDF corrections.
+
+This is the paper's second scalability idea (Section IV-A): replace the
+angle variables with generation-to-load distribution factors so the OPF
+has only the generator outputs as decision variables, and handle a single
+line exclusion (or inclusion) through line-outage / line-closure
+distribution factors instead of rebuilding the network equations.
+
+The formulation is mathematically equivalent to the angle formulation for
+the same topology (verified in the tests) but solves much faster on the
+57/118-bus systems because the LP drops from ``b + g`` variables and
+``b + 2l`` constraints to ``g`` variables and ``2l + 1`` constraints, and
+the PTDF matrix is computed once per base topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import ModelError
+from repro.grid.matrices import active_lines, susceptance_matrix
+from repro.grid.network import Grid
+from repro.grid.sensitivities import (
+    SensitivityFactors,
+    compute_ptdf,
+    lodf_column,
+)
+from repro.opf.dcopf import DcOpfResult
+from repro.smt.rational import to_fraction
+
+
+@dataclass
+class TopologyChange:
+    """A single-line deviation from the base topology."""
+
+    kind: str          # "exclude" or "include"
+    line_index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("exclude", "include"):
+            raise ModelError(f"unknown topology change kind {self.kind!r}")
+
+
+class ShiftFactorOpf:
+    """Reusable PTDF-based OPF for one base topology.
+
+    Build once, then call :meth:`solve` for many load vectors and
+    single-line topology changes — the pattern of the framework's
+    fast impact-analysis loop.
+    """
+
+    def __init__(self, grid: Grid,
+                 base_topology: Optional[Iterable[int]] = None) -> None:
+        self.grid = grid
+        self.base_lines = active_lines(grid, base_topology)
+        self.factors = compute_ptdf(grid, self.base_lines)
+        self.gen_buses = sorted(grid.generators)
+        # Injection map: columns are generator outputs.
+        self._gen_matrix = np.zeros((grid.num_buses, len(self.gen_buses)))
+        for k, bus in enumerate(self.gen_buses):
+            self._gen_matrix[bus - 1, k] = 1.0
+
+    # -- flow model -----------------------------------------------------
+
+    def _flow_operator(self, change: Optional[TopologyChange]
+                       ) -> Tuple[np.ndarray, List[int]]:
+        """(matrix mapping bus injections to flows, line order)."""
+        M = self.factors.ptdf.copy()
+        lines = list(self.factors.lines)
+        if change is None:
+            return M, lines
+        if change.kind == "exclude":
+            k = self.factors.row_of(change.line_index)
+            column = lodf_column(self.factors, change.line_index)
+            # flow_i' = flow_i + LODF_i * flow_k ; row k removed.
+            M = M + np.outer(column, M[k])
+            M = np.delete(M, k, axis=0)
+            lines.pop(k)
+            return M, lines
+        # Inclusion: compute the closed line's flow as a linear operator.
+        line = self.grid.line(change.line_index)
+        if change.line_index in self.factors.lines:
+            raise ModelError(
+                f"line {change.line_index} is already in the base topology")
+        grid = self.grid
+        ref = grid.reference_bus - 1
+        keep = [i for i in range(grid.num_buses) if i != ref]
+        B_inv = np.linalg.inv(
+            susceptance_matrix(grid, self.base_lines, reduced=True))
+        e = np.zeros(grid.num_buses)
+        e[line.from_bus - 1] += 1.0
+        e[line.to_bus - 1] -= 1.0
+        x_thevenin = float(e[keep] @ B_inv @ e[keep])
+        y = float(line.admittance)
+        # delta-theta operator: row vector over injections.
+        dtheta = np.zeros(grid.num_buses)
+        dtheta[keep] = e[keep] @ B_inv
+        new_row = (y / (1.0 + y * x_thevenin)) * dtheta
+        column = -(self.factors.ptdf[:, line.from_bus - 1]
+                   - self.factors.ptdf[:, line.to_bus - 1])
+        M = M + np.outer(column, new_row)
+        M = np.vstack([M, new_row])
+        lines.append(change.line_index)
+        return M, lines
+
+    # -- solve ------------------------------------------------------------
+
+    def solve(self, loads: Optional[Dict[int, Fraction]] = None,
+              change: Optional[TopologyChange] = None,
+              binding_tolerance: float = 1e-6) -> DcOpfResult:
+        """OPF for the given loads and optional single-line change."""
+        grid = self.grid
+        if change is not None and change.kind == "exclude":
+            remaining = [i for i in self.base_lines
+                         if i != change.line_index]
+            if not grid.is_connected(remaining):
+                return DcOpfResult(False, None)
+
+        demand = np.zeros(grid.num_buses)
+        if loads is None:
+            for load in grid.loads.values():
+                demand[load.bus - 1] = float(load.existing)
+        else:
+            for bus, value in loads.items():
+                demand[bus - 1] = float(value)
+
+        M, line_order = self._flow_operator(change)
+        # flows = M (G p - demand)
+        flow_gen = M @ self._gen_matrix
+        flow_base = -(M @ demand)
+
+        num_gens = len(self.gen_buses)
+        c = np.array([float(grid.generators[b].cost_beta)
+                      for b in self.gen_buses])
+        bounds = [(float(grid.generators[b].p_min),
+                   float(grid.generators[b].p_max))
+                  for b in self.gen_buses]
+        capacities = np.array([float(grid.line(i).capacity)
+                               for i in line_order])
+        A_ub = np.vstack([flow_gen, -flow_gen])
+        b_ub = np.concatenate([capacities - flow_base,
+                               capacities + flow_base])
+        A_eq = np.ones((1, num_gens))
+        b_eq = np.array([float(demand.sum())])
+
+        result = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                         bounds=bounds, method="highs")
+        if not result.success:
+            return DcOpfResult(False, None)
+
+        constant = sum(float(g.cost_alpha) for g in grid.generators.values())
+        dispatch = {bus: to_fraction(round(result.x[k], 12))
+                    for k, bus in enumerate(self.gen_buses)}
+        flow_values = flow_gen @ result.x + flow_base
+        flows = {line_index: to_fraction(round(float(flow_values[r]), 12))
+                 for r, line_index in enumerate(line_order)}
+        binding = [line_index for r, line_index in enumerate(line_order)
+                   if abs(capacities[r] - abs(flow_values[r]))
+                   <= binding_tolerance]
+        return DcOpfResult(True,
+                           to_fraction(round(result.fun + constant, 9)),
+                           dispatch, flows, {}, binding)

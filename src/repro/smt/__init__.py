@@ -1,0 +1,68 @@
+"""A from-scratch SMT solver for quantifier-free linear real arithmetic.
+
+This package replaces the Z3 dependency of the original paper with a
+self-contained DPLL(T) stack:
+
+* :mod:`repro.smt.terms` — term language (Bool + linear Real),
+* :mod:`repro.smt.cnf` — Tseitin conversion and cardinality encodings,
+* :mod:`repro.smt.sat` — CDCL SAT core,
+* :mod:`repro.smt.simplex` — general simplex theory solver,
+* :mod:`repro.smt.solver` — the :class:`SmtSolver` facade,
+* :mod:`repro.smt.optimize` — exact linear optimization.
+"""
+
+from repro.smt.optimize import OptimizationResult, maximize, minimize
+from repro.smt.rational import DeltaRational, to_fraction
+from repro.smt.solver import Model, SmtSolver, SmtStatistics, SolveResult
+from repro.smt.terms import (
+    Atom,
+    AtMost,
+    And,
+    BoolConst,
+    BoolTerm,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    at_least,
+    at_most,
+    exactly,
+    iff,
+    implies,
+    ite,
+    linear_sum,
+)
+
+__all__ = [
+    "And",
+    "Atom",
+    "AtMost",
+    "BoolConst",
+    "BoolTerm",
+    "BoolVar",
+    "DeltaRational",
+    "FALSE",
+    "LinExpr",
+    "Model",
+    "Not",
+    "OptimizationResult",
+    "Or",
+    "RealVar",
+    "SmtSolver",
+    "SmtStatistics",
+    "SolveResult",
+    "TRUE",
+    "at_least",
+    "at_most",
+    "exactly",
+    "iff",
+    "implies",
+    "ite",
+    "linear_sum",
+    "maximize",
+    "minimize",
+    "to_fraction",
+]

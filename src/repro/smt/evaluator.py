@@ -1,0 +1,47 @@
+"""Evaluate terms under a model — used for model validation and testing.
+
+The DPLL(T) solver returns models as variable assignments; this module
+closes the loop by evaluating arbitrary Boolean terms under such an
+assignment, so callers (and the test suite) can verify that a model really
+satisfies the asserted formulas.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SolverError
+from repro.smt.solver import Model
+from repro.smt.terms import (
+    Atom,
+    AtMost,
+    And,
+    BoolConst,
+    BoolTerm,
+    BoolVar,
+    Not,
+    Or,
+)
+
+
+def evaluate(term: BoolTerm, model: Model) -> bool:
+    """Evaluate *term* to a Python bool under *model*."""
+    if isinstance(term, BoolConst):
+        return term.value
+    if isinstance(term, BoolVar):
+        return model.bool_value(term)
+    if isinstance(term, Atom):
+        value = model.eval_expr(term.expr)
+        if term.op == Atom.LE:
+            return value <= term.bound
+        if term.op == Atom.LT:
+            return value < term.bound
+        return value == term.bound
+    if isinstance(term, Not):
+        return not evaluate(term.arg, model)
+    if isinstance(term, And):
+        return all(evaluate(arg, model) for arg in term.args)
+    if isinstance(term, Or):
+        return any(evaluate(arg, model) for arg in term.args)
+    if isinstance(term, AtMost):
+        count = sum(1 for arg in term.args if evaluate(arg, model))
+        return count <= term.bound
+    raise SolverError(f"cannot evaluate term of type {type(term).__name__}")

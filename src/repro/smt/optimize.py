@@ -1,0 +1,89 @@
+"""Exact linear-objective optimization on top of :class:`SmtSolver`.
+
+The OPF model needs *optimal* generation cost, not just feasibility.  We
+implement the standard DPLL(T) optimization loop:
+
+1. solve; if unsat, the incumbent (if any) is globally optimal;
+2. run phase-2 simplex to minimize the objective *within the current
+   propositional model's* asserted bounds (a local optimum);
+3. assert ``objective < local_optimum`` and repeat.
+
+Each iteration strictly improves the incumbent and eliminates at least the
+current propositional polytope, so the loop terminates for closed (non-
+strict) constraint systems — which is all the paper's encodings use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import ConvergenceError
+from repro.smt.solver import Model, SmtSolver, SolveResult
+from repro.smt.terms import BoolTerm, LinExpr, RealVar
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of :func:`minimize` / :func:`maximize`."""
+
+    feasible: bool
+    optimum: Optional[Fraction]
+    model: Optional[Model]
+    iterations: int = 0
+
+
+def minimize(solver: SmtSolver,
+             objective: Union[LinExpr, RealVar],
+             assumptions: Sequence[BoolTerm] = (),
+             max_iterations: int = 10000) -> OptimizationResult:
+    """Minimize *objective* subject to the solver's assertions.
+
+    The solver's assertion state is preserved (the objective bounds are
+    asserted inside a scratch push/pop scope).
+    """
+    expr = LinExpr.of(objective)
+    obj_var = solver._simplex_var_for_objective(expr)
+    const = expr.const
+
+    solver.push()
+    try:
+        best: Optional[Fraction] = None
+        best_model: Optional[Model] = None
+        iterations = 0
+        while iterations < max_iterations:
+            iterations += 1
+            result = solver.solve(assumptions)
+            if result is SolveResult.UNSAT:
+                break
+            local = solver.theory.simplex.minimize(obj_var)
+            # For closed constraint systems the optimum is attained and the
+            # infinitesimal component is zero; otherwise the rational part
+            # is the infimum.
+            local_value = local.c + const
+            if best is None or local_value < best:
+                best = local_value
+                best_model = solver._extract_model()
+            solver.add(expr < best)
+        else:
+            raise ConvergenceError(
+                f"optimizer exceeded {max_iterations} iterations")
+    finally:
+        solver.pop()
+
+    if best is None:
+        return OptimizationResult(False, None, None, iterations)
+    return OptimizationResult(True, best, best_model, iterations)
+
+
+def maximize(solver: SmtSolver,
+             objective: Union[LinExpr, RealVar],
+             assumptions: Sequence[BoolTerm] = (),
+             max_iterations: int = 10000) -> OptimizationResult:
+    """Maximize *objective*; implemented as ``-minimize(-objective)``."""
+    expr = LinExpr.of(objective)
+    result = minimize(solver, -expr, assumptions, max_iterations)
+    if result.optimum is not None:
+        result.optimum = -result.optimum
+    return result

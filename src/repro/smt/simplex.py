@@ -1,0 +1,400 @@
+"""General simplex for linear real arithmetic (Dutertre–de Moura, CAV'06).
+
+This is the theory solver behind the DPLL(T) integration: it maintains a
+tableau of *basic* variables defined as linear combinations of *nonbasic*
+variables, plus per-variable lower/upper bounds asserted incrementally by
+the SAT search.  Strict bounds are represented with
+:class:`~repro.smt.rational.DeltaRational` infinitesimals, so all reasoning
+is exact.
+
+Key operations:
+
+``assert_upper`` / ``assert_lower``
+    Incrementally tighten a bound (recording undo information); detects
+    immediate bound clashes and returns a two-literal explanation.
+
+``check``
+    Runs Bland-rule pivoting until the assignment satisfies every bound or
+    an infeasible row yields a conflict explanation (the set of SAT
+    literals whose bounds participate in the row).
+
+``minimize``
+    Phase-2 simplex: minimizes a variable subject to the currently
+    asserted bounds.  Used by :mod:`repro.smt.optimize` for exact OPF-cost
+    minimization.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import SolverError, UnboundedError
+from repro.smt.rational import DeltaRational, resolve_delta
+
+NO_LIT = 0
+
+
+class Simplex:
+    """Bounded-variable simplex over exact delta-rationals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Tableau: basic var -> {nonbasic var -> coefficient}.
+        self.rows: Dict[int, Dict[int, Fraction]] = {}
+        # nonbasic var -> set of basic vars whose row mentions it.
+        self.cols: Dict[int, Set[int]] = {}
+        self.assign: List[DeltaRational] = []
+        self.lower: List[Optional[DeltaRational]] = []
+        self.upper: List[Optional[DeltaRational]] = []
+        self.lower_lit: List[int] = []
+        self.upper_lit: List[int] = []
+        # Undo log: one entry per assert_* call.
+        self._log: List[Tuple] = []
+        self.needs_check = False
+        self.pivots = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def new_variable(self) -> int:
+        var = self.num_vars
+        self.num_vars += 1
+        self.assign.append(DeltaRational(0))
+        self.lower.append(None)
+        self.upper.append(None)
+        self.lower_lit.append(NO_LIT)
+        self.upper_lit.append(NO_LIT)
+        self.cols[var] = set()
+        return var
+
+    def add_row(self, coeffs: Dict[int, Fraction]) -> int:
+        """Create a fresh basic variable ``s`` with ``s = sum(coeffs)``.
+
+        Any variable in *coeffs* that is currently basic is substituted by
+        its row so the tableau stays in canonical (basic = f(nonbasic))
+        form.  Returns the new variable.
+        """
+        s = self.new_variable()
+        row: Dict[int, Fraction] = {}
+        for var, coeff in coeffs.items():
+            if coeff == 0:
+                continue
+            if var in self.rows:
+                for inner, inner_coeff in self.rows[var].items():
+                    row[inner] = row.get(inner, Fraction(0)) + coeff * inner_coeff
+            else:
+                row[var] = row.get(var, Fraction(0)) + coeff
+        row = {v: c for v, c in row.items() if c != 0}
+        self.rows[s] = row
+        for var in row:
+            self.cols[var].add(s)
+        # Initialize the assignment consistently with the row.
+        value = DeltaRational(0)
+        for var, coeff in row.items():
+            value = value + self.assign[var] * coeff
+        self.assign[s] = value
+        return s
+
+    def is_basic(self, var: int) -> bool:
+        return var in self.rows
+
+    # ------------------------------------------------------------------
+    # Incremental bound assertion
+    # ------------------------------------------------------------------
+
+    def assert_upper(self, var: int, bound: DeltaRational,
+                     lit: int) -> Optional[List[int]]:
+        """Assert ``var <= bound``; returns a conflict explanation or None."""
+        lower = self.lower[var]
+        if lower is not None and bound < lower:
+            self._log.append(("noop",))
+            explanation = [self.lower_lit[var]]
+            if lit != NO_LIT:
+                explanation.append(lit)
+            return [l for l in explanation if l != NO_LIT]
+        current = self.upper[var]
+        if current is not None and current <= bound:
+            self._log.append(("noop",))
+            return None
+        self._log.append(("upper", var, current, self.upper_lit[var]))
+        self.upper[var] = bound
+        self.upper_lit[var] = lit
+        if not self.is_basic(var) and self.assign[var] > bound:
+            self._update(var, bound)
+        self.needs_check = True
+        return None
+
+    def assert_lower(self, var: int, bound: DeltaRational,
+                     lit: int) -> Optional[List[int]]:
+        """Assert ``var >= bound``; returns a conflict explanation or None."""
+        upper = self.upper[var]
+        if upper is not None and bound > upper:
+            self._log.append(("noop",))
+            explanation = [self.upper_lit[var]]
+            if lit != NO_LIT:
+                explanation.append(lit)
+            return [l for l in explanation if l != NO_LIT]
+        current = self.lower[var]
+        if current is not None and current >= bound:
+            self._log.append(("noop",))
+            return None
+        self._log.append(("lower", var, current, self.lower_lit[var]))
+        self.lower[var] = bound
+        self.lower_lit[var] = lit
+        if not self.is_basic(var) and self.assign[var] < bound:
+            self._update(var, bound)
+        self.needs_check = True
+        return None
+
+    def mark(self) -> int:
+        """Current undo-log position (for scoped retraction)."""
+        return len(self._log)
+
+    def pop(self, count: int = 1) -> None:
+        """Undo the last *count* assert_* calls."""
+        for _ in range(count):
+            entry = self._log.pop()
+            if entry[0] == "noop":
+                continue
+            kind, var, old_bound, old_lit = entry
+            if kind == "upper":
+                self.upper[var] = old_bound
+                self.upper_lit[var] = old_lit
+            else:
+                self.lower[var] = old_bound
+                self.lower_lit[var] = old_lit
+
+    def pop_to(self, marker: int) -> None:
+        self.pop(len(self._log) - marker)
+
+    # ------------------------------------------------------------------
+    # Assignment maintenance
+    # ------------------------------------------------------------------
+
+    def _update(self, nonbasic: int, value: DeltaRational) -> None:
+        delta = value - self.assign[nonbasic]
+        for basic in self.cols[nonbasic]:
+            coeff = self.rows[basic][nonbasic]
+            self.assign[basic] = self.assign[basic] + delta * coeff
+        self.assign[nonbasic] = value
+
+    def _pivot(self, basic: int, nonbasic: int) -> None:
+        """Exchange *basic* and *nonbasic* in the tableau (no value change)."""
+        self.pivots += 1
+        row = self.rows.pop(basic)
+        a = row.pop(nonbasic)
+        for var in row:
+            self.cols[var].discard(basic)
+        self.cols[nonbasic].discard(basic)
+        # nonbasic = (basic - sum(other terms)) / a
+        new_row: Dict[int, Fraction] = {basic: Fraction(1) / a}
+        for var, coeff in row.items():
+            new_row[var] = -coeff / a
+        # Substitute into every other row mentioning `nonbasic`.
+        for other in list(self.cols[nonbasic]):
+            other_row = self.rows[other]
+            factor = other_row.pop(nonbasic)
+            self.cols[nonbasic].discard(other)
+            for var, coeff in new_row.items():
+                updated = other_row.get(var, Fraction(0)) + factor * coeff
+                if updated == 0:
+                    if var in other_row:
+                        del other_row[var]
+                        self.cols[var].discard(other)
+                else:
+                    if var not in other_row:
+                        self.cols[var].add(other)
+                    other_row[var] = updated
+        self.rows[nonbasic] = new_row
+        for var in new_row:
+            self.cols[var].add(nonbasic)
+
+    def _pivot_and_update(self, basic: int, nonbasic: int,
+                          value: DeltaRational) -> None:
+        a = self.rows[basic][nonbasic]
+        theta = (value - self.assign[basic]) / a
+        self.assign[basic] = value
+        self.assign[nonbasic] = self.assign[nonbasic] + theta
+        for other in self.cols[nonbasic]:
+            if other != basic:
+                coeff = self.rows[other][nonbasic]
+                self.assign[other] = self.assign[other] + theta * coeff
+        self._pivot(basic, nonbasic)
+
+    # ------------------------------------------------------------------
+    # Feasibility check
+    # ------------------------------------------------------------------
+
+    def check(self) -> Optional[List[int]]:
+        """Pivot to feasibility; returns a conflict explanation or None."""
+        if not self.needs_check:
+            return None
+        while True:
+            violated = None
+            below = False
+            for var in sorted(self.rows):  # Bland's rule: smallest index
+                value = self.assign[var]
+                lo = self.lower[var]
+                if lo is not None and value < lo:
+                    violated, below = var, True
+                    break
+                hi = self.upper[var]
+                if hi is not None and value > hi:
+                    violated, below = var, False
+                    break
+            if violated is None:
+                self.needs_check = False
+                return None
+            conflict = self._repair(violated, below)
+            if conflict is not None:
+                return conflict
+
+    def _repair(self, basic: int, below: bool) -> Optional[List[int]]:
+        row = self.rows[basic]
+        target = self.lower[basic] if below else self.upper[basic]
+        assert target is not None
+        for nonbasic in sorted(row):
+            coeff = row[nonbasic]
+            if below:
+                can_help = (coeff > 0 and self._can_increase(nonbasic)) or \
+                           (coeff < 0 and self._can_decrease(nonbasic))
+            else:
+                can_help = (coeff > 0 and self._can_decrease(nonbasic)) or \
+                           (coeff < 0 and self._can_increase(nonbasic))
+            if can_help:
+                self._pivot_and_update(basic, nonbasic, target)
+                return None
+        # No pivot candidate: the row is a certificate of infeasibility.
+        explanation = []
+        bound_lit = self.lower_lit[basic] if below else self.upper_lit[basic]
+        if bound_lit != NO_LIT:
+            explanation.append(bound_lit)
+        for nonbasic, coeff in row.items():
+            if below:
+                lit = self.upper_lit[nonbasic] if coeff > 0 \
+                    else self.lower_lit[nonbasic]
+            else:
+                lit = self.lower_lit[nonbasic] if coeff > 0 \
+                    else self.upper_lit[nonbasic]
+            if lit != NO_LIT:
+                explanation.append(lit)
+        return explanation
+
+    def _can_increase(self, var: int) -> bool:
+        hi = self.upper[var]
+        return hi is None or self.assign[var] < hi
+
+    def _can_decrease(self, var: int) -> bool:
+        lo = self.lower[var]
+        return lo is None or self.assign[var] > lo
+
+    # ------------------------------------------------------------------
+    # Phase-2 optimization
+    # ------------------------------------------------------------------
+
+    def minimize(self, objective: int,
+                 max_pivots: int = 1000000) -> DeltaRational:
+        """Minimize variable *objective* under the asserted bounds.
+
+        Requires a feasible assignment (call :meth:`check` first).  Leaves
+        the assignment at an optimal vertex and returns the minimum value.
+        Raises :class:`UnboundedError` when the objective is unbounded
+        below.
+        """
+        if self.needs_check:
+            raise SolverError("minimize() requires a feasible tableau; "
+                              "call check() first")
+        # Ensure the objective is basic so its row expresses the gradient.
+        if objective not in self.rows:
+            if self.cols.get(objective):
+                self._pivot(next(iter(self.cols[objective])), objective)
+            else:
+                # Free-standing variable: its minimum is its lower bound.
+                lo = self.lower[objective]
+                if lo is None:
+                    raise UnboundedError("objective is unbounded below")
+                self._update(objective, lo)
+                return lo
+
+        for _ in range(max_pivots):
+            # The objective's own lower bound is itself a constraint; once
+            # attained no further improvement is possible.
+            own_lower = self.lower[objective]
+            if own_lower is not None and self.assign[objective] <= own_lower:
+                return self.assign[objective]
+            row = self.rows[objective]
+            entering = None
+            direction = 0
+            for nonbasic in sorted(row):
+                coeff = row[nonbasic]
+                if coeff < 0 and self._can_increase(nonbasic):
+                    entering, direction = nonbasic, +1
+                    break
+                if coeff > 0 and self._can_decrease(nonbasic):
+                    entering, direction = nonbasic, -1
+                    break
+            if entering is None:
+                return self.assign[objective]
+            self._move_entering(entering, direction, objective)
+        raise SolverError("minimize() exceeded the pivot budget")
+
+    def _move_entering(self, entering: int, direction: int,
+                       objective: int) -> None:
+        """Move *entering* as far as bounds allow in *direction* (+1/-1)."""
+        # Limit from the entering variable's own bound.
+        best_theta: Optional[DeltaRational] = None
+        limiting: Optional[int] = None  # basic var that limits, or None
+        own_bound = self.upper[entering] if direction > 0 \
+            else self.lower[entering]
+        if own_bound is not None:
+            best_theta = (own_bound - self.assign[entering]) * direction
+        # Ratio test over the basic variables in the entering column.
+        # Ties broken toward the smallest variable index (Bland) to avoid
+        # cycling on degenerate vertices.
+        for basic in sorted(self.cols[entering]):
+            coeff = self.rows[basic][entering]
+            # d(basic) = coeff * direction per unit of theta.
+            slope = coeff * direction
+            if slope > 0:
+                bound = self.upper[basic]
+                if bound is None:
+                    continue
+                theta = (bound - self.assign[basic]) / slope
+            else:
+                bound = self.lower[basic]
+                if bound is None:
+                    continue
+                theta = (bound - self.assign[basic]) / slope
+            if best_theta is None or theta < best_theta:
+                best_theta = theta
+                limiting = basic
+        if best_theta is None:
+            raise UnboundedError("objective is unbounded below")
+        if limiting is None:
+            # The entering variable hits its own bound: plain update.
+            new_value = self.assign[entering] + best_theta * direction
+            self._update(entering, new_value)
+        else:
+            slope = self.rows[limiting][entering] * direction
+            target = self.upper[limiting] if slope > 0 else self.lower[limiting]
+            assert target is not None
+            if limiting == objective:
+                # Degenerate: the objective row limits itself; just update.
+                new_value = self.assign[entering] + best_theta * direction
+                self._update(entering, new_value)
+            else:
+                self._pivot_and_update(limiting, entering, target)
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+
+    def concrete_values(self) -> List[Fraction]:
+        """Resolve delta and return rational values for all variables."""
+        delta = resolve_delta(self.assign, self.lower, self.upper)
+        return [value.substitute(delta) for value in self.assign]
+
+    def value(self, var: int) -> DeltaRational:
+        return self.assign[var]

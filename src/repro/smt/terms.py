@@ -1,0 +1,452 @@
+"""Term language for the SMT solver: Booleans plus linear real arithmetic.
+
+The paper's encoding (Section III) uses exactly two sorts:
+
+* Booleans for the attack attributes (``p_i``, ``q_i``, ``a_i``, ...), and
+* Reals, combined linearly, for power flows, consumptions and phase angles
+  (the admittances ``d_i`` are constants, so every product is constant *
+  variable).
+
+This module therefore implements quantifier-free linear real arithmetic
+(QF_LRA).  Terms are built with overloaded operators::
+
+    x, y = RealVar("x"), RealVar("y")
+    p = BoolVar("p")
+    formula = implies(p, (2 * x - y <= 5) & (x > 0))
+
+Linear expressions are normalized eagerly into a coefficient map so that the
+theory solver receives canonical atoms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import SolverError
+from repro.smt.rational import to_fraction
+
+Number = Union[int, float, str, Fraction]
+
+_var_counter = itertools.count()
+
+
+# ---------------------------------------------------------------------------
+# Real (linear) expressions
+# ---------------------------------------------------------------------------
+
+class RealVar:
+    """A real-sorted SMT variable."""
+
+    __slots__ = ("name", "vid")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.vid = next(_var_counter)
+
+    def __repr__(self) -> str:
+        return f"RealVar({self.name})"
+
+    def __hash__(self) -> int:
+        return self.vid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    # Arithmetic promotes to LinExpr.
+    def _lin(self) -> "LinExpr":
+        return LinExpr({self: Fraction(1)}, Fraction(0))
+
+    def __add__(self, other): return self._lin() + other
+    def __radd__(self, other): return self._lin() + other
+    def __sub__(self, other): return self._lin() - other
+    def __rsub__(self, other): return (-self._lin()) + other
+    def __neg__(self): return -self._lin()
+    def __mul__(self, other): return self._lin() * other
+    def __rmul__(self, other): return self._lin() * other
+    def __truediv__(self, other): return self._lin() / other
+
+    # Comparisons build atoms.
+    def __le__(self, other): return self._lin() <= other
+    def __lt__(self, other): return self._lin() < other
+    def __ge__(self, other): return self._lin() >= other
+    def __gt__(self, other): return self._lin() > other
+
+    def eq(self, other) -> "BoolTerm":
+        return self._lin().eq(other)
+
+    def neq(self, other) -> "BoolTerm":
+        return self._lin().neq(other)
+
+
+class LinExpr:
+    """An immutable linear expression ``sum(coeff * var) + const``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[RealVar, Fraction], const: Fraction) -> None:
+        self.coeffs: Dict[RealVar, Fraction] = {
+            v: c for v, c in coeffs.items() if c != 0
+        }
+        self.const = const
+
+    @classmethod
+    def constant(cls, value: Number) -> "LinExpr":
+        return cls({}, to_fraction(value))
+
+    @classmethod
+    def of(cls, value: Union["LinExpr", RealVar, Number]) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, RealVar):
+            return value._lin()
+        return cls.constant(value)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr.of(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, Fraction(0)) + coeff
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-LinExpr.of(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.of(other) + (-self)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __mul__(self, scalar) -> "LinExpr":
+        if isinstance(scalar, (LinExpr, RealVar)):
+            raise SolverError("nonlinear product in QF_LRA term")
+        scalar = to_fraction(scalar)
+        return LinExpr({v: c * scalar for v, c in self.coeffs.items()},
+                       self.const * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar) -> "LinExpr":
+        scalar = to_fraction(scalar)
+        if scalar == 0:
+            raise ZeroDivisionError("division of linear expression by zero")
+        return self * (Fraction(1) / scalar)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __le__(self, other) -> "BoolTerm":
+        return Atom.make(self - LinExpr.of(other), Atom.LE)
+
+    def __lt__(self, other) -> "BoolTerm":
+        return Atom.make(self - LinExpr.of(other), Atom.LT)
+
+    def __ge__(self, other) -> "BoolTerm":
+        return Atom.make(LinExpr.of(other) - self, Atom.LE)
+
+    def __gt__(self, other) -> "BoolTerm":
+        return Atom.make(LinExpr.of(other) - self, Atom.LT)
+
+    def eq(self, other) -> "BoolTerm":
+        return Atom.make(self - LinExpr.of(other), Atom.EQ)
+
+    def neq(self, other) -> "BoolTerm":
+        return Not(self.eq(other))
+
+    # -- utilities -----------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, assignment: Mapping[RealVar, Fraction]) -> Fraction:
+        total = self.const
+        for var, coeff in self.coeffs.items():
+            total += coeff * assignment[var]
+        return total
+
+    def variables(self) -> Iterable[RealVar]:
+        return self.coeffs.keys()
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.name}" for v, c in sorted(
+            self.coeffs.items(), key=lambda item: item[0].vid)]
+        if self.const != 0 or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Boolean terms
+# ---------------------------------------------------------------------------
+
+class BoolTerm:
+    """Base class for Boolean-sorted terms."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "BoolTerm") -> "BoolTerm":
+        return And(self, other)
+
+    def __or__(self, other: "BoolTerm") -> "BoolTerm":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolTerm":
+        return Not(self)
+
+
+class BoolConst(BoolTerm):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class BoolVar(BoolTerm):
+    """A Boolean-sorted SMT variable."""
+
+    __slots__ = ("name", "vid")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.vid = next(_var_counter)
+
+    def __repr__(self) -> str:
+        return f"BoolVar({self.name})"
+
+    def __hash__(self) -> int:
+        return self.vid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Not(BoolTerm):
+    __slots__ = ("arg",)
+
+    def __new__(cls, arg: BoolTerm):
+        # Collapse double negation and constants for smaller CNF.
+        if isinstance(arg, Not):
+            return arg.arg
+        if isinstance(arg, BoolConst):
+            return FALSE if arg.value else TRUE
+        self = object.__new__(cls)
+        self.arg = arg
+        return self
+
+    def __repr__(self) -> str:
+        return f"Not({self.arg!r})"
+
+
+def _flatten(cls, args: Sequence[BoolTerm]) -> Tuple[BoolTerm, ...]:
+    flat = []
+    for arg in args:
+        if isinstance(arg, cls):
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    return tuple(flat)
+
+
+class And(BoolTerm):
+    __slots__ = ("args",)
+
+    def __new__(cls, *args: BoolTerm):
+        flat = [a for a in _flatten(cls, args)
+                if not (isinstance(a, BoolConst) and a.value)]
+        if any(isinstance(a, BoolConst) and not a.value for a in flat):
+            return FALSE
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        self = object.__new__(cls)
+        self.args = tuple(flat)
+        return self
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.args))})"
+
+
+class Or(BoolTerm):
+    __slots__ = ("args",)
+
+    def __new__(cls, *args: BoolTerm):
+        flat = [a for a in _flatten(cls, args)
+                if not (isinstance(a, BoolConst) and not a.value)]
+        if any(isinstance(a, BoolConst) and a.value for a in flat):
+            return TRUE
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        self = object.__new__(cls)
+        self.args = tuple(flat)
+        return self
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.args))})"
+
+
+def implies(antecedent: BoolTerm, consequent: BoolTerm) -> BoolTerm:
+    """Logical implication ``antecedent -> consequent``."""
+    return Or(Not(antecedent), consequent)
+
+
+def iff(left: BoolTerm, right: BoolTerm) -> BoolTerm:
+    """Logical equivalence ``left <-> right``."""
+    return And(implies(left, right), implies(right, left))
+
+
+def ite(cond: BoolTerm, then: BoolTerm, other: BoolTerm) -> BoolTerm:
+    """Boolean if-then-else."""
+    return And(implies(cond, then), implies(Not(cond), other))
+
+
+class AtMost(BoolTerm):
+    """Cardinality constraint ``sum(args) <= bound`` over Boolean args.
+
+    Used for the attacker resource limits (paper Eq. 22).  Encoded to CNF
+    with the sequential-counter encoding in :mod:`repro.smt.cnf`.
+    """
+
+    __slots__ = ("args", "bound")
+
+    def __new__(cls, args: Sequence[BoolTerm], bound: int):
+        args = tuple(args)
+        if bound < 0:
+            if not args:
+                return FALSE
+        if bound >= len(args):
+            return TRUE
+        self = object.__new__(cls)
+        self.args = args
+        self.bound = bound
+        return self
+
+    def __repr__(self) -> str:
+        return f"AtMost({len(self.args)} args, <= {self.bound})"
+
+
+def at_most(args: Sequence[BoolTerm], bound: int) -> BoolTerm:
+    return AtMost(args, bound)
+
+
+def at_least(args: Sequence[BoolTerm], bound: int) -> BoolTerm:
+    """``sum(args) >= bound`` via ``sum(not args) <= n - bound``."""
+    args = tuple(args)
+    if bound <= 0:
+        return TRUE
+    if bound > len(args):
+        return FALSE
+    return AtMost(tuple(Not(a) for a in args), len(args) - bound)
+
+
+def exactly(args: Sequence[BoolTerm], bound: int) -> BoolTerm:
+    return And(at_most(args, bound), at_least(args, bound))
+
+
+# ---------------------------------------------------------------------------
+# Theory atoms
+# ---------------------------------------------------------------------------
+
+class Atom(BoolTerm):
+    """A normalized linear-arithmetic atom ``expr OP bound``.
+
+    Canonical form: ``expr`` carries no constant term and its first
+    coefficient (in variable-id order) is positive; the constant is moved to
+    ``bound``.  ``op`` is one of :data:`LE`, :data:`LT`, :data:`EQ`.  ``GE``,
+    ``GT`` and disequalities are rewritten during construction so the theory
+    solver sees only three operator kinds.
+    """
+
+    LE = "<="
+    LT = "<"
+    EQ = "=="
+
+    __slots__ = ("expr", "op", "bound", "key")
+
+    def __new__(cls, expr: LinExpr, op: str, bound: Fraction, key: tuple):
+        self = object.__new__(cls)
+        self.expr = expr
+        self.op = op
+        self.bound = bound
+        self.key = key
+        return self
+
+    @staticmethod
+    def make(diff: LinExpr, op: str) -> BoolTerm:
+        """Build a canonical atom from ``diff OP 0``; fold constants."""
+        if diff.is_constant:
+            value = diff.const
+            if op == Atom.LE:
+                return TRUE if value <= 0 else FALSE
+            if op == Atom.LT:
+                return TRUE if value < 0 else FALSE
+            return TRUE if value == 0 else FALSE
+
+        bound = -diff.const
+        expr = LinExpr(diff.coeffs, Fraction(0))
+        # Scale so the smallest-vid coefficient is +1 (canonical).
+        first_var = min(expr.coeffs, key=lambda v: v.vid)
+        scale = expr.coeffs[first_var]
+        negate = scale < 0
+        expr = expr / scale if not negate else expr / scale
+        bound = bound / scale
+        if negate and op != Atom.EQ:
+            # Dividing by a negative flips the inequality:
+            #   expr <= b  ->  expr' >= b'  ->  -(expr' < b')... handle by
+            # rewriting:  expr' >= b'  ==  Not(expr' < b').
+            inner_op = Atom.LT if op == Atom.LE else Atom.LE
+            atom = Atom._intern(expr, inner_op, bound)
+            return Not(atom)
+        return Atom._intern(expr, op, bound)
+
+    _interned: Dict[tuple, "Atom"] = {}
+
+    @staticmethod
+    def _intern(expr: LinExpr, op: str, bound: Fraction) -> "Atom":
+        key = (tuple(sorted(((v.vid, c) for v, c in expr.coeffs.items()))),
+               op, bound)
+        atom = Atom._interned.get(key)
+        if atom is None:
+            atom = Atom.__new__(Atom, expr, op, bound, key)
+            Atom._interned[key] = atom
+        return atom
+
+    def evaluate(self, assignment: Mapping[RealVar, Fraction]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.op == Atom.LE:
+            return value <= self.bound
+        if self.op == Atom.LT:
+            return value < self.bound
+        return value == self.bound
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"Atom({self.expr!r} {self.op} {self.bound})"
+
+
+def linear_sum(terms: Iterable[Union[LinExpr, RealVar, Number]]) -> LinExpr:
+    """Sum an iterable of linear expressions/variables/constants."""
+    total = LinExpr.constant(0)
+    for term in terms:
+        total = total + LinExpr.of(term)
+    return total

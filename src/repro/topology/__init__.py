@@ -1,0 +1,12 @@
+"""Topology processing substrate: breaker statuses and the topology
+processor that maps them into the network model the EMS believes."""
+
+from repro.topology.statuses import LineStatus, StatusTelemetry
+from repro.topology.processor import TopologyProcessor, TopologyView
+
+__all__ = [
+    "LineStatus",
+    "StatusTelemetry",
+    "TopologyProcessor",
+    "TopologyView",
+]

@@ -1,0 +1,87 @@
+"""The topology processor (paper Section II-C).
+
+Maps telemetered breaker statuses into the *believed* topology — the set
+of lines the EMS considers closed (the paper's ``k_i``).  State estimation
+and OPF both run against this view; poisoning the statuses therefore
+poisons everything downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.exceptions import ModelError
+from repro.grid.network import Grid
+from repro.topology.statuses import LineStatus, StatusTelemetry
+
+
+@dataclass
+class TopologyView:
+    """The processor's output: which lines the EMS believes are closed.
+
+    ``mapped_lines`` is the believed topology (k_i true); the exclusion /
+    inclusion diagnostics compare it with the physical truth.
+    """
+
+    grid: Grid
+    mapped_lines: List[int]
+
+    @property
+    def excluded_lines(self) -> List[int]:
+        """In-service lines the EMS wrongly believes are open (p_i)."""
+        mapped = set(self.mapped_lines)
+        return [l.index for l in self.grid.lines
+                if l.in_service and l.index not in mapped]
+
+    @property
+    def included_lines(self) -> List[int]:
+        """Open lines the EMS wrongly believes are closed (q_i)."""
+        return [i for i in self.mapped_lines
+                if not self.grid.line(i).in_service]
+
+    @property
+    def is_faithful(self) -> bool:
+        return not self.excluded_lines and not self.included_lines
+
+    def is_connected(self) -> bool:
+        return self.grid.is_connected(self.mapped_lines)
+
+
+class TopologyProcessor:
+    """Builds the believed topology from status telemetry."""
+
+    def __init__(self, grid: Grid) -> None:
+        self.grid = grid
+
+    def map_topology(self, telemetry: Optional[StatusTelemetry] = None
+                     ) -> TopologyView:
+        """Map the telemetry into a :class:`TopologyView`.
+
+        With no telemetry supplied, uses faithful reports derived from the
+        physical line statuses.
+        """
+        if telemetry is None:
+            telemetry = StatusTelemetry.from_grid(self.grid)
+        mapped = []
+        for line in self.grid.lines:
+            if telemetry.status(line.index) is LineStatus.CLOSED:
+                mapped.append(line.index)
+        return TopologyView(self.grid, mapped)
+
+    def validate(self, view: TopologyView) -> List[str]:
+        """Operational sanity checks a real processor would run.
+
+        Returns a list of human-readable warnings (empty when clean).
+        The checks intentionally do *not* catch stealthy single-line
+        errors — that is the vulnerability the paper exploits.
+        """
+        warnings = []
+        if not view.is_connected():
+            warnings.append("believed topology is disconnected")
+        for bus in self.grid.buses:
+            incident = [l for l in self.grid.lines_at(bus.index)
+                        if l.index in set(view.mapped_lines)]
+            if not incident:
+                warnings.append(f"bus {bus.index} is isolated")
+        return warnings

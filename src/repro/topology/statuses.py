@@ -1,0 +1,83 @@
+"""Breaker/switch status telemetry.
+
+Each line's breakers report OPEN or CLOSED; the collection of reports is
+what the topology processor consumes.  Status integrity mirrors the
+paper's line attributes: a *secured* status cannot be spoofed, a *fixed*
+(core) line is never legitimately opened.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import ModelError
+from repro.grid.network import Grid
+
+
+class LineStatus(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+
+    @classmethod
+    def of(cls, in_service: bool) -> "LineStatus":
+        return cls.CLOSED if in_service else cls.OPEN
+
+
+@dataclass(frozen=True)
+class StatusReport:
+    """One line's reported breaker status."""
+
+    line_index: int
+    status: LineStatus
+    spoofed: bool = False
+
+
+class StatusTelemetry:
+    """The full set of status reports arriving at the control center.
+
+    Build from the physical grid with :meth:`from_grid`, then apply
+    spoofing with :meth:`spoof` (which enforces the security flags).
+    """
+
+    def __init__(self, reports: Dict[int, StatusReport]) -> None:
+        self.reports = dict(reports)
+
+    @classmethod
+    def from_grid(cls, grid: Grid) -> "StatusTelemetry":
+        """Faithful telemetry: reported status equals true status."""
+        return cls({
+            line.index: StatusReport(line.index,
+                                     LineStatus.of(line.in_service))
+            for line in grid.lines
+        })
+
+    def status(self, line_index: int) -> LineStatus:
+        try:
+            return self.reports[line_index].status
+        except KeyError:
+            raise ModelError(f"no status report for line {line_index}")
+
+    def spoof(self, line_index: int, status: LineStatus,
+              secured: bool = False) -> "StatusTelemetry":
+        """A copy with one line's report falsified.
+
+        Raises :class:`ModelError` when the status channel is secured —
+        the spoof would be rejected (paper Eqs. 11-12 preconditions).
+        """
+        if secured:
+            raise ModelError(
+                f"status of line {line_index} is integrity-protected")
+        if line_index not in self.reports:
+            raise ModelError(f"no status report for line {line_index}")
+        reports = dict(self.reports)
+        reports[line_index] = StatusReport(line_index, status, spoofed=True)
+        return StatusTelemetry(reports)
+
+    def spoofed_lines(self) -> List[int]:
+        return sorted(i for i, r in self.reports.items() if r.spoofed)
+
+    def closed_lines(self) -> List[int]:
+        return sorted(i for i, r in self.reports.items()
+                      if r.status is LineStatus.CLOSED)

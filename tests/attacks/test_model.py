@@ -1,0 +1,69 @@
+"""Tests for the attacker model (Table I attributes)."""
+
+import pytest
+
+from repro.attacks.model import AttackerModel
+from repro.grid.cases import get_case
+
+
+@pytest.fixture
+def attacker():
+    return AttackerModel.from_case(get_case("5bus-study1"))
+
+
+class TestLineQueries:
+    def test_exclusion_candidates_study1(self, attacker):
+        # Only line 6 is in service, outside the core, status unsecured
+        # and alterable.
+        assert attacker.exclusion_candidates() == [6]
+
+    def test_no_inclusion_candidates_study1(self, attacker):
+        # Every line is in the true topology.
+        assert attacker.inclusion_candidates() == []
+
+    def test_core_line_not_excludable(self, attacker):
+        assert not attacker.can_exclude(1)   # core + not alterable
+        assert not attacker.can_exclude(3)   # core
+        assert not attacker.can_exclude(5)   # status secured
+
+    def test_knowledge(self, attacker):
+        assert all(attacker.knows_admittance(i) for i in range(1, 8))
+
+
+class TestMeasurementQueries:
+    def test_alterable_requires_access_and_no_security(self, attacker):
+        assert attacker.can_alter_measurement(6)
+        assert not attacker.can_alter_measurement(1)   # secured
+        assert not attacker.can_alter_measurement(12)  # accessible, secured
+        assert not attacker.can_alter_measurement(11)  # no access
+
+    def test_alterable_measurements_study1(self, attacker):
+        # Accessible and unsecured: 6, 7, 10, 13, 17, 18.
+        assert attacker.alterable_measurements() == [6, 7, 10, 13, 17, 18]
+
+    def test_compromised_buses(self, attacker):
+        assert attacker.compromised_buses({6, 13, 17, 18}) == {3, 4}
+
+
+class TestAlterationSetChecks:
+    def test_paper_attack_set_is_valid(self, attacker):
+        assert attacker.check_alteration_set({6, 13, 17, 18}) == []
+
+    def test_secured_measurement_rejected(self, attacker):
+        problems = attacker.check_alteration_set({6, 12})
+        assert any("secured" in p for p in problems)
+
+    def test_inaccessible_rejected(self, attacker):
+        problems = attacker.check_alteration_set({11})
+        assert any("not accessible" in p for p in problems)
+        assert any("not taken" in p for p in problems)
+
+    def test_measurement_budget(self, attacker):
+        attacker.max_measurements = 2
+        problems = attacker.check_alteration_set({6, 13, 17})
+        assert any("exceed the budget" in p for p in problems)
+
+    def test_bus_budget(self, attacker):
+        attacker.max_buses = 1
+        problems = attacker.check_alteration_set({6, 13})
+        assert any("T_B" in p for p in problems)

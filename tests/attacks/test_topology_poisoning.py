@@ -1,0 +1,172 @@
+"""End-to-end tests of topology poisoning: craft the false data, feed the
+poisoned telemetry through the topology processor, WLS estimator and bad
+data detector, and confirm the EMS ends up believing the attacker's lie."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.model import AttackerModel
+from repro.attacks.topology_poisoning import (
+    apply_to_readings,
+    apply_to_telemetry,
+    craft_topology_attack,
+    validate_against_attacker,
+)
+from repro.estimation.bdd import BadDataDetector
+from repro.estimation.measurement import MeasurementPlan, TelemetrySimulator
+from repro.estimation.wls import WlsEstimator
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.opf import solve_dc_opf
+from repro.topology import StatusTelemetry, TopologyProcessor
+
+
+@pytest.fixture
+def setup():
+    grid = get_case("5bus-study2").build_grid()
+    plan = MeasurementPlan.full(grid)
+    base = solve_dc_opf(grid, method="exact").require_feasible()
+    dispatch = {b: float(v) for b, v in base.dispatch.items()}
+    pf = solve_dc_power_flow(grid, dispatch)
+    return grid, plan, dispatch, pf
+
+
+class TestCrafting:
+    def test_exclusion_deltas_match_paper_equations(self, setup):
+        grid, plan, dispatch, pf = setup
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        f6 = pf.flows[6]
+        l = grid.num_lines
+        # Eq. 13: the line's flow measurements zero out.
+        assert attack.measurement_deltas[6] == pytest.approx(-f6)
+        assert attack.measurement_deltas[l + 6] == pytest.approx(f6)
+        # Eq. 16: endpoint consumptions absorb the flow.
+        assert attack.measurement_deltas[2 * l + 3] == pytest.approx(f6)
+        assert attack.measurement_deltas[2 * l + 4] == pytest.approx(-f6)
+        assert attack.believed_load_changes == pytest.approx(
+            {3: f6, 4: -f6})
+
+    def test_open_line_cannot_be_excluded(self, setup):
+        grid, _, _, pf = setup
+        modified = grid.with_line_statuses({6: False})
+        with pytest.raises(ModelError):
+            craft_topology_attack(modified, pf.flows, pf.angles,
+                                  excluded=[6])
+
+    def test_closed_line_cannot_be_included(self, setup):
+        grid, _, _, pf = setup
+        with pytest.raises(ModelError):
+            craft_topology_attack(grid, pf.flows, pf.angles, included=[6])
+
+    def test_inclusion_flow_from_angles(self, setup):
+        grid, _, dispatch, _ = setup
+        physical = grid.with_line_statuses({5: False})
+        pf = solve_dc_power_flow(physical, dispatch)
+        attack = craft_topology_attack(physical, pf.flows, pf.angles,
+                                       included=[5])
+        line = physical.line(5)
+        would_be = float(line.admittance) * (
+            pf.angles[line.from_bus] - pf.angles[line.to_bus])
+        assert attack.measurement_deltas[5] == pytest.approx(would_be)
+
+    def test_state_shift_reference_rejected(self, setup):
+        grid, _, _, pf = setup
+        with pytest.raises(ModelError):
+            craft_topology_attack(grid, pf.flows, pf.angles,
+                                  excluded=[6], state_shift={1: 0.1})
+
+    def test_believed_topology(self, setup):
+        grid, _, _, pf = setup
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        assert attack.believed_topology(grid) == [1, 2, 3, 4, 5, 7]
+
+
+class TestEndToEnd:
+    def run_pipeline(self, grid, plan, dispatch, pf, attack, sigma=0.003):
+        """Poison statuses + readings, run the full EMS pipeline."""
+        telemetry = apply_to_telemetry(attack,
+                                       StatusTelemetry.from_grid(grid))
+        view = TopologyProcessor(grid).map_topology(telemetry)
+        simulator = TelemetrySimulator(plan, sigma=sigma, seed=23)
+        z = simulator.readings(pf.flows, pf.consumption)
+        attacked = apply_to_readings(attack, plan, z)
+        estimator = WlsEstimator(plan, topology=view.mapped_lines)
+        detector = BadDataDetector(estimator, sigma=sigma)
+        return view, estimator, detector, attacked
+
+    def test_exclusion_fools_ems_without_detection(self, setup):
+        grid, plan, dispatch, pf = setup
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        view, estimator, detector, attacked = self.run_pipeline(
+            grid, plan, dispatch, pf, attack)
+        assert view.excluded_lines == [6]
+        report = detector.test(attacked)
+        assert not report.detected
+        estimate = estimator.estimate(attacked)
+        loads = estimate.estimated_loads(grid, dispatch)
+        expected_3 = float(grid.loads[3].existing) + pf.flows[6]
+        assert loads[3] == pytest.approx(expected_3, abs=0.02)
+
+    def test_state_strengthened_attack_undetected(self, setup):
+        grid, plan, dispatch, pf = setup
+        attack = craft_topology_attack(
+            grid, pf.flows, pf.angles, excluded=[6],
+            state_shift={3: pf.flows[6] / float(grid.line(3).admittance)})
+        view, estimator, detector, attacked = self.run_pipeline(
+            grid, plan, dispatch, pf, attack)
+        report = detector.test(attacked)
+        assert not report.detected
+        # The state shift moves the believed load change from bus 3 to
+        # bus 2 (the case-study-2 trick).
+        estimate = estimator.estimate(attacked)
+        loads = estimate.estimated_loads(grid, dispatch)
+        assert loads[3] == pytest.approx(float(grid.loads[3].existing),
+                                         abs=0.02)
+        assert loads[2] > float(grid.loads[2].existing) + 0.02
+
+    def test_naive_status_spoof_without_data_injection_is_detected(
+            self, setup):
+        """Spoofing the breaker but not the meters trips the BDD."""
+        grid, plan, dispatch, pf = setup
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        telemetry = apply_to_telemetry(attack,
+                                       StatusTelemetry.from_grid(grid))
+        view = TopologyProcessor(grid).map_topology(telemetry)
+        sigma = 0.003
+        z = TelemetrySimulator(plan, sigma=sigma, seed=23).readings(
+            pf.flows, pf.consumption)
+        estimator = WlsEstimator(plan, topology=view.mapped_lines)
+        detector = BadDataDetector(estimator, sigma=sigma)
+        # No measurement alteration: the inconsistency is visible.
+        assert detector.test(z).detected
+
+
+class TestAttackerValidation:
+    def test_study2_attack_within_power(self, setup):
+        grid, plan, dispatch, pf = setup
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        assert validate_against_attacker(attack, attacker) == []
+
+    def test_core_line_rejected(self, setup):
+        grid, plan, dispatch, pf = setup
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[1])
+        problems = validate_against_attacker(attack, attacker)
+        assert any("cannot be excluded" in p for p in problems)
+
+    def test_budget_violations_detected(self, setup):
+        grid, plan, dispatch, pf = setup
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        attacker.max_measurements = 1
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6])
+        problems = validate_against_attacker(attack, attacker)
+        assert any("budget" in p for p in problems)

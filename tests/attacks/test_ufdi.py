@@ -1,0 +1,115 @@
+"""Tests for UFDI attack construction and restricted attack spaces."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.model import AttackerModel
+from repro.attacks.ufdi import (
+    craft_attack,
+    feasible_attack,
+    restricted_attack_space,
+)
+from repro.estimation.bdd import BadDataDetector
+from repro.estimation.measurement import MeasurementPlan, TelemetrySimulator
+from repro.estimation.wls import WlsEstimator
+from repro.exceptions import ModelError
+from repro.grid.caseio import MeasurementSpec
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.dcpf import solve_dc_power_flow
+
+
+@pytest.fixture
+def grid():
+    return get_case("5bus-study2").build_grid()
+
+
+class TestCraft:
+    def test_state_shift_recovered_by_estimator(self, grid):
+        """The crafted attack shifts the estimate by exactly c."""
+        plan = MeasurementPlan.full(grid)
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(grid.generators.values()), grid.total_load()).items()}
+        pf = solve_dc_power_flow(grid, dispatch)
+        z = TelemetrySimulator(plan, sigma=0.0).readings(
+            pf.flows, pf.consumption)
+        attack = craft_attack(grid, {3: 0.02})
+        taken = plan.taken_indices()
+        attacked = z + np.array([
+            attack.measurement_deltas.get(i, 0.0) for i in taken])
+        estimate = WlsEstimator(plan).estimate(attacked)
+        assert estimate.angles[3] == pytest.approx(pf.angles[3] + 0.02,
+                                                   abs=1e-9)
+        assert estimate.angles[2] == pytest.approx(pf.angles[2], abs=1e-9)
+
+    def test_attack_is_stealthy(self, grid):
+        plan = MeasurementPlan.full(grid)
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(grid.generators.values()), grid.total_load()).items()}
+        pf = solve_dc_power_flow(grid, dispatch)
+        sigma = 0.004
+        z = TelemetrySimulator(plan, sigma=sigma, seed=11).readings(
+            pf.flows, pf.consumption)
+        attack = craft_attack(grid, {3: 0.05, 4: -0.02})
+        vector = np.array([attack.measurement_deltas.get(i, 0.0)
+                           for i in plan.taken_indices()])
+        detector = BadDataDetector(WlsEstimator(plan), sigma=sigma)
+        assert detector.residual_unchanged_by(z, vector)
+
+    def test_reference_shift_rejected(self, grid):
+        with pytest.raises(ModelError):
+            craft_attack(grid, {1: 0.1})
+
+    def test_unknown_bus_rejected(self, grid):
+        with pytest.raises(ModelError):
+            craft_attack(grid, {17: 0.1})
+
+    def test_infected_states_listed(self, grid):
+        attack = craft_attack(grid, {3: 0.05, 4: 0.0})
+        assert attack.infected_states == [3]
+
+
+class TestRestrictedSpace:
+    def test_unrestricted_space_is_full(self, grid):
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        # Pretend nothing is protected.
+        specs = [MeasurementSpec(i, True, False, True)
+                 for i in range(1, 20)]
+        attacker.plan = MeasurementPlan(grid, specs)
+        basis = restricted_attack_space(attacker)
+        assert basis.shape == (4, 4)
+
+    def test_study2_restrictions_pin_states_2_and_5(self, grid):
+        """Secured bus-1 measurements (m1, m2, m15) force c_2 = c_5 = 0."""
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        basis = restricted_attack_space(attacker)
+        assert basis.shape[1] == 2  # only states 3 and 4 are free
+        # Rows are ordered by state_order: buses 2, 3, 4, 5.
+        assert np.allclose(basis[0], 0, atol=1e-9)   # state 2 pinned
+        assert np.allclose(basis[3], 0, atol=1e-9)   # state 5 pinned
+
+    def test_fully_protected_space_is_empty(self, grid):
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        specs = [MeasurementSpec(i, True, True, False)
+                 for i in range(1, 20)]
+        attacker.plan = MeasurementPlan(grid, specs)
+        basis = restricted_attack_space(attacker)
+        assert basis.shape[1] == 0
+
+
+class TestFeasibleAttack:
+    def test_study2_feasible_attack_exists(self, grid):
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        attack = feasible_attack(attacker)
+        assert attack is not None
+        # Only alterable measurements are touched.
+        for index in attack.altered_measurements:
+            if attacker.plan.is_taken(index):
+                assert attacker.can_alter_measurement(index)
+
+    def test_fully_protected_returns_none(self, grid):
+        attacker = AttackerModel.from_case(get_case("5bus-study2"), grid)
+        specs = [MeasurementSpec(i, True, True, False)
+                 for i in range(1, 20)]
+        attacker.plan = MeasurementPlan(grid, specs)
+        assert feasible_attack(attacker) is None

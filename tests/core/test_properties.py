@@ -1,0 +1,170 @@
+"""Property-based tests of the cross-module invariants the paper's
+framework rests on.
+
+These are the load-bearing facts of the whole analysis:
+
+1. any crafted topology-poisoning attack (random line, random operating
+   point, random state shift) leaves the WLS residual unchanged —
+   *stealthiness by construction*;
+2. believed-load changes always sum to zero — undetected attacks cannot
+   change the total system loading (paper Section II-F);
+3. the believed system of a pure exclusion attack always admits the
+   physical operating point, hence its optimal cost never exceeds the
+   current operating cost — the containment argument behind the
+   framework's pure-topology pruning;
+4. shrinking line capacities never decreases the OPF optimum
+   (monotonicity of the impact mechanism).
+"""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import apply_to_readings, craft_topology_attack
+from repro.estimation import (
+    MeasurementPlan,
+    TelemetrySimulator,
+    WlsEstimator,
+)
+from repro.grid.cases import get_case
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.opf import solve_dc_opf
+from repro.opf.cost import total_cost
+
+
+def random_operating_point(grid, rng):
+    """A random dispatch meeting the total load (ignores line limits —
+    stealthiness must hold at any physically consistent point)."""
+    gens = list(grid.generators.values())
+    total = float(grid.total_load())
+    weights = [rng.random() for _ in gens]
+    scale = total / sum(weights)
+    dispatch = {g.bus: weights[i] * scale for i, g in enumerate(gens)}
+    return dispatch
+
+
+class TestStealthinessInvariant:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_any_crafted_attack_preserves_residual(self, seed):
+        rng = random.Random(seed)
+        grid = get_case("5bus-study2").build_grid()
+        plan = MeasurementPlan.full(grid)
+        dispatch = random_operating_point(grid, rng)
+        pf = solve_dc_power_flow(grid, dispatch)
+
+        excluded = []
+        candidates = [l.index for l in grid.lines]
+        line = rng.choice(candidates)
+        remaining = [i for i in candidates if i != line]
+        if grid.is_connected(remaining):
+            excluded = [line]
+        shift = {}
+        if rng.random() < 0.7:
+            bus = rng.choice([2, 3, 4, 5])
+            shift[bus] = rng.uniform(-0.05, 0.05)
+
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=excluded,
+                                       state_shift=shift)
+        believed = attack.believed_topology(grid)
+        if not grid.is_connected(believed):
+            return
+
+        # (a) Noise-free: the poisoned readings are *exactly* consistent
+        # with the believed topology — zero systematic residual.
+        clean = TelemetrySimulator(plan, sigma=0.0).readings(
+            pf.flows, pf.consumption)
+        poisoned_estimator = WlsEstimator(plan, topology=believed)
+        exact = poisoned_estimator.estimate(
+            apply_to_readings(attack, plan, clean))
+        assert exact.residual_norm == pytest.approx(0.0, abs=1e-8)
+
+        # (b) With realistic noise, the bad-data detector stays quiet.
+        # Significance 1e-6 keeps the chi-square test's own false-positive
+        # rate out of the property: a *systematic* inconsistency (see the
+        # naive-spoof test in tests/attacks) exceeds the threshold by
+        # orders of magnitude, noise never does at this level.
+        from repro.estimation import BadDataDetector
+        sigma = 0.004
+        z = TelemetrySimulator(plan, sigma=sigma, seed=seed).readings(
+            pf.flows, pf.consumption)
+        poisoned = apply_to_readings(attack, plan, z)
+        detector = BadDataDetector(poisoned_estimator, sigma=sigma,
+                                   significance=1e-6)
+        assert not detector.test(poisoned).detected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_believed_load_changes_sum_to_zero(self, seed):
+        rng = random.Random(seed)
+        grid = get_case("5bus-study2").build_grid()
+        dispatch = random_operating_point(grid, rng)
+        pf = solve_dc_power_flow(grid, dispatch)
+        shift = {rng.choice([2, 3, 4, 5]): rng.uniform(-0.1, 0.1)}
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[6], state_shift=shift)
+        assert sum(attack.believed_load_changes.values()) == \
+            pytest.approx(0.0, abs=1e-9)
+
+
+class TestContainmentInvariant:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_pure_exclusion_believed_optimum_bounded_by_current_cost(
+            self, seed):
+        """Believed min cost <= current cost for any consistent pure
+        exclusion attack launched from a *capacity-feasible* point."""
+        rng = random.Random(seed)
+        grid = get_case("5bus-study1").build_grid()
+        # Use a dispatch from a (randomly re-weighted) feasible OPF so
+        # flows respect capacities.
+        loads = {bus: load.existing for bus, load in grid.loads.items()}
+        result = solve_dc_opf(grid, loads=loads, method="highs")
+        if not result.feasible:
+            return
+        dispatch = {b: float(v) for b, v in result.dispatch.items()}
+        pf = solve_dc_power_flow(grid, dispatch)
+        current_cost = float(total_cost(list(grid.generators.values()),
+                                        result.dispatch))
+
+        line = rng.choice([l.index for l in grid.lines])
+        remaining = [l.index for l in grid.lines if l.index != line]
+        if not grid.is_connected(remaining):
+            return
+        attack = craft_topology_attack(grid, pf.flows, pf.angles,
+                                       excluded=[line])
+        believed_loads = {
+            bus: Fraction(str(round(
+                float(load.existing)
+                + attack.believed_load_changes.get(bus, 0.0), 9)))
+            for bus, load in grid.loads.items()
+        }
+        believed = solve_dc_opf(grid, loads=believed_loads,
+                                line_indices=remaining, method="highs")
+        assert believed.feasible
+        assert float(believed.cost) <= current_cost + 1e-6
+
+
+class TestCapacityMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_tighter_capacities_never_cheaper(self, seed):
+        from dataclasses import replace
+        from repro.grid.network import Grid
+        rng = random.Random(seed)
+        grid = get_case("ieee14").build_grid()
+        factor = Fraction(rng.randint(50, 99), 100)
+        lines = [replace(l, capacity=l.capacity * factor)
+                 for l in grid.lines]
+        tight = Grid(grid.buses, lines, list(grid.generators.values()),
+                     list(grid.loads.values()))
+        base = solve_dc_opf(grid, method="highs")
+        squeezed = solve_dc_opf(tight, method="highs")
+        assert base.feasible
+        if squeezed.feasible:
+            assert float(squeezed.cost) >= float(base.cost) - 1e-6

@@ -1,0 +1,115 @@
+"""Tests for the measurement catalog, plans and telemetry simulation."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.measurement import (
+    MeasurementPlan,
+    MeasurementType,
+    TelemetrySimulator,
+    measurement_catalog,
+)
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.dcpf import solve_dc_power_flow
+
+
+@pytest.fixture
+def case():
+    return get_case("5bus-study1")
+
+
+@pytest.fixture
+def grid(case):
+    return case.build_grid()
+
+
+@pytest.fixture
+def plan(case, grid):
+    return MeasurementPlan.from_case(case, grid)
+
+
+class TestCatalog:
+    def test_count_is_2l_plus_b(self, grid):
+        catalog = measurement_catalog(grid)
+        assert len(catalog) == 2 * 7 + 5
+
+    def test_paper_numbering(self, grid):
+        catalog = measurement_catalog(grid)
+        # m6: forward flow of line 6, at its from-bus 3.
+        m6 = catalog[5]
+        assert m6.mtype is MeasurementType.FORWARD_FLOW
+        assert m6.line_index == 6 and m6.location_bus == 3
+        # m13: backward flow of line 6, at its to-bus 4.
+        m13 = catalog[12]
+        assert m13.mtype is MeasurementType.BACKWARD_FLOW
+        assert m13.line_index == 6 and m13.location_bus == 4
+        # m17: consumption at bus 3.
+        m17 = catalog[16]
+        assert m17.mtype is MeasurementType.BUS_CONSUMPTION
+        assert m17.bus_index == 3 and m17.location_bus == 3
+
+
+class TestPlan:
+    def test_flags_from_case(self, plan):
+        assert not plan.is_taken(4)
+        assert plan.is_secured(1)
+        assert plan.is_alterable(6)
+        assert not plan.is_alterable(1)
+
+    def test_taken_indices(self, plan):
+        taken = plan.taken_indices()
+        assert 4 not in taken and 8 not in taken
+        assert len(taken) == 15
+
+    def test_locations(self, plan):
+        assert plan.location_of(6) == 3
+        assert plan.location_of(13) == 4
+        assert plan.location_of(19) == 5
+        assert set(plan.measurements_at(3)) == {6, 10, 17}
+
+    def test_line_and_bus_helpers(self, plan):
+        assert plan.flow_measurements_of_line(6) == (6, 13)
+        assert plan.consumption_measurement_of_bus(3) == 17
+
+    def test_full_plan(self, grid):
+        plan = MeasurementPlan.full(grid)
+        assert len(plan.taken_indices()) == 19
+        assert all(plan.is_alterable(i) for i in range(1, 20))
+
+    def test_wrong_spec_count_rejected(self, grid, case):
+        with pytest.raises(ModelError):
+            MeasurementPlan(grid, case.measurement_specs[:-1])
+
+    def test_describe(self, plan):
+        assert "line 6" in plan.describe(6)
+        assert "bus 3" in plan.describe(17)
+
+
+class TestTelemetry:
+    def test_noise_free_values_match_physics(self, grid, plan):
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(grid.generators.values()), grid.total_load()).items()}
+        pf = solve_dc_power_flow(grid, dispatch)
+        simulator = TelemetrySimulator(plan, sigma=0.0)
+        values = simulator.true_values(pf.flows, pf.consumption)
+        assert values[5] == pytest.approx(pf.flow(6))       # m6 forward
+        assert values[12] == pytest.approx(-pf.flow(6))     # m13 backward
+        assert values[16] == pytest.approx(pf.consumption[3])  # m17
+
+    def test_readings_only_for_taken(self, grid, plan):
+        simulator = TelemetrySimulator(plan, sigma=0.0)
+        readings = simulator.readings({}, {})
+        assert len(readings) == len(plan.taken_indices())
+
+    def test_noise_is_seeded(self, grid, plan):
+        a = TelemetrySimulator(plan, sigma=0.01, seed=42).readings({}, {})
+        b = TelemetrySimulator(plan, sigma=0.01, seed=42).readings({}, {})
+        assert np.allclose(a, b)
+        c = TelemetrySimulator(plan, sigma=0.01, seed=43).readings({}, {})
+        assert not np.allclose(a, c)
+
+    def test_negative_sigma_rejected(self, plan):
+        with pytest.raises(ModelError):
+            TelemetrySimulator(plan, sigma=-1)

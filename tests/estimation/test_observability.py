@@ -1,0 +1,102 @@
+"""Tests for observability analysis."""
+
+import pytest
+
+from repro.estimation.measurement import MeasurementPlan
+from repro.estimation.observability import (
+    is_numerically_observable,
+    is_topologically_observable,
+    observable_islands,
+    redundancy_level,
+)
+from repro.grid.caseio import MeasurementSpec
+from repro.grid.cases import get_case
+
+
+@pytest.fixture
+def grid():
+    return get_case("5bus-study1").build_grid()
+
+
+def plan_with(grid, taken):
+    total = grid.num_potential_measurements
+    specs = [MeasurementSpec(i, i in taken, False, True)
+             for i in range(1, total + 1)]
+    return MeasurementPlan(grid, specs)
+
+
+class TestNumerical:
+    def test_case_plans_observable(self):
+        for name in ("5bus-study1", "5bus-study2", "ieee14", "ieee30"):
+            case = get_case(name)
+            plan = MeasurementPlan.from_case(case)
+            assert is_numerically_observable(plan), name
+
+    def test_too_few_measurements(self, grid):
+        plan = plan_with(grid, {1, 2})
+        assert not is_numerically_observable(plan)
+
+    def test_flow_spanning_tree_is_observable(self, grid):
+        # Forward flow measurements on a spanning tree: lines 1,3,4,5.
+        plan = plan_with(grid, {1, 3, 4, 5})
+        assert is_numerically_observable(plan)
+
+    def test_redundant_flows_on_same_line_do_not_help(self, grid):
+        # Forward + backward of lines 1 and 3 only: 4 measurements but
+        # only 2 independent rows.
+        plan = plan_with(grid, {1, 3, 8, 10})
+        assert not is_numerically_observable(plan)
+
+    def test_respects_topology_argument(self, grid):
+        plan = plan_with(grid, {1, 3, 4, 5})
+        # Without line 5 in the topology, its flow measurement is dead.
+        assert not is_numerically_observable(plan,
+                                             topology=[1, 2, 3, 4, 6, 7])
+
+
+class TestTopological:
+    def test_spanning_flows(self, grid):
+        plan = plan_with(grid, {1, 3, 4, 5})
+        assert is_topologically_observable(plan)
+        assert len(observable_islands(plan)) == 1
+
+    def test_islands_without_full_coverage(self, grid):
+        plan = plan_with(grid, {1, 3})  # lines 1-2, 2-3 measured
+        islands = observable_islands(plan)
+        assert {1, 2, 3} in islands
+        assert not is_topologically_observable(plan)
+
+    def test_injection_stitches_islands(self, grid):
+        # Flows on lines 1 (1-2), 3 (2-3), 7 (4-5) leave two islands
+        # {1,2,3} and {4,5}; a consumption measurement at bus 3 whose only
+        # boundary line is 6 (3-4) merges them.
+        plan = plan_with(grid, {1, 3, 7, 17})
+        assert is_topologically_observable(plan)
+
+    def test_injection_with_two_boundary_lines_cannot_stitch(self, grid):
+        # Consumption at bus 2 sees two boundary lines (4: 2-4, 5: 2-5):
+        # ambiguous, no merge.
+        plan = plan_with(grid, {1, 3, 7, 16})
+        assert not is_topologically_observable(plan)
+
+    def test_topological_implies_numerical(self, grid):
+        # Sanity: on several random-ish plans, topological observability
+        # implies numerical observability (the converse can fail).
+        candidate_sets = [
+            {1, 3, 4, 5}, {1, 3, 7, 17}, {2, 3, 4, 6}, {1, 2, 6, 7, 16},
+        ]
+        for taken in candidate_sets:
+            plan = plan_with(grid, taken)
+            if is_topologically_observable(plan):
+                assert is_numerically_observable(plan), taken
+
+
+class TestRedundancy:
+    def test_level(self, grid):
+        plan = MeasurementPlan.full(grid)
+        assert redundancy_level(plan) == pytest.approx(19 / 4)
+
+    def test_case_redundancy_above_one(self):
+        case = get_case("5bus-study1")
+        plan = MeasurementPlan.from_case(case)
+        assert redundancy_level(plan) > 1

@@ -1,0 +1,128 @@
+"""Tests for WLS estimation and bad-data detection, including the
+stealthiness invariant that underpins the whole paper."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.bdd import BadDataDetector
+from repro.estimation.measurement import MeasurementPlan, TelemetrySimulator
+from repro.estimation.wls import WlsEstimator
+from repro.exceptions import ModelError, NotObservableError
+from repro.grid.caseio import MeasurementSpec
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.grid.matrices import measurement_matrix
+
+
+@pytest.fixture
+def setup():
+    case = get_case("5bus-study1")
+    grid = case.build_grid()
+    plan = MeasurementPlan.from_case(case, grid)
+    dispatch = {b: float(p) for b, p in proportional_dispatch(
+        list(grid.generators.values()), grid.total_load()).items()}
+    pf = solve_dc_power_flow(grid, dispatch)
+    return case, grid, plan, dispatch, pf
+
+
+class TestWls:
+    def test_noise_free_estimation_is_exact(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        simulator = TelemetrySimulator(plan, sigma=0.0)
+        z = simulator.readings(pf.flows, pf.consumption)
+        estimate = WlsEstimator(plan).estimate(z)
+        for bus, angle in pf.angles.items():
+            assert estimate.angles[bus] == pytest.approx(angle, abs=1e-9)
+        for line, flow in pf.flows.items():
+            assert estimate.flows[line] == pytest.approx(flow, abs=1e-9)
+        assert estimate.residual_norm == pytest.approx(0.0, abs=1e-9)
+
+    def test_estimated_loads_recover_demands(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        z = TelemetrySimulator(plan, sigma=0.0).readings(
+            pf.flows, pf.consumption)
+        estimate = WlsEstimator(plan).estimate(z)
+        loads = estimate.estimated_loads(grid, dispatch)
+        for bus, load in grid.loads.items():
+            assert loads[bus] == pytest.approx(float(load.existing),
+                                               abs=1e-9)
+
+    def test_small_noise_small_error(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        z = TelemetrySimulator(plan, sigma=0.002, seed=7).readings(
+            pf.flows, pf.consumption)
+        estimate = WlsEstimator(plan).estimate(z)
+        for bus, angle in pf.angles.items():
+            assert estimate.angles[bus] == pytest.approx(angle, abs=0.01)
+
+    def test_unobservable_plan_rejected(self, setup):
+        _, grid, _, _, _ = setup
+        # Only one measurement: nowhere near observable.
+        specs = [MeasurementSpec(i, i == 1, False, True)
+                 for i in range(1, 20)]
+        plan = MeasurementPlan(grid, specs)
+        with pytest.raises(NotObservableError):
+            WlsEstimator(plan)
+
+    def test_wrong_reading_count_rejected(self, setup):
+        _, _, plan, _, _ = setup
+        estimator = WlsEstimator(plan)
+        with pytest.raises(ModelError):
+            estimator.estimate(np.zeros(3))
+
+
+class TestBadDataDetection:
+    def test_clean_readings_pass(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        sigma = 0.004
+        z = TelemetrySimulator(plan, sigma=sigma, seed=3).readings(
+            pf.flows, pf.consumption)
+        detector = BadDataDetector(WlsEstimator(plan), sigma=sigma)
+        report = detector.test(z)
+        assert not report.detected
+
+    def test_gross_error_detected_and_identified(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        sigma = 0.004
+        z = TelemetrySimulator(plan, sigma=sigma, seed=3).readings(
+            pf.flows, pf.consumption)
+        taken = plan.taken_indices()
+        corrupt_position = taken.index(6)
+        z[corrupt_position] += 0.5  # gross error on m6
+        detector = BadDataDetector(WlsEstimator(plan), sigma=sigma)
+        report = detector.test(z)
+        assert report.detected
+        assert report.suspect_index is not None
+
+    def test_stealthy_attack_preserves_residual(self, setup):
+        """a = Hc leaves the residual unchanged (paper Section II-B)."""
+        _, grid, plan, dispatch, pf = setup
+        sigma = 0.004
+        z = TelemetrySimulator(plan, sigma=sigma, seed=5).readings(
+            pf.flows, pf.consumption)
+        taken = plan.taken_indices()
+        H = measurement_matrix(grid)[[i - 1 for i in taken], :]
+        rng = np.random.default_rng(1)
+        c = rng.normal(0, 0.05, H.shape[1])
+        attack = H @ c
+        detector = BadDataDetector(WlsEstimator(plan), sigma=sigma)
+        assert detector.residual_unchanged_by(z, attack)
+        assert not detector.test(z + attack).detected
+
+    def test_non_stealthy_attack_changes_residual(self, setup):
+        _, grid, plan, dispatch, pf = setup
+        z = TelemetrySimulator(plan, sigma=0.004, seed=5).readings(
+            pf.flows, pf.consumption)
+        attack = np.zeros(len(z))
+        attack[0] = 0.4
+        detector = BadDataDetector(WlsEstimator(plan), sigma=0.004)
+        assert not detector.residual_unchanged_by(z, attack)
+
+    def test_invalid_parameters(self, setup):
+        _, _, plan, _, _ = setup
+        estimator = WlsEstimator(plan)
+        with pytest.raises(ModelError):
+            BadDataDetector(estimator, significance=2)
+        with pytest.raises(ModelError):
+            BadDataDetector(estimator, sigma=0)

@@ -1,0 +1,74 @@
+"""Tests for grid components and their validation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.grid.components import Bus, Generator, Line, Load
+
+
+class TestBus:
+    def test_defaults(self):
+        bus = Bus(3)
+        assert bus.name == "bus3"
+        assert not bus.is_generator and not bus.is_load
+
+    def test_invalid_index(self):
+        with pytest.raises(ModelError):
+            Bus(0)
+
+
+class TestLine:
+    def test_exact_values(self):
+        line = Line(1, 1, 2, "16.90", "0.15")
+        assert line.admittance == Fraction(169, 10)
+        assert line.capacity == Fraction(3, 20)
+
+    def test_reactance_is_reciprocal(self):
+        line = Line(1, 1, 2, 4, 1)
+        assert line.reactance == Fraction(1, 4)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Line(1, 2, 2, 1, 1)
+
+    def test_nonpositive_admittance_rejected(self):
+        with pytest.raises(ModelError):
+            Line(1, 1, 2, 0, 1)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            Line(1, 1, 2, 1, 0)
+
+    def test_touches_and_other_end(self):
+        line = Line(1, 3, 7, 1, 1)
+        assert line.touches(3) and line.touches(7) and not line.touches(5)
+        assert line.other_end(3) == 7
+        assert line.other_end(7) == 3
+        with pytest.raises(ModelError):
+            line.other_end(5)
+
+
+class TestGenerator:
+    def test_cost_function(self):
+        gen = Generator(1, "0.8", "0.1", 60, 1800)
+        assert gen.cost("0.5") == 60 + 900
+
+    def test_limit_ordering_enforced(self):
+        with pytest.raises(ModelError):
+            Generator(1, "0.1", "0.8", 60, 1800)
+
+    def test_negative_minimum_rejected(self):
+        with pytest.raises(ModelError):
+            Generator(1, "0.8", "-0.1", 60, 1800)
+
+
+class TestLoad:
+    def test_in_range(self):
+        load = Load(2, "0.21", "0.30", "0.10")
+        assert load.existing == Fraction(21, 100)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            Load(2, "0.40", "0.30", "0.10")

@@ -1,0 +1,121 @@
+"""Tests for the DC power flow solver."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.dcpf import net_injections, solve_dc_power_flow
+
+
+@pytest.fixture
+def grid():
+    return get_case("5bus-study1").build_grid()
+
+
+def dispatch_for(grid):
+    frac = proportional_dispatch(list(grid.generators.values()),
+                                 grid.total_load())
+    return {bus: float(p) for bus, p in frac.items()}
+
+
+class TestBasics:
+    def test_reference_angle_zero(self, grid):
+        result = solve_dc_power_flow(grid, dispatch_for(grid))
+        assert result.angles[grid.reference_bus] == 0.0
+
+    def test_flow_equation(self, grid):
+        """P_i^L = d_i (theta_f - theta_e) for every line (Eq. 7)."""
+        result = solve_dc_power_flow(grid, dispatch_for(grid))
+        for line in grid.lines:
+            expected = float(line.admittance) * (
+                result.angles[line.from_bus] - result.angles[line.to_bus])
+            assert result.flow(line.index) == pytest.approx(expected)
+
+    def test_consumption_matches_injections(self, grid):
+        """P_j^B = P_j^D - P_j^G at every bus (Eq. 9)."""
+        dispatch = dispatch_for(grid)
+        result = solve_dc_power_flow(grid, dispatch)
+        for bus in grid.buses:
+            demand = float(grid.loads[bus.index].existing) \
+                if bus.index in grid.loads else 0.0
+            gen = dispatch.get(bus.index, 0.0)
+            assert result.consumption[bus.index] == \
+                pytest.approx(demand - gen, abs=1e-9)
+
+    def test_balanced_case_has_zero_mismatch(self, grid):
+        result = solve_dc_power_flow(grid, dispatch_for(grid))
+        assert result.slack_mismatch == pytest.approx(0.0, abs=1e-12)
+
+    def test_total_consumption_is_zero(self, grid):
+        result = solve_dc_power_flow(grid, dispatch_for(grid))
+        assert sum(result.consumption.values()) == pytest.approx(0, abs=1e-9)
+
+    def test_disconnected_topology_rejected(self, grid):
+        with pytest.raises(ModelError):
+            solve_dc_power_flow(grid, dispatch_for(grid),
+                                line_indices=[1, 3, 4, 6])
+
+    def test_dispatch_at_non_generator_rejected(self, grid):
+        with pytest.raises(ModelError):
+            solve_dc_power_flow(grid, {4: 0.5})
+
+    def test_missing_line_has_zero_flow(self, grid):
+        result = solve_dc_power_flow(grid, dispatch_for(grid),
+                                     line_indices=[1, 2, 3, 4, 5, 7])
+        assert result.flow(6) == 0.0
+
+
+class TestAgainstLargerCases:
+    @pytest.mark.parametrize("name", ["ieee14", "ieee30", "ieee57"])
+    def test_kirchhoff_holds(self, name):
+        grid = get_case(name).build_grid()
+        result = solve_dc_power_flow(grid, dispatch_for(grid))
+        # Power balance at every bus: consumption equals in-out flows.
+        for bus in grid.buses:
+            balance = sum(result.flow(l.index)
+                          for l in grid.lines_in(bus.index))
+            balance -= sum(result.flow(l.index)
+                           for l in grid.lines_out(bus.index))
+            assert balance == pytest.approx(result.consumption[bus.index],
+                                            abs=1e-8)
+
+
+class TestSuperposition:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_linearity(self, seed):
+        """DC power flow is linear: flows(a+b) = flows(a) + flows(b)."""
+        grid = get_case("ieee14").build_grid()
+        rng = random.Random(seed)
+        gens = list(grid.generators)
+        d1 = {bus: rng.uniform(0, 0.3) for bus in gens}
+        d2 = {bus: rng.uniform(0, 0.3) for bus in gens}
+        loads1 = {bus: rng.uniform(0, 0.2) for bus in grid.loads}
+        loads2 = {bus: rng.uniform(0, 0.2) for bus in grid.loads}
+        r1 = solve_dc_power_flow(grid, d1, loads1)
+        r2 = solve_dc_power_flow(grid, d2, loads2)
+        combined = solve_dc_power_flow(
+            grid,
+            {b: d1[b] + d2[b] for b in gens},
+            {b: loads1[b] + loads2[b] for b in grid.loads})
+        for line in grid.lines:
+            assert combined.flow(line.index) == pytest.approx(
+                r1.flow(line.index) + r2.flow(line.index), abs=1e-9)
+
+
+class TestNetInjections:
+    def test_default_loads(self, grid):
+        injections = net_injections(grid)
+        assert injections[1] == pytest.approx(-0.21)
+        assert injections[0] == 0.0
+
+    def test_explicit_loads_override(self, grid):
+        injections = net_injections(grid, loads={2: 0.5})
+        assert injections[1] == pytest.approx(-0.5)
+        assert injections[2] == 0.0  # bus 3's default not applied

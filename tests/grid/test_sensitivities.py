@@ -1,0 +1,139 @@
+"""Tests for PTDF/LODF/LCDF against exact power-flow recomputation."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.dcpf import net_injections, solve_dc_power_flow
+from repro.grid.sensitivities import (
+    compute_ptdf,
+    flows_after_exclusion,
+    flows_after_inclusion,
+    lodf_column,
+)
+
+
+def base_setup(name, line_indices=None):
+    grid = get_case(name).build_grid()
+    dispatch = {b: float(p) for b, p in proportional_dispatch(
+        list(grid.generators.values()), grid.total_load()).items()}
+    injections = net_injections(grid, dispatch)
+    factors = compute_ptdf(grid, line_indices)
+    return grid, dispatch, injections, factors
+
+
+class TestPtdf:
+    def test_flows_match_power_flow(self):
+        grid, dispatch, injections, factors = base_setup("5bus-study1")
+        exact = solve_dc_power_flow(grid, dispatch)
+        flows = factors.flows_for_injections(injections)
+        for row, line_index in enumerate(factors.lines):
+            assert flows[row] == pytest.approx(exact.flow(line_index),
+                                               abs=1e-9)
+
+    def test_reference_column_zero(self):
+        grid, _, _, factors = base_setup("ieee14")
+        assert np.allclose(factors.ptdf[:, grid.reference_bus - 1], 0)
+
+    def test_transfer_factor_antisymmetric(self):
+        _, _, _, factors = base_setup("ieee14")
+        forward = factors.transfer_factor(3, 2, 5)
+        backward = factors.transfer_factor(3, 5, 2)
+        assert forward == pytest.approx(-backward)
+
+    def test_disconnected_base_rejected(self):
+        grid = get_case("5bus-study1").build_grid()
+        with pytest.raises(ModelError):
+            compute_ptdf(grid, [1, 3, 4, 6])
+
+
+class TestLodf:
+    @pytest.mark.parametrize("case_name", ["5bus-study1", "ieee14"])
+    def test_matches_exact_outage(self, case_name):
+        """LODF-corrected flows equal a fresh solve without the line."""
+        grid, dispatch, injections, factors = base_setup(case_name)
+        base = factors.flows_for_injections(injections)
+        for outage in factors.lines:
+            remaining = [i for i in factors.lines if i != outage]
+            if not grid.is_connected(remaining):
+                continue  # bridge line: LODF undefined
+            predicted = flows_after_exclusion(factors, base, outage)
+            exact = solve_dc_power_flow(grid, dispatch,
+                                        line_indices=remaining)
+            for row, line_index in enumerate(factors.lines):
+                assert predicted[row] == pytest.approx(
+                    exact.flow(line_index), abs=1e-7), \
+                    (outage, line_index)
+
+    def test_bridge_outage_rejected(self):
+        # In the 5-bus system, make line 1 the only path to bus 1 by using
+        # a base topology without line 2: line 1 becomes a bridge.
+        grid, _, _, _ = base_setup("5bus-study1")
+        factors = compute_ptdf(grid, [1, 3, 4, 5, 6, 7])
+        with pytest.raises(ModelError):
+            lodf_column(factors, 1)
+
+    def test_outaged_line_entry_is_minus_one(self):
+        _, _, _, factors = base_setup("ieee14")
+        column = lodf_column(factors, 3)
+        assert column[factors.row_of(3)] == -1.0
+
+
+class TestLcdf:
+    @pytest.mark.parametrize("case_name", ["5bus-study1", "ieee14"])
+    def test_matches_exact_closure(self, case_name):
+        """Closing an open line via LCDF equals a fresh solve with it."""
+        grid = get_case(case_name).build_grid()
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(grid.generators.values()), grid.total_load()).items()}
+        injections = net_injections(grid, dispatch)
+        all_lines = [l.index for l in grid.lines]
+        rng = random.Random(7)
+        for new_line in rng.sample(all_lines, min(4, len(all_lines))):
+            base_lines = [i for i in all_lines if i != new_line]
+            if not grid.is_connected(base_lines):
+                continue
+            factors = compute_ptdf(grid, base_lines)
+            base = factors.flows_for_injections(injections)
+            predicted, new_flow = flows_after_inclusion(
+                factors, base, new_line, injections)
+            exact = solve_dc_power_flow(grid, dispatch)
+            assert new_flow == pytest.approx(exact.flow(new_line), abs=1e-7)
+            for row, line_index in enumerate(factors.lines):
+                assert predicted[row] == pytest.approx(
+                    exact.flow(line_index), abs=1e-7), (new_line, line_index)
+
+    def test_closing_base_line_rejected(self):
+        _, _, injections, factors = base_setup("5bus-study1")
+        with pytest.raises(ModelError):
+            flows_after_inclusion(factors, np.zeros(len(factors.lines)), 3,
+                                  injections)
+
+
+class TestRandomizedInjections:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_lodf_exactness_random_injections(self, seed):
+        grid = get_case("ieee14").build_grid()
+        rng = random.Random(seed)
+        dispatch = {b: rng.uniform(0.0, 0.5) for b in grid.generators}
+        loads = {b: rng.uniform(0.0, 0.3) for b in grid.loads}
+        injections = net_injections(grid, dispatch, loads)
+        factors = compute_ptdf(grid)
+        base = factors.flows_for_injections(injections)
+        outage = rng.choice(factors.lines)
+        remaining = [i for i in factors.lines if i != outage]
+        if not grid.is_connected(remaining):
+            return
+        predicted = flows_after_exclusion(factors, base, outage)
+        exact = solve_dc_power_flow(grid, dispatch, loads,
+                                    line_indices=remaining)
+        for row, line_index in enumerate(factors.lines):
+            assert predicted[row] == pytest.approx(exact.flow(line_index),
+                                                   abs=1e-7)

@@ -1,0 +1,105 @@
+"""Tests for N-1 contingency analysis."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.opf import solve_dc_opf
+from repro.opf.contingency import (
+    exact_outage_flows,
+    screen_contingencies,
+    security_margin,
+)
+
+
+@pytest.fixture
+def grid():
+    return get_case("ieee14").build_grid()
+
+
+def opf_dispatch(grid):
+    result = solve_dc_opf(grid, method="highs").require_feasible()
+    return {bus: float(v) for bus, v in result.dispatch.items()}
+
+
+class TestScreening:
+    def test_lodf_screening_matches_exact(self, grid):
+        """Every screened post-outage flow equals the exact recompute."""
+        dispatch = opf_dispatch(grid)
+        report = screen_contingencies(grid, dispatch)
+        # Cross-check a handful of outages exactly.
+        from repro.grid.sensitivities import (compute_ptdf,
+                                              flows_after_exclusion)
+        from repro.grid.dcpf import net_injections
+        active = [l.index for l in grid.lines]
+        factors = compute_ptdf(grid, active)
+        base = factors.flows_for_injections(net_injections(grid, dispatch))
+        for outage in (3, 5, 11):
+            remaining = [i for i in active if i != outage]
+            if not grid.is_connected(remaining):
+                continue
+            screened = flows_after_exclusion(factors, base, outage)
+            exact = exact_outage_flows(grid, dispatch, outage)
+            for row, line_index in enumerate(factors.lines):
+                if line_index == outage:
+                    continue
+                assert screened[row] == pytest.approx(
+                    exact[line_index], abs=1e-7)
+
+    def test_overload_detection(self, grid):
+        """Shrinking a line's capacity below its post-outage flow makes
+        the report insecure on that pair."""
+        from dataclasses import replace
+        from repro.grid.network import Grid
+        dispatch = opf_dispatch(grid)
+        exact = exact_outage_flows(grid, dispatch, 3)
+        # Find a line whose post-outage-3 flow is nonzero.
+        target, flow = max(exact.items(), key=lambda kv: abs(kv[1]))
+        squeezed_lines = [
+            replace(l, capacity=abs(flow) * 0.5) if l.index == target
+            else l for l in grid.lines
+        ]
+        squeezed = Grid(grid.buses, squeezed_lines,
+                        list(grid.generators.values()),
+                        list(grid.loads.values()))
+        report = screen_contingencies(squeezed, dispatch, outages=[3])
+        assert not report.secure
+        pair = {(o.outaged_line, o.overloaded_line)
+                for o in report.overloads}
+        assert (3, target) in pair
+        assert report.worst().loading_percent > 100
+
+    def test_islanding_outage_reported(self):
+        grid = get_case("5bus-study1").build_grid()
+        # In a topology without line 2, line 1 is the only tie to bus 1.
+        modified = grid.with_line_statuses({2: False})
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(modified.generators.values()),
+            modified.total_load()).items()}
+        report = screen_contingencies(modified, dispatch, outages=[1])
+        assert 1 in report.islanding_outages
+        assert not report.secure
+
+    def test_unknown_outage_rejected(self, grid):
+        with pytest.raises(ModelError):
+            screen_contingencies(grid, opf_dispatch(grid), outages=[999])
+
+
+class TestSecurityMargin:
+    def test_margin_sign_matches_report(self, grid):
+        dispatch = opf_dispatch(grid)
+        report = screen_contingencies(grid, dispatch)
+        margin = security_margin(grid, dispatch)
+        if report.secure:
+            assert margin >= 0
+        else:
+            assert margin < 0
+
+    def test_lighter_load_has_larger_margin(self, grid):
+        dispatch = opf_dispatch(grid)
+        light_loads = {bus: float(load.existing) * 0.5
+                       for bus, load in grid.loads.items()}
+        light_dispatch = {bus: p * 0.5 for bus, p in dispatch.items()}
+        assert security_margin(grid, light_dispatch, light_loads) >= \
+            security_margin(grid, dispatch)

@@ -1,0 +1,72 @@
+"""Tests for cost functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.grid.components import Generator
+from repro.opf.cost import CostSegment, PiecewiseLinearCost, total_cost
+
+
+class TestSegments:
+    def test_single_segment_matches_generator(self):
+        gen = Generator(1, "0.8", "0.1", 60, 1800)
+        curve = PiecewiseLinearCost.single_segment(gen)
+        assert curve.p_min == Fraction(1, 10)
+        assert curve.p_max == Fraction(4, 5)
+        assert curve.evaluate("0.5") == gen.cost("0.5")
+        assert curve.evaluate("0.1") == gen.cost("0.1")
+
+    def test_multi_segment_evaluation(self):
+        curve = PiecewiseLinearCost(100, [
+            CostSegment(0, 1, 10),
+            CostSegment(1, 2, 20),
+            CostSegment(2, 3, 40),
+        ])
+        assert curve.evaluate(0) == 100
+        assert curve.evaluate(1) == 110
+        assert curve.evaluate("1.5") == 120
+        assert curve.evaluate(3) == 170
+
+    def test_marginal_cost(self):
+        curve = PiecewiseLinearCost(0, [
+            CostSegment(0, 1, 10),
+            CostSegment(1, 2, 20),
+        ])
+        assert curve.marginal_cost("0.5") == 10
+        assert curve.marginal_cost("1.5") == 20
+
+    def test_out_of_range_rejected(self):
+        curve = PiecewiseLinearCost(0, [CostSegment(0, 1, 10)])
+        with pytest.raises(ModelError):
+            curve.evaluate(2)
+
+    def test_non_convex_rejected(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearCost(0, [
+                CostSegment(0, 1, 20),
+                CostSegment(1, 2, 10),
+            ])
+
+    def test_gap_rejected(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearCost(0, [
+                CostSegment(0, 1, 10),
+                CostSegment(2, 3, 20),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearCost(0, [])
+
+
+class TestTotalCost:
+    def test_sum(self):
+        gens = [Generator(1, 1, 0, 10, 100), Generator(2, 1, 0, 20, 200)]
+        dispatch = {1: Fraction(1, 2), 2: Fraction(1, 4)}
+        assert total_cost(gens, dispatch) == 10 + 50 + 20 + 50
+
+    def test_missing_dispatch_counts_alpha(self):
+        gens = [Generator(1, 1, 0, 10, 100)]
+        assert total_cost(gens, {}) == 10

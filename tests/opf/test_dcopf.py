@@ -1,0 +1,162 @@
+"""Tests for the DC-OPF solvers: exact vs HiGHS vs shift-factor."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleError, ModelError
+from repro.grid.cases import get_case
+from repro.grid.dcpf import solve_dc_power_flow
+from repro.opf import ShiftFactorOpf, TopologyChange, solve_dc_opf
+from repro.opf.cost import total_cost
+
+
+@pytest.fixture
+def grid():
+    return get_case("5bus-study1").build_grid()
+
+
+class TestExactOpf:
+    def test_five_bus_baseline(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        assert result.feasible
+        # Known exact optimum of the paper's 5-bus system with our data.
+        assert float(result.cost) == pytest.approx(1474.676655, abs=1e-4)
+
+    def test_dispatch_within_limits(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        for bus, power in result.dispatch.items():
+            gen = grid.generators[bus]
+            assert gen.p_min <= power <= gen.p_max
+
+    def test_flows_within_capacity(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        for line_index, flow in result.flows.items():
+            assert abs(flow) <= grid.line(line_index).capacity
+
+    def test_balance(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        total_gen = sum(result.dispatch.values())
+        assert total_gen == grid.total_load()
+
+    def test_cost_matches_dispatch(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        assert result.cost == total_cost(list(grid.generators.values()),
+                                         result.dispatch)
+
+    def test_binding_lines_reported(self, grid):
+        result = solve_dc_opf(grid, method="exact")
+        assert result.binding_lines  # the 5-bus optimum is congested
+        for line_index in result.binding_lines:
+            line = grid.line(line_index)
+            assert abs(abs(float(result.flows[line_index]))
+                       - float(line.capacity)) < 1e-6
+
+    def test_infeasible_topology(self, grid):
+        # Without line 6 and with original loads: infeasible (verified
+        # against HiGHS; line 5's limit cannot be honored).
+        result = solve_dc_opf(grid, line_indices=[1, 2, 3, 4, 5, 7],
+                              method="exact")
+        assert not result.feasible
+        with pytest.raises(InfeasibleError):
+            result.require_feasible()
+
+    def test_disconnected_topology(self, grid):
+        result = solve_dc_opf(grid, line_indices=[1, 3, 4, 6])
+        assert not result.feasible
+
+    def test_unknown_method(self, grid):
+        with pytest.raises(ModelError):
+            solve_dc_opf(grid, method="simplex-of-doom")
+
+    def test_loads_override(self, grid):
+        light = {bus: load.existing / 2 for bus, load in grid.loads.items()}
+        result = solve_dc_opf(grid, loads=light, method="exact")
+        base = solve_dc_opf(grid, method="exact")
+        assert result.cost < base.cost
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14"])
+    def test_exact_vs_highs(self, name):
+        grid = get_case(name).build_grid()
+        exact = solve_dc_opf(grid, method="exact")
+        highs = solve_dc_opf(grid, method="highs")
+        assert exact.feasible == highs.feasible
+        assert float(exact.cost) == pytest.approx(float(highs.cost),
+                                                  rel=1e-7)
+
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14", "ieee30"])
+    def test_highs_vs_shift_factor(self, name):
+        grid = get_case(name).build_grid()
+        highs = solve_dc_opf(grid, method="highs")
+        sf = ShiftFactorOpf(grid).solve()
+        assert highs.feasible == sf.feasible
+        if highs.feasible:
+            assert float(sf.cost) == pytest.approx(float(highs.cost),
+                                                   rel=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_agreement_random_loads(self, seed):
+        grid = get_case("ieee14").build_grid()
+        rng = random.Random(seed)
+        loads = {bus: Fraction(str(round(
+            float(load.existing) * rng.uniform(0.6, 1.3), 4)))
+            for bus, load in grid.loads.items()}
+        highs = solve_dc_opf(grid, loads=loads, method="highs")
+        sf = ShiftFactorOpf(grid).solve(loads=loads)
+        assert highs.feasible == sf.feasible
+        if highs.feasible:
+            assert float(sf.cost) == pytest.approx(float(highs.cost),
+                                                   rel=1e-6)
+
+
+class TestShiftFactorTopologyChanges:
+    def test_exclusion_matches_angle_formulation(self):
+        grid = get_case("ieee14").build_grid()
+        sf = ShiftFactorOpf(grid)
+        all_lines = [l.index for l in grid.lines]
+        for out in (3, 5, 11):
+            remaining = [i for i in all_lines if i != out]
+            if not grid.is_connected(remaining):
+                continue
+            angle = solve_dc_opf(grid, line_indices=remaining,
+                                 method="highs")
+            fast = sf.solve(change=TopologyChange("exclude", out))
+            assert angle.feasible == fast.feasible
+            if angle.feasible:
+                assert float(fast.cost) == pytest.approx(
+                    float(angle.cost), rel=1e-6)
+
+    def test_inclusion_matches_angle_formulation(self):
+        grid = get_case("ieee14").build_grid()
+        all_lines = [l.index for l in grid.lines]
+        new_line = 10
+        base_lines = [i for i in all_lines if i != new_line]
+        sf = ShiftFactorOpf(grid, base_lines)
+        angle = solve_dc_opf(grid, line_indices=all_lines, method="highs")
+        fast = sf.solve(change=TopologyChange("include", new_line))
+        assert angle.feasible == fast.feasible
+        if angle.feasible:
+            assert float(fast.cost) == pytest.approx(float(angle.cost),
+                                                     rel=1e-6)
+
+    def test_bridge_exclusion_infeasible(self, grid):
+        # Excluding line 1 in a base topology without line 2 disconnects
+        # bus 1.
+        sf = ShiftFactorOpf(grid, [1, 3, 4, 5, 6, 7])
+        result = sf.solve(change=TopologyChange("exclude", 1))
+        assert not result.feasible
+
+    def test_unknown_change_kind(self):
+        with pytest.raises(ModelError):
+            TopologyChange("teleport", 3)
+
+    def test_include_existing_line_rejected(self, grid):
+        sf = ShiftFactorOpf(grid)
+        with pytest.raises(ModelError):
+            sf.solve(change=TopologyChange("include", 3))

@@ -1,0 +1,119 @@
+"""Tests for the exact LP facade, fuzzed against scipy."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.exceptions import SolverError
+from repro.opf.lp import LinearProgram, LpStatus
+
+
+class TestBasics:
+    def test_simple_minimum(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 10)
+        y = lp.add_variable(0, 10)
+        lp.add_constraint({x: 1, y: 1}, lower=4)
+        lp.set_objective({x: 3, y: 1})
+        result = lp.solve()
+        assert result.is_optimal
+        assert result.objective == 4  # x=0, y=4
+        assert result.values[x] == 0 and result.values[y] == 4
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, None)
+        y = lp.add_variable(0, None)
+        lp.add_equality({x: 1, y: 1}, 5)
+        lp.set_objective({x: 2, y: 3})
+        result = lp.solve()
+        assert result.objective == 10  # all on x
+
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        lp.add_constraint({x: 1}, lower=2)
+        assert lp.solve().status is LpStatus.INFEASIBLE
+
+    def test_contradictory_variable_bounds_infeasible(self):
+        lp = LinearProgram()
+        lp.add_variable(5, 3)
+        assert lp.solve().status is LpStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.add_variable(None, 0)
+        lp.set_objective({x: 1})
+        assert lp.solve().status is LpStatus.UNBOUNDED
+
+    def test_feasibility_only(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 5)
+        lp.add_constraint({x: 2}, lower=4)
+        result = lp.solve()
+        assert result.is_optimal
+        assert result.objective == 0  # no objective: constant 0
+
+    def test_objective_constant(self):
+        lp = LinearProgram()
+        x = lp.add_variable(1, 1)
+        lp.set_objective({x: 1}, constant=10)
+        assert lp.solve().objective == 11
+
+    def test_empty_constraint_rules(self):
+        lp = LinearProgram()
+        lp.add_constraint({}, upper=5)  # 0 <= 5: fine
+        x = lp.add_variable(0, 1)
+        lp.set_objective({x: 1})
+        assert lp.solve().is_optimal
+        lp2 = LinearProgram()
+        lp2.add_constraint({}, lower=5)  # 0 >= 5: infeasible
+        assert lp2.solve().status is LpStatus.INFEASIBLE
+
+    def test_constraint_without_bounds_rejected(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, 1)
+        with pytest.raises(SolverError):
+            lp.add_constraint({x: 1})
+
+    def test_exact_fractions(self):
+        lp = LinearProgram()
+        x = lp.add_variable(0, None)
+        lp.add_constraint({x: 3}, lower=Fraction(1, 7))
+        lp.set_objective({x: 1})
+        assert lp.solve().objective == Fraction(1, 21)
+
+
+class TestFuzzAgainstScipy:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_random_lps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        m = rng.randint(1, 5)
+        A = [[rng.randint(-4, 4) for _ in range(n)] for _ in range(m)]
+        b = [rng.randint(-6, 14) for _ in range(m)]
+        c = [rng.randint(-5, 5) for _ in range(n)]
+        reference = linprog(c, A_ub=A, b_ub=b, bounds=[(0, 7)] * n,
+                            method="highs")
+
+        lp = LinearProgram()
+        xs = [lp.add_variable(0, 7) for _ in range(n)]
+        for row, bound in zip(A, b):
+            coeffs = {xs[j]: row[j] for j in range(n)}
+            lp.add_constraint(coeffs, upper=bound)
+        lp.set_objective({xs[j]: c[j] for j in range(n)})
+        result = lp.solve()
+
+        assert result.is_optimal == reference.success
+        if reference.success:
+            assert abs(float(result.objective) - reference.fun) < 1e-6
+            # Exact solution satisfies every constraint exactly.
+            for row, bound in zip(A, b):
+                lhs = sum(Fraction(row[j]) * result.values[xs[j]]
+                          for j in range(n))
+                assert lhs <= bound

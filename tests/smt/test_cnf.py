@@ -1,0 +1,168 @@
+"""Tests for Tseitin conversion and the cardinality encodings.
+
+Strategy: convert random Boolean terms to CNF, then compare SAT-solver
+verdicts and models against direct truth-table evaluation of the term.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.cnf import CnfConverter
+from repro.smt.sat import SatSolver
+from repro.smt.terms import (
+    And,
+    BoolVar,
+    Not,
+    Or,
+    at_least,
+    at_most,
+    exactly,
+    iff,
+    implies,
+)
+
+
+def eval_term(term, assignment):
+    from repro.smt.terms import AtMost, BoolConst
+    if isinstance(term, BoolConst):
+        return term.value
+    if isinstance(term, BoolVar):
+        return assignment[term]
+    if isinstance(term, Not):
+        return not eval_term(term.arg, assignment)
+    if isinstance(term, And):
+        return all(eval_term(a, assignment) for a in term.args)
+    if isinstance(term, Or):
+        return any(eval_term(a, assignment) for a in term.args)
+    if isinstance(term, AtMost):
+        return sum(eval_term(a, assignment) for a in term.args) <= term.bound
+    raise AssertionError(f"unexpected node {term!r}")
+
+
+def solve_term(term, variables):
+    """Assert *term* through the converter; return (sat, model dict)."""
+    solver = SatSolver()
+    converter = CnfConverter(solver.add_clause, solver.new_var)
+    for clause in converter.assert_term(term):
+        solver.add_clause(clause)
+    sat = solver.solve()
+    if not sat:
+        return False, None
+    model = {
+        var: solver.model_value(converter.literal_for_boolvar(var))
+        for var in variables
+    }
+    return True, model
+
+
+def brute_force_term(term, variables):
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        if eval_term(term, dict(zip(variables, bits))):
+            return True
+    return False
+
+
+def random_term(rng, variables, depth):
+    if depth == 0 or rng.random() < 0.3:
+        var = rng.choice(variables)
+        return var if rng.random() < 0.5 else Not(var)
+    kind = rng.randrange(5)
+    if kind == 0:
+        return And(*(random_term(rng, variables, depth - 1)
+                     for _ in range(rng.randint(2, 3))))
+    if kind == 1:
+        return Or(*(random_term(rng, variables, depth - 1)
+                    for _ in range(rng.randint(2, 3))))
+    if kind == 2:
+        return Not(random_term(rng, variables, depth - 1))
+    if kind == 3:
+        return implies(random_term(rng, variables, depth - 1),
+                       random_term(rng, variables, depth - 1))
+    return iff(random_term(rng, variables, depth - 1),
+               random_term(rng, variables, depth - 1))
+
+
+class TestTseitinEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_random_formulas_match_truth_tables(self, seed):
+        rng = random.Random(seed)
+        variables = [BoolVar(f"v{i}") for i in range(rng.randint(2, 5))]
+        term = random_term(rng, variables, rng.randint(1, 4))
+        expected = brute_force_term(term, variables)
+        sat, model = solve_term(term, variables)
+        assert sat == expected
+        if sat:
+            assert eval_term(term, model)
+
+    def test_shared_subterms_share_definitions(self):
+        solver = SatSolver()
+        converter = CnfConverter(solver.add_clause, solver.new_var)
+        p, q = BoolVar("p"), BoolVar("q")
+        shared = And(p, q)
+        lit1 = converter.convert(shared)
+        lit2 = converter.convert(And(q, p))  # flattening sorts literals
+        assert lit1 == lit2
+
+
+class TestCardinalityEncoding:
+    def exhaustive_check(self, n, bound, node_builder):
+        """Every 0/1 assignment of the n inputs must match the semantics."""
+        variables = [BoolVar(f"x{i}") for i in range(n)]
+        node = node_builder(variables, bound)
+        for bits in itertools.product([False, True], repeat=n):
+            solver = SatSolver()
+            converter = CnfConverter(solver.add_clause, solver.new_var)
+            for clause in converter.assert_term(node):
+                solver.add_clause(clause)
+            for var, bit in zip(variables, bits):
+                lit = converter.literal_for_boolvar(var)
+                solver.add_clause([lit if bit else -lit])
+            expected = eval_term(node, dict(zip(variables, bits))) \
+                if not isinstance(node, bool) else node
+            assert solver.solve() == expected, (bits, bound)
+
+    def test_at_most_exhaustive(self):
+        for n in (1, 2, 3, 4):
+            for bound in range(0, n):
+                self.exhaustive_check(n, bound, at_most)
+
+    def test_at_least_exhaustive(self):
+        for n in (1, 2, 3, 4):
+            for bound in range(1, n + 1):
+                self.exhaustive_check(n, bound, at_least)
+
+    def test_exactly_exhaustive(self):
+        for n in (2, 3, 4):
+            for bound in range(0, n + 1):
+                self.exhaustive_check(n, bound, exactly)
+
+    def test_negated_at_most(self):
+        # not(at_most([a,b,c], 1)) means at least 2 of them are true.
+        variables = [BoolVar(f"y{i}") for i in range(3)]
+        node = Not(at_most(variables, 1))
+        solver = SatSolver()
+        converter = CnfConverter(solver.add_clause, solver.new_var)
+        for clause in converter.assert_term(node):
+            solver.add_clause(clause)
+        assert solver.solve()
+        count = sum(
+            solver.model_value(converter.literal_for_boolvar(v))
+            for v in variables)
+        assert count >= 2
+
+    def test_large_at_most_is_polynomial(self):
+        # 60 inputs, bound 5: the sequential counter stays small and fast.
+        variables = [BoolVar(f"z{i}") for i in range(60)]
+        solver = SatSolver()
+        converter = CnfConverter(solver.add_clause, solver.new_var)
+        for clause in converter.assert_term(at_most(variables, 5)):
+            solver.add_clause(clause)
+        for var in variables[:5]:
+            solver.add_clause([converter.literal_for_boolvar(var)])
+        assert solver.solve()
+        solver.add_clause([converter.literal_for_boolvar(variables[10])])
+        assert not solver.solve()

@@ -1,0 +1,135 @@
+"""Tests for exact optimization, fuzzed against scipy.optimize.linprog."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.smt import (
+    BoolVar,
+    Or,
+    RealVar,
+    SmtSolver,
+    SolveResult,
+    implies,
+    maximize,
+    minimize,
+)
+
+
+class TestMinimizeBasics:
+    def test_simple(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 3)
+        result = minimize(solver, x)
+        assert result.feasible and result.optimum == 3
+
+    def test_infeasible(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 3)
+        solver.add(x <= 2)
+        result = minimize(solver, x)
+        assert not result.feasible and result.optimum is None
+
+    def test_objective_with_constant(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 2)
+        result = minimize(solver, 3 * x + 7)
+        assert result.optimum == 13
+
+    def test_maximize(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x <= 5)
+        solver.add(x >= 0)
+        result = maximize(solver, 2 * x + 1)
+        assert result.optimum == 11
+
+    def test_model_attains_optimum(self):
+        solver = SmtSolver()
+        x, y = RealVar("x"), RealVar("y")
+        solver.add(x + y >= 4)
+        solver.add(x >= 0)
+        solver.add(y >= 0)
+        result = minimize(solver, 2 * x + y)
+        assert result.optimum == 4  # x=0, y=4
+        model = result.model
+        assert 2 * model.real_value(x) + model.real_value(y) == 4
+
+    def test_solver_state_preserved(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 1)
+        solver.add(x <= 9)
+        minimize(solver, x)
+        # The scratch bound (x < optimum) must be gone: maximize still works.
+        result = maximize(solver, x)
+        assert result.optimum == 9
+
+
+class TestBooleanStructure:
+    def test_disjunctive_regions(self):
+        # Cost is >= 10 in region p, >= 2 in region not-p: optimizer must
+        # discover the cheaper branch.
+        solver = SmtSolver()
+        p = BoolVar("p")
+        x = RealVar("x")
+        solver.add(implies(p, x >= 10))
+        solver.add(Or(p, x >= 2))
+        result = minimize(solver, x)
+        assert result.optimum == 2
+        assert result.model.bool_value(p) is False
+
+    def test_discrete_choice_of_generators(self):
+        # A miniature unit-commitment: pick one of two supply options.
+        solver = SmtSolver()
+        use_a, use_b = BoolVar("use_a"), BoolVar("use_b")
+        pa, pb = RealVar("pa"), RealVar("pb")
+        solver.add(Or(use_a, use_b))
+        solver.add(implies(use_a, pa >= 5))
+        solver.add(implies(~use_a, pa.eq(0)))
+        solver.add(implies(use_b, pb >= 5))
+        solver.add(implies(~use_b, pb.eq(0)))
+        solver.add(pa >= 0)
+        solver.add(pb >= 0)
+        # Cost: a costs 3/unit, b costs 2/unit.
+        result = minimize(solver, 3 * pa + 2 * pb)
+        assert result.optimum == 10  # use b alone at 5 units
+        assert result.model.bool_value(use_b)
+
+
+class TestFuzzAgainstScipy:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_random_lps(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        m = rng.randint(1, 4)
+        A = [[rng.randint(-3, 3) for _ in range(n)] for _ in range(m)]
+        b = [rng.randint(-4, 12) for _ in range(m)]
+        c = [rng.randint(-4, 4) for _ in range(n)]
+
+        reference = linprog(c, A_ub=A, b_ub=b, bounds=[(0, 8)] * n,
+                            method="highs")
+
+        solver = SmtSolver()
+        xs = [RealVar(f"x{seed}_{i}") for i in range(n)]
+        for x in xs:
+            solver.add(x >= 0)
+            solver.add(x <= 8)
+        for row, bound in zip(A, b):
+            expr = sum((coeff * x for coeff, x in zip(row, xs)),
+                       start=0 * xs[0])
+            solver.add(expr <= bound)
+        objective = sum((coeff * x for coeff, x in zip(c, xs)),
+                        start=0 * xs[0])
+        result = minimize(solver, objective)
+
+        assert result.feasible == reference.success
+        if reference.success:
+            assert abs(float(result.optimum) - reference.fun) < 1e-6

@@ -1,0 +1,128 @@
+"""Tests for delta-rational arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt.rational import DeltaRational, resolve_delta, to_fraction
+
+rationals = st.fractions(max_denominator=50)
+
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(3) == Fraction(3)
+
+    def test_float_uses_decimal_repr(self):
+        assert to_fraction(0.1) == Fraction(1, 10)
+
+    def test_string(self):
+        assert to_fraction("2/7") == Fraction(2, 7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(3, 4)
+        assert to_fraction(f) is f
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            to_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            to_fraction(float("inf"))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_fraction(object())
+
+
+class TestOrdering:
+    def test_delta_is_positive(self):
+        assert DeltaRational(0, 1) > DeltaRational(0)
+
+    def test_delta_smaller_than_any_positive_rational(self):
+        assert DeltaRational(0, 1) < DeltaRational(Fraction(1, 10**9))
+
+    def test_strict_upper_below_bound(self):
+        assert DeltaRational.strict_upper(5) < DeltaRational(5)
+
+    def test_strict_lower_above_bound(self):
+        assert DeltaRational.strict_lower(5) > DeltaRational(5)
+
+    @given(rationals, rationals)
+    def test_rational_ordering_embeds(self, a, b):
+        assert (DeltaRational(a) < DeltaRational(b)) == (a < b)
+
+    @given(rationals, rationals, rationals, rationals)
+    def test_trichotomy(self, c1, k1, c2, k2):
+        x = DeltaRational(c1, k1)
+        y = DeltaRational(c2, k2)
+        assert sum([x < y, x == y, x > y]) == 1
+
+
+class TestArithmetic:
+    @given(rationals, rationals, rationals, rationals)
+    def test_add_components(self, c1, k1, c2, k2):
+        result = DeltaRational(c1, k1) + DeltaRational(c2, k2)
+        assert result.c == c1 + c2 and result.k == k1 + k2
+
+    @given(rationals, rationals, rationals)
+    def test_scalar_mul_distributes(self, c, k, s):
+        result = DeltaRational(c, k) * s
+        assert result.c == c * s and result.k == k * s
+
+    @given(rationals, rationals)
+    def test_neg_is_additive_inverse(self, c, k):
+        x = DeltaRational(c, k)
+        assert x + (-x) == DeltaRational(0)
+
+    def test_mul_by_delta_rational_rejected(self):
+        with pytest.raises(TypeError):
+            DeltaRational(1) * DeltaRational(2)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            DeltaRational(1) / 0
+
+    @given(rationals, rationals, st.fractions(max_denominator=20).filter(lambda f: f != 0))
+    def test_div_inverts_mul(self, c, k, s):
+        x = DeltaRational(c, k)
+        assert (x * s) / s == x
+
+    def test_sub_and_rsub(self):
+        assert 5 - DeltaRational(2) == DeltaRational(3)
+        assert DeltaRational(5) - 2 == DeltaRational(3)
+
+
+class TestSubstitution:
+    @given(rationals, rationals)
+    def test_substitute(self, c, k):
+        x = DeltaRational(c, k)
+        assert x.substitute(Fraction(1, 100)) == c + k * Fraction(1, 100)
+
+    def test_float_ignores_delta(self):
+        assert float(DeltaRational(Fraction(1, 2), 7)) == 0.5
+
+
+class TestResolveDelta:
+    def test_unconstrained_returns_one(self):
+        assert resolve_delta([], [], []) == Fraction(1)
+
+    def test_strict_pair_separated(self):
+        # value 0 + delta must stay strictly below upper bound 1.
+        value = DeltaRational(0, 1)
+        lower = [DeltaRational(0, 1)]
+        upper = [DeltaRational(1)]
+        delta = resolve_delta([value], lower, upper)
+        assert 0 < delta < 1
+
+    def test_tight_strict_window(self):
+        # lower 0+d, upper 1/1000 (non-strict): delta must be < 1/1000.
+        value = DeltaRational(0, 1)
+        delta = resolve_delta([value],
+                              [DeltaRational(0, 1)],
+                              [DeltaRational(Fraction(1, 1000))])
+        assert 0 < delta < Fraction(1, 1000)
+        assert value.substitute(delta) <= Fraction(1, 1000)

@@ -1,0 +1,153 @@
+"""Tests for the CDCL SAT core, including fuzzing against brute force."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import SatSolver, luby
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference check: is the clause set satisfiable?"""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        def lit_true(lit):
+            value = bits[abs(lit) - 1]
+            return value if lit > 0 else not value
+        if all(any(lit_true(lit) for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+def make_solver(num_vars, clauses):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == \
+            [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert make_solver(0, []).solve()
+
+    def test_single_unit(self):
+        solver = make_solver(1, [[1]])
+        assert solver.solve()
+        assert solver.model_value(1)
+
+    def test_contradictory_units(self):
+        solver = make_solver(1, [[1], [-1]])
+        assert not solver.solve()
+
+    def test_empty_clause_unsat(self):
+        solver = make_solver(1, [[]])
+        assert not solver.solve()
+
+    def test_tautology_ignored(self):
+        solver = make_solver(2, [[1, -1], [2]])
+        assert solver.solve()
+        assert solver.model_value(2)
+
+    def test_simple_implication_chain(self):
+        # 1 -> 2 -> 3 -> ... -> 8, with 1 forced true.
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, 8)]
+        solver = make_solver(8, clauses)
+        assert solver.solve()
+        assert all(solver.model_value(v) for v in range(1, 9))
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # Pigeon p in hole h: var 2*(p-1)+h, p in 1..3, h in 1..2.
+        def var(p, h):
+            return 2 * (p - 1) + h
+        clauses = [[var(p, 1), var(p, 2)] for p in (1, 2, 3)]
+        for h in (1, 2):
+            for p1, p2 in itertools.combinations((1, 2, 3), 2):
+                clauses.append([-var(p1, h), -var(p2, h)])
+        solver = make_solver(6, clauses)
+        assert not solver.solve()
+
+    def test_model_satisfies_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        solver = make_solver(3, clauses)
+        assert solver.solve()
+        model = [None] + [solver.model_value(v) for v in range(1, 4)]
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+class TestAssumptions:
+    def test_sat_under_assumption(self):
+        solver = make_solver(2, [[-1, 2]])
+        assert solver.solve([1])
+        assert solver.model_value(1) and solver.model_value(2)
+
+    def test_unsat_under_assumption_but_sat_without(self):
+        solver = make_solver(2, [[-1, 2], [-1, -2]])
+        assert not solver.solve([1])
+        assert solver.solve()
+        assert solver.solve([-1])
+
+    def test_conflicting_assumptions(self):
+        solver = make_solver(2, [])
+        assert not solver.solve([1, -1])
+
+    def test_incremental_reuse(self):
+        solver = make_solver(3, [[1, 2, 3]])
+        assert solver.solve([-1, -2])
+        assert solver.model_value(3)
+        solver.add_clause([-3])
+        assert not solver.solve([-1, -2])
+        assert solver.solve()
+
+
+class TestFuzzAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_3sat(self, data):
+        num_vars = data.draw(st.integers(min_value=1, max_value=9))
+        num_clauses = data.draw(st.integers(min_value=1, max_value=38))
+        rng = random.Random(data.draw(st.integers(0, 2**30)))
+        clauses = []
+        for _ in range(num_clauses):
+            width = rng.randint(1, 3)
+            clause = [rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                      for _ in range(width)]
+            clauses.append(clause)
+        expected = brute_force_sat(num_vars, clauses)
+        solver = make_solver(num_vars, clauses)
+        result = solver.solve()
+        assert result == expected
+        if result:
+            model = [None] + [solver.model_value(v)
+                              for v in range(1, num_vars + 1)]
+            for clause in clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_random_assumptions(self, data):
+        num_vars = data.draw(st.integers(min_value=2, max_value=8))
+        rng = random.Random(data.draw(st.integers(0, 2**30)))
+        clauses = []
+        for _ in range(rng.randint(2, 25)):
+            clause = [rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                      for _ in range(rng.randint(1, 3))]
+            clauses.append(clause)
+        assumptions = [rng.choice([-1, 1]) * v
+                       for v in rng.sample(range(1, num_vars + 1),
+                                           rng.randint(0, num_vars))]
+        expected = brute_force_sat(
+            num_vars, clauses + [[lit] for lit in assumptions])
+        solver = make_solver(num_vars, clauses)
+        assert solver.solve(assumptions) == expected
+        # Solver stays reusable after assumption-based calls.
+        assert solver.solve() == brute_force_sat(num_vars, clauses)

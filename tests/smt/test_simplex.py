@@ -1,0 +1,208 @@
+"""Tests for the general simplex theory solver, fuzzed against scipy."""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.exceptions import SolverError, UnboundedError
+from repro.smt.rational import DeltaRational
+from repro.smt.simplex import NO_LIT, Simplex
+
+
+def dr(value):
+    return DeltaRational(value)
+
+
+class TestBoundAssertion:
+    def test_simple_feasible(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        assert simplex.assert_lower(x, dr(1), 1) is None
+        assert simplex.assert_upper(x, dr(5), 2) is None
+        assert simplex.check() is None
+        assert dr(1) <= simplex.value(x) <= dr(5)
+
+    def test_immediate_bound_clash(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_lower(x, dr(3), 1)
+        conflict = simplex.assert_upper(x, dr(2), 2)
+        assert sorted(conflict) == [1, 2]
+
+    def test_looser_bound_is_noop(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_upper(x, dr(5), 1)
+        mark = simplex.mark()
+        simplex.assert_upper(x, dr(10), 2)
+        assert simplex.upper[x] == dr(5)
+        simplex.pop_to(mark)
+        assert simplex.upper[x] == dr(5)
+
+    def test_pop_restores_bounds(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_upper(x, dr(5), 1)
+        mark = simplex.mark()
+        simplex.assert_upper(x, dr(2), 2)
+        assert simplex.upper[x] == dr(2)
+        simplex.pop_to(mark)
+        assert simplex.upper[x] == dr(5)
+        assert simplex.upper_lit[x] == 1
+
+
+class TestRowsAndCheck:
+    def test_row_consistency(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        y = simplex.new_variable()
+        s = simplex.add_row({x: Fraction(1), y: Fraction(1)})
+        simplex.assert_lower(s, dr(10), 1)
+        simplex.assert_upper(x, dr(3), 2)
+        simplex.assert_upper(y, dr(4), 3)
+        conflict = simplex.check()
+        assert conflict is not None
+        assert set(conflict) == {1, 2, 3}
+
+    def test_feasible_system_finds_assignment(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        y = simplex.new_variable()
+        s = simplex.add_row({x: Fraction(1), y: Fraction(1)})
+        d = simplex.add_row({x: Fraction(1), y: Fraction(-1)})
+        simplex.assert_lower(s, dr(10), 1)
+        simplex.assert_upper(d, dr(2), 2)
+        assert simplex.check() is None
+        vx, vy = simplex.value(x), simplex.value(y)
+        assert vx + vy >= dr(10)
+        assert vx - vy <= dr(2)
+
+    def test_row_over_basic_variable_substitutes(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        s1 = simplex.add_row({x: Fraction(2)})
+        s2 = simplex.add_row({s1: Fraction(1), x: Fraction(1)})  # = 3x
+        simplex.assert_lower(s2, dr(9), 1)
+        assert simplex.check() is None
+        assert simplex.value(x) >= dr(3)
+
+    def test_strict_bounds_via_delta(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_lower(x, DeltaRational.strict_lower(0), 1)
+        simplex.assert_upper(x, DeltaRational.strict_upper(1), 2)
+        assert simplex.check() is None
+        value = simplex.value(x)
+        assert value > dr(0) and value < dr(1)
+
+    def test_strict_window_empty(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_lower(x, DeltaRational.strict_lower(0), 1)
+        conflict = simplex.assert_upper(x, DeltaRational.strict_upper(0), 2)
+        assert conflict is not None
+
+
+class TestMinimize:
+    def test_requires_check_first(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_lower(x, dr(0), 1)
+        with pytest.raises(SolverError):
+            simplex.minimize(x)
+
+    def test_plain_variable(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_lower(x, dr(2), 1)
+        simplex.check()
+        assert simplex.minimize(x) == dr(2)
+
+    def test_unbounded(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        simplex.assert_upper(x, dr(2), 1)
+        simplex.check()
+        with pytest.raises(UnboundedError):
+            simplex.minimize(x)
+
+    def test_small_lp(self):
+        # min x + 2y  s.t. x + y >= 4, x <= 3, y <= 3, x,y >= 0
+        simplex = Simplex()
+        x = simplex.new_variable()
+        y = simplex.new_variable()
+        s = simplex.add_row({x: Fraction(1), y: Fraction(1)})
+        obj = simplex.add_row({x: Fraction(1), y: Fraction(2)})
+        for var in (x, y):
+            simplex.assert_lower(var, dr(0), NO_LIT)
+            simplex.assert_upper(var, dr(3), NO_LIT)
+        simplex.assert_lower(s, dr(4), NO_LIT)
+        assert simplex.check() is None
+        minimum = simplex.minimize(obj)
+        assert minimum == dr(5)  # x=3, y=1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_random_lps_match_scipy(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        m = rng.randint(1, 4)
+        # Random A x <= b with 0 <= x <= 10 and objective c.
+        A = [[rng.randint(-3, 3) for _ in range(n)] for _ in range(m)]
+        b = [rng.randint(-5, 15) for _ in range(m)]
+        c = [rng.randint(-5, 5) for _ in range(n)]
+
+        res = linprog(c, A_ub=A, b_ub=b, bounds=[(0, 10)] * n,
+                      method="highs")
+
+        simplex = Simplex()
+        xs = [simplex.new_variable() for _ in range(n)]
+        for var in xs:
+            simplex.assert_lower(var, dr(0), NO_LIT)
+            simplex.assert_upper(var, dr(10), NO_LIT)
+        for row, bound in zip(A, b):
+            coeffs = {xs[j]: Fraction(row[j])
+                      for j in range(n) if row[j] != 0}
+            if not coeffs:
+                if bound < 0:
+                    # Infeasible row 0 <= b < 0; scipy reports infeasible.
+                    assert not res.success
+                    return
+                continue
+            s = simplex.add_row(coeffs)
+            simplex.assert_upper(s, dr(bound), NO_LIT)
+        obj_coeffs = {xs[j]: Fraction(c[j]) for j in range(n) if c[j] != 0}
+        conflict = simplex.check()
+        if not res.success:
+            assert conflict is not None
+            return
+        assert conflict is None
+        if not obj_coeffs:
+            return
+        obj = simplex.add_row(obj_coeffs)
+        minimum = simplex.minimize(obj)
+        assert abs(float(minimum.c) - res.fun) < 1e-6
+
+    def test_minimize_preserves_feasibility(self):
+        simplex = Simplex()
+        x = simplex.new_variable()
+        y = simplex.new_variable()
+        s = simplex.add_row({x: Fraction(1), y: Fraction(1)})
+        simplex.assert_lower(s, dr(4), NO_LIT)
+        simplex.assert_lower(x, dr(0), NO_LIT)
+        simplex.assert_lower(y, dr(0), NO_LIT)
+        simplex.check()
+        simplex.minimize(s)
+        # All bounds still satisfied at the optimum.
+        for var in (x, y, s):
+            lo = simplex.lower[var]
+            hi = simplex.upper[var]
+            if lo is not None:
+                assert simplex.value(var) >= lo
+            if hi is not None:
+                assert simplex.value(var) <= hi

@@ -1,0 +1,212 @@
+"""End-to-end tests of the DPLL(T) solver on mixed Boolean/LRA formulas."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.smt import (
+    And,
+    BoolVar,
+    Not,
+    Or,
+    RealVar,
+    SmtSolver,
+    SolveResult,
+    at_most,
+    iff,
+    implies,
+)
+from repro.smt.evaluator import evaluate
+
+
+class TestBooleanReasoning:
+    def test_unit_chain(self):
+        solver = SmtSolver()
+        ps = [BoolVar(f"p{i}") for i in range(10)]
+        for a, b in zip(ps, ps[1:]):
+            solver.add(implies(a, b))
+        solver.add(ps[0])
+        assert solver.solve() is SolveResult.SAT
+        model = solver.model()
+        assert all(model.bool_value(p) for p in ps)
+
+    def test_iff_cycle_with_negation_unsat(self):
+        solver = SmtSolver()
+        p, q = BoolVar("p"), BoolVar("q")
+        solver.add(iff(p, q))
+        solver.add(iff(q, Not(p)))
+        assert solver.solve() is SolveResult.UNSAT
+
+
+class TestTheoryReasoning:
+    def test_transitive_bounds(self):
+        solver = SmtSolver()
+        x, y, z = RealVar("x"), RealVar("y"), RealVar("z")
+        solver.add(x <= y)
+        solver.add(y <= z)
+        solver.add(z <= x - 1)
+        assert solver.solve() is SolveResult.UNSAT
+
+    def test_equality_split(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x.eq(3))
+        assert solver.solve() is SolveResult.SAT
+        assert solver.model().real_value(x) == 3
+
+    def test_disequality(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 0)
+        solver.add(x <= 0)
+        solver.add(x.neq(0))
+        assert solver.solve() is SolveResult.UNSAT
+
+    def test_disequality_sat(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 0)
+        solver.add(x <= 1)
+        solver.add(x.neq(0))
+        assert solver.solve() is SolveResult.SAT
+        assert 0 < solver.model().real_value(x) <= 1
+
+    def test_boolean_guards_theory(self):
+        solver = SmtSolver()
+        p, q = BoolVar("p"), BoolVar("q")
+        x = RealVar("x")
+        solver.add(implies(p, x >= 10))
+        solver.add(implies(q, x <= 0))
+        solver.add(Or(p, q))
+        solver.add(x.eq(5))
+        assert solver.solve() is SolveResult.UNSAT
+
+    def test_model_error_when_unsat(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x <= 0)
+        solver.add(x >= 1)
+        assert solver.solve() is SolveResult.UNSAT
+        with pytest.raises(SolverError):
+            solver.model()
+
+
+class TestMixedFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_models_satisfy_assertions(self, seed):
+        rng = random.Random(seed)
+        solver = SmtSolver()
+        bools = [BoolVar(f"b{i}") for i in range(3)]
+        reals = [RealVar(f"r{i}") for i in range(3)]
+        assertions = []
+        for _ in range(rng.randint(2, 8)):
+            kind = rng.randrange(4)
+            if kind == 0:
+                lits = [b if rng.random() < 0.5 else Not(b)
+                        for b in rng.sample(bools, rng.randint(1, 3))]
+                term = Or(*lits)
+            elif kind == 1:
+                x, y = rng.sample(reals, 2)
+                term = (rng.randint(-3, 3) * x + rng.randint(-3, 3) * y
+                        <= rng.randint(-5, 5))
+            elif kind == 2:
+                b = rng.choice(bools)
+                x = rng.choice(reals)
+                bound = rng.randint(-5, 5)
+                term = implies(b, x >= bound)
+            else:
+                x = rng.choice(reals)
+                term = Or(x <= rng.randint(-2, 2), x >= rng.randint(-2, 2))
+            assertions.append(term)
+            solver.add(term)
+        result = solver.solve()
+        if result is SolveResult.SAT:
+            model = solver.model()
+            for term in assertions:
+                assert evaluate(term, model), term
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**30))
+    def test_agreement_with_bound_enumeration(self, seed):
+        """Tiny systems: compare against explicit case-splitting."""
+        rng = random.Random(seed)
+        x = RealVar(f"fx{seed}")
+        lower = rng.randint(-5, 5)
+        upper = rng.randint(-5, 5)
+        solver = SmtSolver()
+        solver.add(x >= lower)
+        solver.add(x <= upper)
+        expected = SolveResult.SAT if lower <= upper else SolveResult.UNSAT
+        assert solver.solve() is expected
+
+
+class TestIncrementality:
+    def test_push_pop_nesting(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 0)
+        solver.push()
+        solver.add(x <= 10)
+        solver.push()
+        solver.add(x >= 20)
+        assert solver.solve() is SolveResult.UNSAT
+        solver.pop()
+        assert solver.solve() is SolveResult.SAT
+        solver.pop()
+        solver.add(x >= 20)
+        assert solver.solve() is SolveResult.SAT
+
+    def test_pop_without_push(self):
+        solver = SmtSolver()
+        with pytest.raises(SolverError):
+            solver.pop()
+
+    def test_blocking_loop_enumerates_models(self):
+        """The framework's iterate-and-block pattern over 2 booleans."""
+        solver = SmtSolver()
+        p, q = BoolVar("p"), BoolVar("q")
+        solver.add(Or(p, q))
+        seen = set()
+        while solver.solve() is SolveResult.SAT:
+            model = solver.model()
+            bits = (model.bool_value(p), model.bool_value(q))
+            assert bits not in seen
+            seen.add(bits)
+            block = []
+            for var, value in zip((p, q), bits):
+                block.append(Not(var) if value else var)
+            solver.add(Or(*block))
+        assert seen == {(True, False), (False, True), (True, True)}
+
+    def test_cardinality_with_theory(self):
+        solver = SmtSolver()
+        bools = [BoolVar(f"m{i}") for i in range(4)]
+        x = RealVar("cost")
+        # Each selected item adds a lower bound on cost.
+        for i, b in enumerate(bools):
+            solver.add(implies(b, x >= 2 * (i + 1)))
+        solver.add(at_most(bools, 2))
+        solver.add(Or(*bools))
+        solver.add(x <= 3)
+        assert solver.solve() is SolveResult.SAT
+        model = solver.model()
+        chosen = [i for i, b in enumerate(bools) if model.bool_value(b)]
+        assert chosen and all(2 * (i + 1) <= 3 for i in chosen)
+
+    def test_statistics_populated(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        p = BoolVar("p")
+        solver.add(implies(p, x >= 3))
+        solver.add(p)
+        solver.solve()
+        stats = solver.stats
+        assert stats.solve_calls == 1
+        assert stats.theory_atoms >= 1
+        assert stats.real_vars == 1
+        assert stats.total_time > 0

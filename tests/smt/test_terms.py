@@ -1,0 +1,189 @@
+"""Tests for the term language: normalization, folding, evaluation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.smt.terms import (
+    Atom,
+    AtMost,
+    And,
+    BoolVar,
+    FALSE,
+    LinExpr,
+    Not,
+    Or,
+    RealVar,
+    TRUE,
+    at_least,
+    at_most,
+    exactly,
+    iff,
+    implies,
+    ite,
+    linear_sum,
+)
+
+
+@pytest.fixture
+def xy():
+    return RealVar("x"), RealVar("y")
+
+
+class TestLinExpr:
+    def test_addition_merges_coefficients(self, xy):
+        x, y = xy
+        expr = (2 * x + y) + (3 * x - y)
+        assert expr.coeffs == {x: Fraction(5)}
+
+    def test_zero_coefficients_dropped(self, xy):
+        x, _ = xy
+        expr = x - x
+        assert expr.is_constant and expr.const == 0
+
+    def test_scalar_multiplication(self, xy):
+        x, y = xy
+        expr = 3 * (x + 2 * y + 1)
+        assert expr.coeffs == {x: Fraction(3), y: Fraction(6)}
+        assert expr.const == 3
+
+    def test_nonlinear_product_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(SolverError):
+            (x + 1) * (y + 1)
+
+    def test_division(self, xy):
+        x, _ = xy
+        expr = (2 * x + 4) / 2
+        assert expr.coeffs == {x: Fraction(1)} and expr.const == 2
+
+    def test_division_by_zero(self, xy):
+        x, _ = xy
+        with pytest.raises(ZeroDivisionError):
+            x._lin() / 0
+
+    def test_evaluate(self, xy):
+        x, y = xy
+        expr = 2 * x - 3 * y + 5
+        assert expr.evaluate({x: Fraction(1), y: Fraction(2)}) == 1
+
+    def test_linear_sum(self, xy):
+        x, y = xy
+        expr = linear_sum([x, 2 * y, 3])
+        assert expr.coeffs == {x: Fraction(1), y: Fraction(2)}
+        assert expr.const == 3
+
+
+class TestAtomNormalization:
+    def test_constant_comparison_folds(self):
+        assert (LinExpr.constant(1) <= 2) is TRUE
+        assert (LinExpr.constant(3) <= 2) is FALSE
+        assert LinExpr.constant(2).eq(2) is TRUE
+
+    def test_atoms_interned(self, xy):
+        x, y = xy
+        a1 = x + y <= 3
+        a2 = x + y <= 3
+        assert a1 is a2
+
+    def test_scaled_atoms_identified(self, xy):
+        x, y = xy
+        a1 = 2 * x + 2 * y <= 6
+        a2 = x + y <= 3
+        assert a1 is a2
+
+    def test_ge_rewritten_via_le(self, xy):
+        x, _ = xy
+        atom = x >= 3
+        # x >= 3 is Not(x < 3) after canonicalization.
+        assert isinstance(atom, Not)
+        inner = atom.arg
+        assert isinstance(inner, Atom) and inner.op == Atom.LT
+
+    def test_negative_leading_coefficient_flips(self, xy):
+        x, _ = xy
+        a1 = -x <= -3         # same as x >= 3
+        a2 = x >= 3
+        assert repr(a1) == repr(a2)
+
+    def test_constant_moved_to_bound(self, xy):
+        x, _ = xy
+        atom = x + 5 <= 8
+        assert isinstance(atom, Atom)
+        assert atom.bound == 3 and atom.expr.const == 0
+
+
+class TestBooleanSimplification:
+    def test_double_negation(self):
+        p = BoolVar("p")
+        assert Not(Not(p)) is p
+
+    def test_and_flattening(self):
+        p, q, r = (BoolVar(n) for n in "pqr")
+        conj = And(And(p, q), r)
+        assert len(conj.args) == 3
+
+    def test_and_identity_and_absorption(self):
+        p = BoolVar("p")
+        assert And(p, TRUE) is p
+        assert And(p, FALSE) is FALSE
+        assert And() is TRUE
+
+    def test_or_identity_and_absorption(self):
+        p = BoolVar("p")
+        assert Or(p, FALSE) is p
+        assert Or(p, TRUE) is TRUE
+        assert Or() is FALSE
+
+    def test_operators(self):
+        p, q = BoolVar("p"), BoolVar("q")
+        assert isinstance(p & q, And)
+        assert isinstance(p | q, Or)
+        assert isinstance(~p, Not)
+
+    def test_implies_shape(self):
+        p, q = BoolVar("p"), BoolVar("q")
+        term = implies(p, q)
+        assert isinstance(term, Or)
+
+    def test_ite_and_iff_build(self):
+        p, q, r = (BoolVar(n) for n in "pqr")
+        assert isinstance(iff(p, q), And)
+        assert isinstance(ite(p, q, r), And)
+
+
+class TestCardinality:
+    def test_trivially_true(self):
+        bools = [BoolVar(f"b{i}") for i in range(3)]
+        assert at_most(bools, 3) is TRUE
+        assert at_most(bools, 5) is TRUE
+        assert at_least(bools, 0) is TRUE
+
+    def test_impossible(self):
+        bools = [BoolVar(f"b{i}") for i in range(3)]
+        assert at_least(bools, 4) is FALSE
+
+    def test_at_most_node(self):
+        bools = [BoolVar(f"b{i}") for i in range(4)]
+        node = at_most(bools, 2)
+        assert isinstance(node, AtMost) and node.bound == 2
+
+    def test_exactly_combines(self):
+        bools = [BoolVar(f"b{i}") for i in range(4)]
+        node = exactly(bools, 2)
+        assert isinstance(node, And)
+
+    @given(st.integers(min_value=0, max_value=6))
+    def test_at_least_dual(self, k):
+        bools = [BoolVar(f"c{i}") for i in range(5)]
+        node = at_least(bools, k)
+        if k == 0:
+            assert node is TRUE
+        elif k > 5:
+            assert node is FALSE
+        elif k <= 5:
+            if isinstance(node, AtMost):
+                assert node.bound == 5 - k

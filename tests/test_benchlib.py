@@ -1,0 +1,95 @@
+"""Tests for the benchmark harness support library."""
+
+import time
+
+import pytest
+
+from repro.benchlib import (
+    format_series,
+    format_table,
+    measured,
+    profile_memory,
+    randomize_attacker,
+    scenario_seeds,
+)
+from repro.grid.cases import get_case
+
+
+class TestScenarios:
+    def test_seeds_are_stable(self):
+        assert scenario_seeds(3) == [2014, 2015, 2016]
+
+    def test_randomization_is_deterministic(self):
+        case = get_case("ieee14")
+        a = randomize_attacker(case, 7)
+        b = randomize_attacker(case, 7)
+        assert a.resource_measurements == b.resource_measurements
+        assert a.resource_buses == b.resource_buses
+        assert [m.secured for m in a.measurement_specs] == \
+            [m.secured for m in b.measurement_specs]
+
+    def test_randomization_varies_with_seed(self):
+        case = get_case("ieee57")
+        variants = {randomize_attacker(case, s).resource_measurements
+                    for s in range(8)}
+        assert len(variants) > 1
+
+    def test_grid_untouched(self):
+        case = get_case("ieee14")
+        variant = randomize_attacker(case, 3)
+        assert variant.line_specs == case.line_specs
+        assert variant.generators == case.generators
+        assert variant.loads == case.loads
+
+    def test_only_adds_protection(self):
+        case = get_case("ieee14")
+        variant = randomize_attacker(case, 3)
+        for original, varied in zip(case.measurement_specs,
+                                    variant.measurement_specs):
+            if original.secured:
+                assert varied.secured
+            assert varied.taken == original.taken
+
+
+class TestMeasure:
+    def test_measured_returns_result_and_time(self):
+        result, elapsed = measured(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_measured_times_sleep(self):
+        _, elapsed = measured(lambda: time.sleep(0.02))
+        assert elapsed >= 0.015
+
+    def test_profile_memory_tracks_allocation(self):
+        def allocate():
+            return [0] * 300000
+        result, profile = profile_memory(allocate)
+        assert len(result) == 300000
+        assert profile.peak_mb > 1.0
+        assert profile.elapsed_seconds >= 0
+
+    def test_profile_memory_stops_tracing_on_error(self):
+        import tracemalloc
+        with pytest.raises(RuntimeError):
+            profile_memory(lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert not tracemalloc.is_tracing()
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table("T", ("a", "bb"), [(1, 2.5), ("x", "y")])
+        assert "== T ==" in text
+        assert "a" in text and "bb" in text
+        assert "2.5" in text
+
+    def test_format_series_bars_scale(self):
+        text = format_series("S", "x", "y", {1: 1.0, 2: 2.0})
+        lines = text.splitlines()
+        bar_1 = next(l for l in lines if l.strip().startswith("1 |"))
+        bar_2 = next(l for l in lines if l.strip().startswith("2 |"))
+        assert bar_2.count("#") > bar_1.count("#")
+
+    def test_format_series_empty_safe(self):
+        assert "== S ==" in format_series("S", "x", "y", {})

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.grid import write_case
+from repro.grid.cases import get_case
+
+
+class TestCases:
+    def test_lists_all_systems(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "5bus-study1" in out and "ieee118" in out
+
+
+class TestOpf:
+    def test_bundled_case(self, capsys):
+        assert main(["opf", "--case", "5bus-study1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cost: 1474.68" in out
+        assert "generator at bus 1" in out
+
+    def test_missing_case_argument(self):
+        with pytest.raises(SystemExit):
+            main(["opf"])
+
+
+class TestAnalyze:
+    def test_reproduces_case_study_1(self, capsys):
+        assert main(["analyze", "--case", "5bus-study1"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict                  : sat" in out
+        assert "exclusion attack on line(s) [6]" in out
+
+    def test_unsat_exit_code(self, capsys):
+        assert main(["analyze", "--case", "5bus-study1",
+                     "--target", "20"]) == 1
+        assert "unsat" in capsys.readouterr().out
+
+    def test_fast_analyzer(self, capsys):
+        assert main(["analyze", "--case", "5bus-study1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "exclusion attack on line(s) [6]" in out
+
+    def test_input_file_and_output_file(self, tmp_path, capsys):
+        case_file = tmp_path / "case.txt"
+        case_file.write_text(write_case(get_case("5bus-study1")))
+        report_file = tmp_path / "report.txt"
+        code = main(["analyze", "--input", str(case_file),
+                     "--output", str(report_file)])
+        assert code == 0
+        assert "report written" in capsys.readouterr().out
+        assert "sat" in report_file.read_text()
+
+    def test_with_states_flag(self, capsys):
+        code = main(["analyze", "--case", "5bus-study2",
+                     "--with-states", "--target", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UFDI attack on state(s) [3]" in out

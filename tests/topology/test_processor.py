@@ -1,0 +1,100 @@
+"""Tests for status telemetry and the topology processor."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.grid.cases import get_case
+from repro.topology import (
+    LineStatus,
+    StatusTelemetry,
+    TopologyProcessor,
+)
+
+
+@pytest.fixture
+def grid():
+    return get_case("5bus-study1").build_grid()
+
+
+class TestTelemetry:
+    def test_faithful_from_grid(self, grid):
+        telemetry = StatusTelemetry.from_grid(grid)
+        assert telemetry.closed_lines() == [1, 2, 3, 4, 5, 6, 7]
+        assert telemetry.spoofed_lines() == []
+
+    def test_open_line_reported_open(self, grid):
+        modified = grid.with_line_statuses({5: False})
+        telemetry = StatusTelemetry.from_grid(modified)
+        assert telemetry.status(5) is LineStatus.OPEN
+        assert 5 not in telemetry.closed_lines()
+
+    def test_spoof(self, grid):
+        telemetry = StatusTelemetry.from_grid(grid)
+        spoofed = telemetry.spoof(6, LineStatus.OPEN)
+        assert spoofed.status(6) is LineStatus.OPEN
+        assert spoofed.spoofed_lines() == [6]
+        # Original telemetry untouched.
+        assert telemetry.status(6) is LineStatus.CLOSED
+
+    def test_secured_status_cannot_be_spoofed(self, grid):
+        telemetry = StatusTelemetry.from_grid(grid)
+        with pytest.raises(ModelError):
+            telemetry.spoof(3, LineStatus.OPEN, secured=True)
+
+    def test_unknown_line(self, grid):
+        telemetry = StatusTelemetry.from_grid(grid)
+        with pytest.raises(ModelError):
+            telemetry.status(99)
+        with pytest.raises(ModelError):
+            telemetry.spoof(99, LineStatus.OPEN)
+
+
+class TestProcessor:
+    def test_faithful_mapping(self, grid):
+        view = TopologyProcessor(grid).map_topology()
+        assert view.mapped_lines == [1, 2, 3, 4, 5, 6, 7]
+        assert view.is_faithful
+        assert view.excluded_lines == [] and view.included_lines == []
+
+    def test_exclusion_attack_view(self, grid):
+        processor = TopologyProcessor(grid)
+        telemetry = StatusTelemetry.from_grid(grid).spoof(
+            6, LineStatus.OPEN)
+        view = processor.map_topology(telemetry)
+        assert 6 not in view.mapped_lines
+        assert view.excluded_lines == [6]
+        assert not view.is_faithful
+        assert view.is_connected()
+
+    def test_inclusion_attack_view(self, grid):
+        physical = grid.with_line_statuses({5: False})
+        processor = TopologyProcessor(physical)
+        telemetry = StatusTelemetry.from_grid(physical).spoof(
+            5, LineStatus.CLOSED)
+        view = processor.map_topology(telemetry)
+        assert 5 in view.mapped_lines
+        assert view.included_lines == [5]
+        assert view.excluded_lines == []
+
+    def test_validation_clean(self, grid):
+        processor = TopologyProcessor(grid)
+        view = processor.map_topology()
+        assert processor.validate(view) == []
+
+    def test_validation_catches_disconnection(self, grid):
+        processor = TopologyProcessor(grid)
+        telemetry = StatusTelemetry.from_grid(grid)
+        for line in (2, 5, 7):
+            telemetry = telemetry.spoof(line, LineStatus.OPEN)
+        view = processor.map_topology(telemetry)
+        warnings = processor.validate(view)
+        assert any("disconnected" in w for w in warnings)
+        assert any("isolated" in w for w in warnings)
+
+    def test_single_line_exclusion_not_flagged(self, grid):
+        """The stealthy attack passes the processor's sanity checks."""
+        processor = TopologyProcessor(grid)
+        telemetry = StatusTelemetry.from_grid(grid).spoof(
+            6, LineStatus.OPEN)
+        view = processor.map_topology(telemetry)
+        assert processor.validate(view) == []
