@@ -14,10 +14,11 @@ import os
 from fractions import Fraction
 from typing import Dict, List
 
-from repro.benchlib import randomize_attacker, scenario_seeds
+from repro.benchlib import combined_spec, randomize_attacker, scenario_seeds
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
 from repro.grid.cases import get_case
+from repro.runner import SweepConfig, SweepEngine, SweepTrace
 
 #: case name -> bus count, in the paper's sweep order.
 SWEEP: Dict[str, int] = {
@@ -56,3 +57,27 @@ def combined_analysis(name: str, seed: int, with_state: bool,
         target_increase_percent=percent,
         with_state_infection=with_state,
         state_samples=8, seed=seed))
+
+
+#: sweep-engine configuration for the benchmarks.  Workers default to 1
+#: (serial, so pytest-benchmark wall timings stay comparable run to run);
+#: caching is opt-in via REPRO_BENCH_CACHE so reruns can short-circuit.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE")
+
+
+def combined_specs(name: str, with_state: bool, percent: Fraction):
+    """The engine specs for one Fig.-4 problem size (all scenarios)."""
+    analyzer = "smt" if name in SMT_SIZES else "fast"
+    return [combined_spec(name, seed, with_state, percent,
+                          analyzer=analyzer)
+            for seed in SCENARIOS]
+
+
+def run_sweep(specs) -> SweepTrace:
+    """One benchmark sweep on the engine (see BENCH_* knobs above)."""
+    engine = SweepEngine(SweepConfig(
+        workers=BENCH_WORKERS,
+        cache_dir=BENCH_CACHE_DIR,
+        use_cache=BENCH_CACHE_DIR is not None))
+    return engine.run(specs)

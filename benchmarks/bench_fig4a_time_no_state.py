@@ -2,6 +2,11 @@
 attacks *without* state infection, three random attacker scenarios per
 problem size, 1-2% impact target.
 
+Runs on the sweep engine (:mod:`repro.runner`): the three attacker
+scenarios of each size form one sweep, so ``REPRO_BENCH_WORKERS=4`` fans
+them out over worker processes and ``REPRO_BENCH_CACHE=.repro-cache``
+short-circuits reruns from the result cache.
+
 Expected shape (paper): time grows super-linearly (~quadratically) with
 the number of buses; satisfiable cases complete faster than unsatisfiable
 ones (Fig. 4(c)).
@@ -11,38 +16,34 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks._helpers import SCENARIOS, SWEEP, combined_analysis
-from repro.benchlib import format_series, format_table, measured
+from benchmarks._helpers import SCENARIOS, SWEEP, combined_specs, run_sweep
+from repro.benchlib import format_series, format_table
 
 
 @pytest.mark.paper("Fig. 4(a)")
 @pytest.mark.parametrize("name", list(SWEEP))
 def test_fig4a_combined_time_no_state(benchmark, name, bench_results):
     buses = SWEEP[name]
-    times = []
-    verdicts = []
+    specs = combined_specs(name, with_state=False, percent=Fraction(1))
+    outcomes = []
 
     def run_all():
-        times.clear()
-        verdicts.clear()
-        for seed in SCENARIOS:
-            report, elapsed = measured(
-                lambda s=seed: combined_analysis(
-                    name, s, with_state=False, percent=Fraction(1)))
-            times.append(elapsed)
-            verdicts.append("sat" if report.satisfiable else "unsat")
-        return times
+        outcomes.clear()
+        outcomes.extend(run_sweep(specs).outcomes)
+        return outcomes
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    times = [outcome.analysis_seconds for outcome in outcomes]
     average = sum(times) / len(times)
     bench_results.setdefault("fig4a", {})[buses] = average
 
     print()
     print(format_table(
         f"Fig. 4(a) — {name} ({buses} buses), 3 scenarios",
-        ("scenario", "verdict", "time (s)"),
-        [(seed, verdict, f"{t:.3f}")
-         for seed, verdict, t in zip(SCENARIOS, verdicts, times)]))
+        ("scenario", "verdict", "time (s)", "smt calls", "cache"),
+        [(seed, outcome.verdict, f"{outcome.analysis_seconds:.3f}",
+          outcome.solver_calls, "hit" if outcome.cache_hit else "miss")
+         for seed, outcome in zip(SCENARIOS, outcomes)]))
     series = bench_results.get("fig4a", {})
     if buses == max(SWEEP.values()):
         print(format_series("Fig. 4(a) average combined-model time",

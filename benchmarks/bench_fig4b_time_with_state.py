@@ -1,6 +1,9 @@
 """Fig. 4(b): combined-model execution time vs bus count, topology
 attacks *including* state infection.
 
+Runs on the sweep engine (:mod:`repro.runner`), like Fig. 4(a) — see
+that module for the REPRO_BENCH_WORKERS / REPRO_BENCH_CACHE knobs.
+
 Expected shape (paper): same growth as Fig. 4(a) but uniformly slower —
 state infection multiplies the attack search space.
 """
@@ -9,38 +12,34 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks._helpers import SCENARIOS, SWEEP, combined_analysis
-from repro.benchlib import format_series, format_table, measured
+from benchmarks._helpers import SCENARIOS, SWEEP, combined_specs, run_sweep
+from repro.benchlib import format_series, format_table
 
 
 @pytest.mark.paper("Fig. 4(b)")
 @pytest.mark.parametrize("name", list(SWEEP))
 def test_fig4b_combined_time_with_state(benchmark, name, bench_results):
     buses = SWEEP[name]
-    times = []
-    verdicts = []
+    specs = combined_specs(name, with_state=True, percent=Fraction(1))
+    outcomes = []
 
     def run_all():
-        times.clear()
-        verdicts.clear()
-        for seed in SCENARIOS:
-            report, elapsed = measured(
-                lambda s=seed: combined_analysis(
-                    name, s, with_state=True, percent=Fraction(1)))
-            times.append(elapsed)
-            verdicts.append("sat" if report.satisfiable else "unsat")
-        return times
+        outcomes.clear()
+        outcomes.extend(run_sweep(specs).outcomes)
+        return outcomes
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    times = [outcome.analysis_seconds for outcome in outcomes]
     average = sum(times) / len(times)
     bench_results.setdefault("fig4b", {})[buses] = average
 
     print()
     print(format_table(
         f"Fig. 4(b) — {name} ({buses} buses), 3 scenarios, with states",
-        ("scenario", "verdict", "time (s)"),
-        [(seed, verdict, f"{t:.3f}")
-         for seed, verdict, t in zip(SCENARIOS, verdicts, times)]))
+        ("scenario", "verdict", "time (s)", "smt calls", "cache"),
+        [(seed, outcome.verdict, f"{outcome.analysis_seconds:.3f}",
+          outcome.solver_calls, "hit" if outcome.cache_hit else "miss")
+         for seed, outcome in zip(SCENARIOS, outcomes)]))
     if buses == max(SWEEP.values()):
         print(format_series("Fig. 4(b) average combined-model time",
                             "buses", "seconds",

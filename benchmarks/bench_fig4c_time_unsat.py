@@ -1,5 +1,7 @@
 """Fig. 4(c): combined-model execution time in *unsatisfiable* cases.
 
+Runs on the sweep engine (:mod:`repro.runner`) like Figs. 4(a)/4(b).
+
 Expected shape (paper): unsat verdicts take longer than sat verdicts at
 the same size — the solver must exhaust the attack-vector space to
 conclude no attack achieves the impact.
@@ -14,8 +16,14 @@ from fractions import Fraction
 
 import pytest
 
-from benchmarks._helpers import SCENARIOS, SMT_SIZES, SWEEP, combined_analysis
-from repro.benchlib import format_series, format_table, measured
+from benchmarks._helpers import (
+    SCENARIOS,
+    SMT_SIZES,
+    SWEEP,
+    combined_specs,
+    run_sweep,
+)
+from repro.benchlib import format_series, format_table
 
 
 @pytest.mark.paper("Fig. 4(c)")
@@ -23,28 +31,28 @@ from repro.benchlib import format_series, format_table, measured
 def test_fig4c_combined_time_unsat(benchmark, name, bench_results):
     buses = SWEEP[name]
     percent = Fraction(6) if name in SMT_SIZES else Fraction(40)
-    times = []
+    specs = combined_specs(name, with_state=False, percent=percent)
+    outcomes = []
 
     def run_all():
-        times.clear()
-        for seed in SCENARIOS:
-            report, elapsed = measured(
-                lambda s=seed: combined_analysis(
-                    name, s, with_state=False, percent=percent))
-            assert not report.satisfiable
-            times.append(elapsed)
-        return times
+        outcomes.clear()
+        outcomes.extend(run_sweep(specs).outcomes)
+        for outcome in outcomes:
+            assert not outcome.satisfiable
+        return outcomes
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    times = [outcome.analysis_seconds for outcome in outcomes]
     average = sum(times) / len(times)
     bench_results.setdefault("fig4c", {})[buses] = average
 
     print()
     print(format_table(
         f"Fig. 4(c) — {name} ({buses} buses), unsat cases",
-        ("scenario", "verdict", "time (s)"),
-        [(seed, "unsat", f"{t:.3f}")
-         for seed, t in zip(SCENARIOS, times)]))
+        ("scenario", "verdict", "time (s)", "smt calls", "cache"),
+        [(seed, outcome.verdict, f"{outcome.analysis_seconds:.3f}",
+          outcome.solver_calls, "hit" if outcome.cache_hit else "miss")
+         for seed, outcome in zip(SCENARIOS, outcomes)]))
     if buses == max(SWEEP.values()):
         print(format_series("Fig. 4(c) average unsat time", "buses",
                             "seconds",

@@ -2,11 +2,16 @@
 measurement and paper-style table formatting."""
 
 from repro.benchlib.measure import measured, MemoryProfile, profile_memory
-from repro.benchlib.scenarios import randomize_attacker, scenario_seeds
+from repro.benchlib.scenarios import (
+    combined_spec,
+    randomize_attacker,
+    scenario_seeds,
+)
 from repro.benchlib.tables import format_series, format_table
 
 __all__ = [
     "MemoryProfile",
+    "combined_spec",
     "format_series",
     "format_table",
     "measured",

@@ -33,13 +33,23 @@ def profile_memory(fn: Callable[[], Any]) -> Tuple[Any, MemoryProfile]:
     The paper reports the SMT solver's memory by model; we report the
     peak Python allocation of building + solving the model, which plays
     the same role (growth *shape* with problem size).
+
+    Reentrancy-safe: when a tracemalloc session is already running (for
+    example the sweep engine profiling a task that itself profiles), the
+    outer session is left running — only its peak counter is reset so the
+    inner measurement stays meaningful.
     """
-    tracemalloc.start()
+    was_tracing = tracemalloc.is_tracing()
+    if was_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
     started = time.perf_counter()
     try:
         result = fn()
     finally:
         _, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
+        if not was_tracing:
+            tracemalloc.stop()
     elapsed = time.perf_counter() - started
     return result, MemoryProfile(peak, elapsed)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import List
+from typing import List, Optional
 
 from repro.grid.caseio import CaseDefinition, MeasurementSpec
 
@@ -53,3 +53,22 @@ def randomize_attacker(case: CaseDefinition, seed: int) -> CaseDefinition:
         base_cost=case.base_cost,
         min_increase_percent=case.min_increase_percent,
     )
+
+
+def combined_spec(name: str, seed: Optional[int], with_state: bool,
+                  percent, analyzer: str = "auto",
+                  max_candidates: int = 20, state_samples: int = 8):
+    """A sweep-engine :class:`~repro.runner.spec.ScenarioSpec` for one
+    Fig.-4 cell: bundled case *name*, attacker randomized with *seed*
+    (None: as-is), at impact target *percent*.
+
+    The returned spec reproduces exactly what the pre-engine benchmarks
+    ran inline: the same randomized case, query and (for the fast
+    analyzer) sampling seed.
+    """
+    from repro.runner.spec import ScenarioSpec
+    return ScenarioSpec.build(
+        name, analyzer=analyzer, attacker_seed=seed, target=percent,
+        with_state_infection=with_state, max_candidates=max_candidates,
+        state_samples=state_samples,
+        sample_seed=0 if seed is None else seed)

@@ -7,15 +7,17 @@ format goes in, the analysis verdict and attack vector come out::
     python -m repro analyze --input my_case.txt --target 5 --with-states
     python -m repro analyze --case ieee57 --fast
     python -m repro opf --case 5bus-study1
+    python -m repro sweep --cases 5bus-study1,5bus-study2 --targets 1,2,3,4
     python -m repro cases
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from fractions import Fraction
-from typing import Optional
+from typing import List, Optional
 
 from repro.core import (
     FastImpactAnalyzer,
@@ -93,6 +95,88 @@ def _cmd_analyze(args) -> int:
     return 0 if report.satisfiable else 1
 
 
+def _cmd_sweep(args) -> int:
+    from repro.benchlib import format_table
+    from repro.benchlib.scenarios import scenario_seeds
+    from repro.runner import (
+        ResultCache,
+        ScenarioSpec,
+        SweepConfig,
+        SweepEngine,
+    )
+
+    names = [name.strip() for name in args.cases.split(",") if name.strip()]
+    if not names:
+        raise SystemExit("--cases must name at least one bundled case")
+    targets: List[Optional[str]] = [None]
+    if args.targets:
+        targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+    seeds: List[Optional[int]] = [None]
+    if args.scenarios:
+        seeds = list(scenario_seeds(args.scenarios))
+
+    specs = []
+    for name in names:
+        for seed in seeds:
+            for target in targets:
+                try:
+                    specs.append(ScenarioSpec.build(
+                        name, analyzer=args.analyzer, attacker_seed=seed,
+                        target=target,
+                        with_state_infection=args.with_states,
+                        max_candidates=args.max_candidates,
+                        state_samples=args.state_samples,
+                        sample_seed=args.seed))
+                except (ValueError, ZeroDivisionError):
+                    raise SystemExit(
+                        f"--targets: {target!r} is not a number or "
+                        f"fraction (try e.g. 3, 2.5 or 9/2)")
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    if args.clear_cache and cache_dir:
+        removed = ResultCache(cache_dir).clear()
+        print(f"cleared {removed} cached result(s) from {cache_dir}")
+    workers = 1 if args.serial else args.workers
+    engine = SweepEngine(SweepConfig(
+        workers=workers, task_timeout=args.timeout,
+        retries=args.retries, cache_dir=cache_dir,
+        use_cache=cache_dir is not None))
+    sweep = engine.run(specs)
+
+    rows = []
+    for outcome in sweep.outcomes:
+        increase = outcome.achieved_increase_percent
+        rows.append((
+            outcome.spec.label,
+            outcome.verdict,
+            "-" if increase is None else f"{increase:.2f}%",
+            outcome.candidates_examined,
+            outcome.solver_calls,
+            f"{outcome.analysis_seconds:.3f}",
+            "hit" if outcome.cache_hit else "miss",
+        ))
+    print(format_table(
+        f"sweep — {len(specs)} scenarios, {sweep.mode} "
+        f"({sweep.workers} worker{'s' if sweep.workers != 1 else ''})",
+        ("scenario", "verdict", "increase", "candidates", "smt calls",
+         "time (s)", "cache"),
+        rows))
+    totals = sweep.to_dict()["totals"]
+    print(f"wall time      : {sweep.wall_seconds:.3f}s "
+          f"(sum of analyses: {totals['analysis_seconds']:.3f}s)")
+    print(f"cache          : {sweep.cache_hits}/{len(specs)} hits"
+          + (f" under {sweep.cache_dir}" if sweep.cache_dir else
+             " (disabled)"))
+    if args.trace:
+        path = sweep.write(args.trace)
+        print(f"trace written  : {path}")
+    failures = sweep.failures
+    for outcome in failures:
+        print(f"FAILED {outcome.spec.label}: {outcome.status} "
+              f"({outcome.error})")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -137,6 +221,46 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--output", help="write the report to a file "
                                           "(the paper's output file)")
     analyze.set_defaults(func=_cmd_analyze)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (case × target × scenario) grid on the "
+                      "parallel sweep engine with result caching")
+    sweep.add_argument("--cases", required=True,
+                       help="comma-separated bundled case names")
+    sweep.add_argument("--targets",
+                       help="comma-separated impact targets in percent "
+                            "(default: each case's own value)")
+    sweep.add_argument("--scenarios", type=int, default=0,
+                       help="number of randomized attacker scenarios per "
+                            "cell (0: the case as-is)")
+    sweep.add_argument("--with-states", action="store_true",
+                       help="allow UFDI state infection")
+    sweep.add_argument("--analyzer",
+                       choices=("auto", "smt", "fast"), default="auto",
+                       help="auto picks SMT up to 14 buses, fast above")
+    sweep.add_argument("--workers", type=int,
+                       default=min(4, os.cpu_count() or 1),
+                       help="worker processes (default: min(4, cpus))")
+    sweep.add_argument("--serial", action="store_true",
+                       help="force in-process serial execution")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-task wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="resubmissions after a worker crash")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="result-cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="drop cached results before running")
+    sweep.add_argument("--trace", default="sweep-trace.json",
+                       help="write the per-sweep trace JSON here "
+                            "('' disables)")
+    sweep.add_argument("--max-candidates", type=int, default=60)
+    sweep.add_argument("--state-samples", type=int, default=24)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="fast-analyzer sampling seed")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -17,9 +17,14 @@ from repro.core.encoding import (
 )
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
-from repro.core.results import CandidateEvaluation, ImpactReport
+from repro.core.results import (
+    AnalysisTrace,
+    CandidateEvaluation,
+    ImpactReport,
+)
 
 __all__ = [
+    "AnalysisTrace",
     "AttackEncodingConfig",
     "AttackModelEncoding",
     "AttackVectorSolution",

@@ -380,32 +380,37 @@ class AttackModelEncoding:
         return self.decode(self.solver.model())
 
     def decode(self, model: Model) -> AttackVectorSolution:
+        # Strict lookups throughout: every variable queried here is
+        # constrained by the encoding, so its absence from a model is a
+        # decode bug, not a don't-care — fail loudly instead of silently
+        # reading False/0.
         grid = self.grid
         excluded = [i for i, var in self.p.items()
-                    if model.bool_value(var)]
+                    if model.bool_value(var, strict=True)]
         included = [i for i, var in self.q.items()
-                    if model.bool_value(var)]
-        altered = [m for m, var in self.a.items() if model.bool_value(var)]
+                    if model.bool_value(var, strict=True)]
+        altered = [m for m, var in self.a.items()
+                   if model.bool_value(var, strict=True)]
         # h_j is only lower-bounded by the a_i (Eq. 21 is an implication),
         # so derive the compromised set from the alterations themselves.
         compromised = sorted({self.plan.location_of(m) for m in altered})
-        believed = {bus: model.real_value(var)
+        believed = {bus: model.real_value(var, strict=True)
                     for bus, var in self.believed_load.items()}
         shifts: Dict[int, Fraction] = {}
         infected: List[int] = []
         if self.config.include_state_infection:
             infected = [j for j, var in self.c.items()
-                        if model.bool_value(var)]
-            shifts = {j: model.real_value(self.dtheta[j])
+                        if model.bool_value(var, strict=True)]
+            shifts = {j: model.real_value(self.dtheta[j], strict=True)
                       for j in infected}
-        dispatch = {bus: model.real_value(var)
+        dispatch = {bus: model.real_value(var, strict=True)
                     for bus, var in self.gen.items()}
         flows = {}
         for line in grid.lines:
             if line.in_service:
                 value = line.admittance * (
-                    model.real_value(self.theta[line.from_bus])
-                    - model.real_value(self.theta[line.to_bus]))
+                    model.real_value(self.theta[line.from_bus], strict=True)
+                    - model.real_value(self.theta[line.to_bus], strict=True))
                 flows[line.index] = value
         cost = sum((gen.cost_alpha + gen.cost_beta * dispatch[bus]
                     for bus, gen in grid.generators.items()), Fraction(0))

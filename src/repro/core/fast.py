@@ -40,7 +40,11 @@ from repro.attacks.topology_poisoning import (
     craft_topology_attack,
     validate_against_attacker,
 )
-from repro.core.results import CandidateEvaluation, ImpactReport
+from repro.core.results import (
+    AnalysisTrace,
+    CandidateEvaluation,
+    ImpactReport,
+)
 from repro.exceptions import ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.grid.matrices import state_order, susceptance_matrix
@@ -91,6 +95,8 @@ class FastImpactAnalyzer:
         threshold = self.threshold_for(percent)
         started = time.perf_counter()
         self.evaluations = []
+        opf_calls_before = self._sf_opf.solve_calls
+        opf_seconds_before = self._sf_opf.solve_seconds
 
         best: Optional[CandidateEvaluation] = None
         candidates = [("exclude", i)
@@ -108,8 +114,19 @@ class FastImpactAnalyzer:
                 best = evaluation
 
         elapsed = time.perf_counter() - started
+        trace = AnalysisTrace(
+            stages={"total_seconds": elapsed},
+            # The fast analyzer never touches the SMT solver; report
+            # explicit zeros so sweep traces stay uniform.
+            smt={"solve_calls": 0, "decisions": 0, "conflicts": 0,
+                 "theory_conflicts": 0, "simplex_pivots": 0,
+                 "total_seconds": 0.0},
+            opf={"solves": self._sf_opf.solve_calls - opf_calls_before,
+                 "seconds": (self._sf_opf.solve_seconds
+                             - opf_seconds_before)})
         target = float(percent)
-        if best is not None and best.best_increase_percent > target:
+        # Eq. 37 boundary semantics: reaching the target exactly counts.
+        if best is not None and best.best_increase_percent >= target:
             believed_min = self.base_cost * to_fraction(
                 1 + best.best_increase_percent / 100)
             from repro.core.encoding import AttackVectorSolution
@@ -127,10 +144,11 @@ class FastImpactAnalyzer:
                 operating_cost=Fraction(0))
             return ImpactReport(True, self.base_cost, threshold, percent,
                                 solution, believed_min,
-                                len(self.evaluations), elapsed)
+                                len(self.evaluations), elapsed,
+                                trace=trace)
         return ImpactReport(False, self.base_cost, threshold, percent,
                             candidates_examined=len(self.evaluations),
-                            elapsed_seconds=elapsed)
+                            elapsed_seconds=elapsed, trace=trace)
 
     # ------------------------------------------------------------------
     # Candidate evaluation

@@ -37,7 +37,7 @@ from repro.core.encoding import (
     AttackVectorSolution,
     OpfModelEncoding,
 )
-from repro.core.results import ImpactReport
+from repro.core.results import AnalysisTrace, ImpactReport
 from repro.exceptions import ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.opf.dcopf import DcOpfResult, solve_dc_opf
@@ -73,6 +73,10 @@ class ImpactAnalyzer:
         self.case = case
         self.grid = case.build_grid()
         self._base: Optional[DcOpfResult] = None
+        # per-analyze() work counters (reset at the top of analyze()).
+        self._evaluations = 0
+        self._opf_solves = 0
+        self._opf_seconds = 0.0
 
     @property
     def base_result(self) -> DcOpfResult:
@@ -123,31 +127,32 @@ class ImpactAnalyzer:
             else threshold,
         )
         encoding = AttackModelEncoding(self.case, config)
+        encode_seconds = time.perf_counter() - started
+        self._evaluations = 0
+        self._opf_solves = 0
+        self._opf_seconds = 0.0
 
-        examined = 0
-        while examined < query.max_candidates:
+        structures = 0
+        while structures < query.max_candidates:
             solution = encoding.solve()
             if solution is None:
-                return ImpactReport(
-                    False, self.base_cost, threshold, percent,
-                    candidates_examined=examined,
-                    elapsed_seconds=time.perf_counter() - started)
-            examined += 1
+                return self._unsat_report(threshold, percent, encoding,
+                                          started, encode_seconds)
+            structures += 1
             success, believed_min = self._evaluate(solution, threshold,
                                                    query.opf_method)
             if success:
                 return self._success_report(
-                    solution, believed_min, threshold, percent, examined,
-                    started, query)
+                    solution, believed_min, threshold, percent,
+                    started, query, encoding, encode_seconds)
             if query.extremize_structures:
                 best = self._extremize_structure(encoding, solution,
                                                  threshold, query)
                 if best is not None:
                     solution2, believed_min2 = best
-                    examined += 1
                     return self._success_report(
                         solution2, believed_min2, threshold, percent,
-                        examined, started, query)
+                        started, query, encoding, encode_seconds)
                 # The structure's believed-load boundary has been searched
                 # without reaching the threshold: prune the whole
                 # structure (convexity puts the worst case on the
@@ -156,10 +161,8 @@ class ImpactAnalyzer:
             else:
                 encoding.block(solution, query.precision)
 
-        return ImpactReport(
-            False, self.base_cost, threshold, percent,
-            candidates_examined=examined,
-            elapsed_seconds=time.perf_counter() - started)
+        return self._unsat_report(threshold, percent, encoding, started,
+                                  encode_seconds)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -169,25 +172,70 @@ class ImpactAnalyzer:
                   threshold: Fraction,
                   opf_method: str) -> Tuple[bool, Optional[Fraction]]:
         """(impact achieved?, believed minimum cost)."""
+        self._evaluations += 1
         topology = solution.believed_topology(self.grid)
         if not self.grid.is_connected(topology):
             return False, None
+        opf_started = time.perf_counter()
         result = solve_dc_opf(self.grid, loads=solution.believed_loads,
                               line_indices=topology, method=opf_method)
+        self._opf_solves += 1
+        self._opf_seconds += time.perf_counter() - opf_started
         if not result.feasible:
             # Eq. 38 violated: the EMS's OPF would fail to converge.
             return False, None
-        return result.cost > threshold, result.cost
+        # Eq. 37 asks for an increase of *at least* I%, so a believed
+        # optimum exactly on the threshold is a successful attack.
+        return result.cost >= threshold, result.cost
+
+    def _trace(self, encoding: AttackModelEncoding, started: float,
+               encode_seconds: float) -> AnalysisTrace:
+        stats = encoding.solver.stats
+        return AnalysisTrace(
+            stages={
+                "encode_seconds": encode_seconds,
+                "total_seconds": time.perf_counter() - started,
+            },
+            smt={
+                "solve_calls": stats.solve_calls,
+                "total_seconds": stats.total_time,
+                "sat_vars": stats.sat_vars,
+                "clauses": stats.clauses,
+                "theory_atoms": stats.theory_atoms,
+                "real_vars": stats.real_vars,
+                "decisions": stats.decisions,
+                "conflicts": stats.conflicts,
+                "theory_conflicts": stats.theory_conflicts,
+                "propagations": stats.propagations,
+                "restarts": stats.restarts,
+                "simplex_pivots": stats.simplex_pivots,
+            },
+            opf={
+                "solves": self._opf_solves,
+                "seconds": self._opf_seconds,
+            })
+
+    def _unsat_report(self, threshold, percent, encoding, started,
+                      encode_seconds) -> ImpactReport:
+        return ImpactReport(
+            False, self.base_cost, threshold, percent,
+            candidates_examined=self._evaluations,
+            elapsed_seconds=time.perf_counter() - started,
+            solver_calls=encoding.solver.stats.solve_calls,
+            trace=self._trace(encoding, started, encode_seconds))
 
     def _success_report(self, solution, believed_min, threshold, percent,
-                        examined, started, query) -> ImpactReport:
+                        started, query, encoding,
+                        encode_seconds) -> ImpactReport:
         confirmed = None
         if query.verify_with_smt_opf:
             confirmed = self.confirm_with_smt_opf(solution, threshold)
         return ImpactReport(
             True, self.base_cost, threshold, percent, solution,
-            believed_min, examined,
-            time.perf_counter() - started, confirmed)
+            believed_min, self._evaluations,
+            time.perf_counter() - started, confirmed,
+            solver_calls=encoding.solver.stats.solve_calls,
+            trace=self._trace(encoding, started, encode_seconds))
 
     def confirm_with_smt_opf(self, solution: AttackVectorSolution,
                              threshold: Fraction) -> bool:

@@ -2,12 +2,37 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.encoding import AttackVectorSolution
 from repro.estimation.measurement import MeasurementPlan
+
+
+@dataclass
+class AnalysisTrace:
+    """Structured per-stage timings and counters of one analysis run.
+
+    ``smt`` carries the solver's :class:`~repro.smt.solver.SmtStatistics`
+    snapshot (decisions, conflicts, theory conflicts, simplex pivots, …),
+    ``opf`` the number and total wall time of OPF solves, and ``stages``
+    coarse per-stage wall timings.  Everything is JSON-ready so the sweep
+    engine can thread it into per-sweep trace files.
+    """
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    smt: Dict[str, Any] = field(default_factory=dict)
+    opf: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AnalysisTrace":
+        return cls(stages=dict(payload.get("stages", {})),
+                   smt=dict(payload.get("smt", {})),
+                   opf=dict(payload.get("opf", {})))
 
 
 @dataclass
@@ -29,6 +54,11 @@ class ImpactReport:
     candidates_examined: int = 0
     elapsed_seconds: float = 0.0
     smt_opf_unsat_confirmed: Optional[bool] = None
+    #: total SMT ``solve()`` invocations behind this report — including
+    #: every iteration of the structure-extremization optimizer, which a
+    #: bare candidate count under-reports.
+    solver_calls: int = 0
+    trace: Optional[AnalysisTrace] = None
 
     @property
     def achieved_increase_percent(self) -> Optional[Fraction]:
@@ -50,6 +80,8 @@ class ImpactReport:
         lines.append(f"verdict                  : "
                      f"{'sat' if self.satisfiable else 'unsat'}")
         lines.append(f"attack vectors examined  : {self.candidates_examined}")
+        if self.solver_calls:
+            lines.append(f"SMT solver calls         : {self.solver_calls}")
         lines.append(f"analysis time            : "
                      f"{self.elapsed_seconds:.3f}s")
         if self.smt_opf_unsat_confirmed is not None:

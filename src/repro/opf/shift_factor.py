@@ -15,6 +15,7 @@ the PTDF matrix is computed once per base topology.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -60,6 +61,9 @@ class ShiftFactorOpf:
         self.base_lines = active_lines(grid, base_topology)
         self.factors = compute_ptdf(grid, self.base_lines)
         self.gen_buses = sorted(grid.generators)
+        #: cumulative work counters for sweep traces.
+        self.solve_calls = 0
+        self.solve_seconds = 0.0
         # Injection map: columns are generator outputs.
         self._gen_matrix = np.zeros((grid.num_buses, len(self.gen_buses)))
         for k, bus in enumerate(self.gen_buses):
@@ -114,6 +118,16 @@ class ShiftFactorOpf:
               change: Optional[TopologyChange] = None,
               binding_tolerance: float = 1e-6) -> DcOpfResult:
         """OPF for the given loads and optional single-line change."""
+        started = time.perf_counter()
+        try:
+            return self._solve(loads, change, binding_tolerance)
+        finally:
+            self.solve_calls += 1
+            self.solve_seconds += time.perf_counter() - started
+
+    def _solve(self, loads: Optional[Dict[int, Fraction]],
+               change: Optional[TopologyChange],
+               binding_tolerance: float) -> DcOpfResult:
         grid = self.grid
         if change is not None and change.kind == "exclude":
             remaining = [i for i in self.base_lines

@@ -1,0 +1,28 @@
+"""Parallel scenario-sweep engine with result caching and tracing.
+
+* :mod:`repro.runner.spec` — declarative :class:`ScenarioSpec` with
+  deterministic fingerprinting (case content + query + code version),
+* :mod:`repro.runner.engine` — :class:`SweepEngine`: process-pool
+  fan-out with per-task timeouts, crash retry and serial fallback,
+* :mod:`repro.runner.cache` — the on-disk JSON result cache under
+  ``.repro-cache/``,
+* :mod:`repro.runner.trace` — per-scenario and per-sweep trace records
+  (SMT statistics, OPF timings, cache hits).
+"""
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.engine import SweepConfig, SweepEngine, execute_scenario
+from repro.runner.spec import ScenarioSpec, code_fingerprint
+from repro.runner.trace import ScenarioOutcome, SweepTrace
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "SweepConfig",
+    "SweepEngine",
+    "SweepTrace",
+    "code_fingerprint",
+    "execute_scenario",
+]

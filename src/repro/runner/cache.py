@@ -1,0 +1,90 @@
+"""On-disk result cache for the sweep engine.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    .repro-cache/
+        results/
+            <fp[:2]>/<fingerprint>.json    one cached scenario outcome
+
+Each file is a small JSON envelope ``{"version", "fingerprint",
+"outcome"}``.  Fingerprints already cover the case content, the query and
+a hash of the package sources (see :mod:`repro.runner.spec`), so cache
+invalidation is automatic: any relevant change produces a different key
+and the stale file is simply never read again.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps
+sharing a cache directory can never observe torn files; corrupt or
+foreign files are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.runner.spec import CACHE_FORMAT_VERSION
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """JSON file cache keyed by scenario fingerprint."""
+
+    def __init__(self, root=DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / "results" / fingerprint[:2] / \
+            f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached outcome dict, or None on any kind of miss."""
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(envelope, dict) \
+                or envelope.get("version") != CACHE_FORMAT_VERSION \
+                or envelope.get("fingerprint") != fingerprint:
+            return None
+        outcome = envelope.get("outcome")
+        return outcome if isinstance(outcome, dict) else None
+
+    def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "outcome": outcome,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove all cached results; returns the number removed."""
+        results = self.root / "results"
+        removed = 0
+        if not results.is_dir():
+            return 0
+        for path in results.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,254 @@
+"""The parallel scenario-sweep engine.
+
+The paper's evaluation grids — (case × target-% × attacker-scenario)
+cells, each an independent impact analysis — are embarrassingly parallel,
+so :class:`SweepEngine` fans :class:`~repro.runner.spec.ScenarioSpec`
+tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* results are served from the on-disk :class:`~repro.runner.cache.
+  ResultCache` when the (case, query, code) fingerprint matches a prior
+  run, so repeated sweeps and benchmark reruns short-circuit;
+* each task has an optional wall-clock budget (``task_timeout``); a task
+  that exceeds it is recorded as ``timeout`` and the sweep moves on;
+* a worker-process crash (OOM kill, segfault in a native library) breaks
+  the pool — the engine rebuilds it and retries the affected scenarios up
+  to ``retries`` times before recording them as ``crashed``;
+* when process pools are unavailable (restricted environments) or
+  ``workers <= 1``, the engine degrades gracefully to in-process serial
+  execution with identical results.
+
+Execution is deterministic per scenario, so parallel and serial runs are
+interchangeable; only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.fast import FastImpactAnalyzer, FastQuery
+from repro.core.framework import ImpactAnalyzer, ImpactQuery
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.spec import ScenarioSpec
+from repro.runner.trace import (
+    CRASHED,
+    ERROR,
+    OK,
+    TIMEOUT,
+    ScenarioOutcome,
+    SweepTrace,
+)
+
+
+@dataclass
+class SweepConfig:
+    """Engine knobs."""
+
+    workers: int = 4
+    #: per-task wall-clock budget in seconds (None: unlimited).  Enforced
+    #: in parallel mode; serial fallback runs tasks to completion.
+    task_timeout: Optional[float] = None
+    #: how many times a scenario is resubmitted after its worker crashed.
+    retries: int = 1
+    cache_dir: Optional[str] = DEFAULT_CACHE_DIR
+    use_cache: bool = True
+
+
+def execute_scenario(spec: ScenarioSpec,
+                     fingerprint: str = "") -> ScenarioOutcome:
+    """Run one scenario in-process and record its outcome + trace."""
+    started = time.perf_counter()
+    outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                              worker_pid=os.getpid())
+    try:
+        case = spec.resolve_case()
+        kind = spec.resolved_analyzer(case)
+        if kind == "smt":
+            analyzer = ImpactAnalyzer(case)
+            report = analyzer.analyze(ImpactQuery(
+                target_increase_percent=spec.target_fraction(),
+                with_state_infection=spec.with_state_infection,
+                max_candidates=spec.max_candidates))
+        else:
+            fast = FastImpactAnalyzer(case)
+            report = fast.analyze(FastQuery(
+                target_increase_percent=spec.target_fraction(),
+                with_state_infection=spec.with_state_infection,
+                state_samples=spec.state_samples,
+                seed=spec.sample_seed))
+    except Exception as exc:
+        outcome.status = ERROR
+        outcome.error = "".join(traceback.format_exception_only(
+            type(exc), exc)).strip()
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+
+    outcome.satisfiable = report.satisfiable
+    outcome.base_cost = str(report.base_cost)
+    outcome.threshold = str(report.threshold)
+    if report.believed_min_cost is not None:
+        outcome.believed_min_cost = str(report.believed_min_cost)
+    if report.achieved_increase_percent is not None:
+        outcome.achieved_increase_percent = float(
+            report.achieved_increase_percent)
+    outcome.candidates_examined = report.candidates_examined
+    outcome.solver_calls = report.solver_calls
+    outcome.analysis_seconds = report.elapsed_seconds
+    if report.trace is not None:
+        outcome.trace = report.trace.to_dict()
+    outcome.task_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _worker_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Top-level (picklable) process-pool entry point."""
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    return execute_scenario(spec, payload["fingerprint"]).to_dict()
+
+
+class SweepEngine:
+    """Runs scenario grids with caching, parallelism and retry."""
+
+    def __init__(self, config: Optional[SweepConfig] = None,
+                 task: Optional[Callable[[Dict[str, Any]],
+                                         Dict[str, Any]]] = None) -> None:
+        self.config = config or SweepConfig()
+        #: injectable for tests (e.g. a crashing task); must be a
+        #: module-level callable so worker processes can unpickle it.
+        self._task = task or _worker_entry
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> SweepTrace:
+        started = time.perf_counter()
+        config = self.config
+        cache = ResultCache(config.cache_dir) \
+            if config.use_cache and config.cache_dir else None
+
+        # Fingerprinting resolves the case; a spec that cannot resolve
+        # (unknown name, unparsable text) is recorded as an error outcome
+        # rather than aborting the whole sweep.
+        fingerprints: List[str] = []
+        outcomes: List[Optional[ScenarioOutcome]] = [None] * len(specs)
+        for idx, spec in enumerate(specs):
+            try:
+                fingerprints.append(spec.fingerprint())
+            except Exception as exc:
+                fingerprints.append("")
+                outcomes[idx] = ScenarioOutcome(
+                    spec=spec, fingerprint="", status=ERROR,
+                    error="".join(traceback.format_exception_only(
+                        type(exc), exc)).strip())
+        pending: List[int] = []
+        for idx, fingerprint in enumerate(fingerprints):
+            if outcomes[idx] is not None:
+                continue
+            hit = cache.get(fingerprint) if cache else None
+            if hit is not None:
+                outcome = ScenarioOutcome.from_dict(hit)
+                outcome.cache_hit = True
+                outcomes[idx] = outcome
+            else:
+                pending.append(idx)
+
+        mode = "serial"
+        if pending:
+            if config.workers > 1 and len(pending) > 1:
+                if self._run_parallel(specs, fingerprints, pending,
+                                      outcomes):
+                    mode = "parallel"
+                # else: _run_parallel already fell back to serial
+            else:
+                self._run_serial(specs, fingerprints, pending, outcomes)
+
+        if cache is not None:
+            for idx in pending:
+                outcome = outcomes[idx]
+                if outcome is not None and outcome.status == OK:
+                    cache.put(fingerprints[idx], outcome.to_dict())
+
+        return SweepTrace(
+            outcomes=[o for o in outcomes if o is not None],
+            wall_seconds=time.perf_counter() - started,
+            workers=config.workers if mode == "parallel" else 1,
+            mode=mode,
+            cache_dir=str(cache.root) if cache else None)
+
+    # -- execution strategies -------------------------------------------
+
+    def _run_serial(self, specs, fingerprints, indices, outcomes) -> None:
+        for idx in indices:
+            payload = self._task({"spec": specs[idx].to_dict(),
+                                  "fingerprint": fingerprints[idx]})
+            outcomes[idx] = ScenarioOutcome.from_dict(payload)
+
+    def _run_parallel(self, specs, fingerprints, indices,
+                      outcomes) -> bool:
+        """Returns False when it had to degrade to serial execution."""
+        config = self.config
+        attempts = {idx: 0 for idx in indices}
+        to_run = list(indices)
+        while to_run:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(config.workers, len(to_run)))
+            except (OSError, ValueError, ImportError):
+                # No usable multiprocessing primitives here (sandboxes,
+                # missing /dev/shm, ...): degrade to serial.
+                self._run_serial(specs, fingerprints, to_run, outcomes)
+                return False
+            retry: List[int] = []
+            try:
+                futures = {}
+                for idx in to_run:
+                    attempts[idx] += 1
+                    futures[idx] = pool.submit(
+                        self._task, {"spec": specs[idx].to_dict(),
+                                     "fingerprint": fingerprints[idx]})
+                # Waiting in submission order gives every task up to
+                # ``task_timeout`` of dedicated wait on top of whatever
+                # overlap it had with earlier waits — an approximate but
+                # cheap per-task budget.
+                for idx in to_run:
+                    future = futures[idx]
+                    try:
+                        payload = future.result(
+                            timeout=config.task_timeout)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        outcomes[idx] = ScenarioOutcome(
+                            spec=specs[idx],
+                            fingerprint=fingerprints[idx],
+                            status=TIMEOUT, attempts=attempts[idx],
+                            error=f"exceeded {config.task_timeout}s "
+                                  f"task budget")
+                    except BrokenExecutor as exc:
+                        if attempts[idx] <= config.retries:
+                            retry.append(idx)
+                        else:
+                            outcomes[idx] = ScenarioOutcome(
+                                spec=specs[idx],
+                                fingerprint=fingerprints[idx],
+                                status=CRASHED, attempts=attempts[idx],
+                                error=str(exc) or "worker process died")
+                    except Exception as exc:  # pickling and kin
+                        outcomes[idx] = ScenarioOutcome(
+                            spec=specs[idx],
+                            fingerprint=fingerprints[idx],
+                            status=ERROR, attempts=attempts[idx],
+                            error="".join(
+                                traceback.format_exception_only(
+                                    type(exc), exc)).strip())
+                    else:
+                        outcome = ScenarioOutcome.from_dict(payload)
+                        outcome.attempts = attempts[idx]
+                        outcomes[idx] = outcome
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            to_run = retry
+        return True

@@ -1,0 +1,147 @@
+"""Declarative scenario specifications with deterministic fingerprints.
+
+A :class:`ScenarioSpec` names everything one impact analysis needs — the
+case (a bundled name or an inline case file in the paper's input format),
+an optional attacker-randomization seed, the analyzer kind and the query
+parameters — as plain JSON-able data, so scenarios can be shipped to
+worker processes, hashed for the on-disk result cache, and replayed
+bit-identically later.
+
+The fingerprint covers the *resolved* case (the full serialized case
+text, after attacker randomization), the query parameters and a code
+fingerprint of the ``repro`` package sources: any change to the inputs or
+to the analysis code invalidates cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition, parse_case, write_case
+from repro.smt.rational import to_fraction
+
+#: bump when the cached-result layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+#: bus count at and below which ``analyzer="auto"`` picks the full SMT
+#: framework (mirrors the paper's Section IV-A hybrid).
+AUTO_SMT_MAX_BUSES = 14
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the ``repro`` package sources (cached per process).
+
+    Part of every scenario fingerprint, so edits to the analysis code
+    automatically invalidate stale cached results.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()[:16]
+    return _code_fingerprint
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One (case × attacker × query) cell of a sweep grid."""
+
+    case: str                            # bundled case name or a label
+    analyzer: str = "auto"               # "smt" | "fast" | "auto"
+    case_text: Optional[str] = None      # inline case (paper input format)
+    attacker_seed: Optional[int] = None  # randomize_attacker() seed
+    #: target increase as ``str(Fraction)`` (keeps the spec hashable and
+    #: JSON-clean); None uses the case's own value.
+    target: Optional[str] = None
+    with_state_infection: bool = False
+    max_candidates: int = 60
+    state_samples: int = 24
+    sample_seed: int = 0                 # fast-analyzer sampling seed
+    label: str = ""
+
+    @classmethod
+    def build(cls, case: str, *, analyzer: str = "auto",
+              case_text: Optional[str] = None,
+              attacker_seed: Optional[int] = None,
+              target=None, with_state_infection: bool = False,
+              max_candidates: int = 60, state_samples: int = 24,
+              sample_seed: int = 0, label: str = "") -> "ScenarioSpec":
+        """Constructor accepting any rational-ish ``target``."""
+        if analyzer not in ("smt", "fast", "auto"):
+            raise ModelError(f"unknown analyzer kind {analyzer!r}")
+        target_str = None if target is None else str(to_fraction(target))
+        if not label:
+            parts = [case]
+            if attacker_seed is not None:
+                parts.append(f"s{attacker_seed}")
+            if target_str is not None:
+                parts.append(f"t{target_str}")
+            if with_state_infection:
+                parts.append("states")
+            label = "/".join(parts)
+        return cls(case=case, analyzer=analyzer, case_text=case_text,
+                   attacker_seed=attacker_seed, target=target_str,
+                   with_state_infection=with_state_infection,
+                   max_candidates=max_candidates,
+                   state_samples=state_samples, sample_seed=sample_seed,
+                   label=label)
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve_case(self) -> CaseDefinition:
+        """The concrete case this scenario analyzes."""
+        if self.case_text is not None:
+            case = parse_case(self.case_text, name=self.case)
+        else:
+            from repro.grid.cases import get_case
+            case = get_case(self.case)
+        if self.attacker_seed is not None:
+            from repro.benchlib.scenarios import randomize_attacker
+            case = randomize_attacker(case, self.attacker_seed)
+        return case
+
+    def resolved_analyzer(self, case: CaseDefinition) -> str:
+        if self.analyzer != "auto":
+            return self.analyzer
+        return "smt" if case.num_buses <= AUTO_SMT_MAX_BUSES else "fast"
+
+    def target_fraction(self) -> Optional[Fraction]:
+        return None if self.target is None else Fraction(self.target)
+
+    # -- serialization and fingerprinting -------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        return cls(**payload)
+
+    def fingerprint(self) -> str:
+        """Deterministic identity of (resolved case, query, code)."""
+        case = self.resolve_case()
+        key = {
+            "format": CACHE_FORMAT_VERSION,
+            "code": code_fingerprint(),
+            "case_text": write_case(case),
+            "analyzer": self.resolved_analyzer(case),
+            "target": self.target,
+            "with_state_infection": self.with_state_infection,
+            "max_candidates": self.max_candidates,
+            "state_samples": self.state_samples,
+            "sample_seed": self.sample_seed,
+        }
+        blob = json.dumps(key, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,118 @@
+"""Structured sweep tracing.
+
+:class:`ScenarioOutcome` is the JSON-able record of one executed (or
+cache-served) scenario: verdict summary, work counters, and the
+:class:`~repro.core.results.AnalysisTrace` threaded up from the analyzers
+(SMT decisions/conflicts/simplex pivots, OPF solve counts and times,
+per-stage wall timings).  :class:`SweepTrace` aggregates outcomes plus
+engine-level metadata into the per-sweep trace JSON that ``python -m
+repro sweep --trace`` emits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runner.spec import ScenarioSpec, code_fingerprint
+
+#: outcome statuses.
+OK = "ok"
+ERROR = "error"        # the analysis itself raised (deterministic; no retry)
+TIMEOUT = "timeout"    # exceeded the per-task budget
+CRASHED = "crashed"    # worker process died and retries were exhausted
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything the sweep records about one scenario."""
+
+    spec: ScenarioSpec
+    fingerprint: str
+    status: str = OK
+    satisfiable: Optional[bool] = None
+    base_cost: Optional[str] = None            # str(Fraction): exact
+    threshold: Optional[str] = None
+    believed_min_cost: Optional[str] = None
+    achieved_increase_percent: Optional[float] = None
+    candidates_examined: int = 0
+    solver_calls: int = 0
+    analysis_seconds: float = 0.0              # the analyzer's own timer
+    task_seconds: float = 0.0                  # incl. case build/decode
+    cache_hit: bool = False
+    worker_pid: Optional[int] = None
+    attempts: int = 1
+    error: Optional[str] = None
+    trace: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        if self.status != OK:
+            return self.status
+        return "sat" if self.satisfiable else "unsat"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["spec"] = self.spec.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioOutcome":
+        data = dict(payload)
+        data["spec"] = ScenarioSpec.from_dict(data["spec"])
+        data["trace"] = dict(data.get("trace") or {})
+        return cls(**data)
+
+
+@dataclass
+class SweepTrace:
+    """The sweep-level trace: engine metadata plus all outcomes."""
+
+    outcomes: List[ScenarioOutcome]
+    wall_seconds: float
+    workers: int
+    mode: str                                  # "parallel" | "serial"
+    cache_dir: Optional[str] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(outcome.cache_hit for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.status != OK]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generator": "repro sweep",
+            "code_fingerprint": code_fingerprint(),
+            "workers": self.workers,
+            "mode": self.mode,
+            "cache_dir": self.cache_dir,
+            "totals": {
+                "scenarios": len(self.outcomes),
+                "cache_hits": self.cache_hits,
+                "failures": len(self.failures),
+                "wall_seconds": self.wall_seconds,
+                "analysis_seconds": sum(o.analysis_seconds
+                                        for o in self.outcomes),
+                "solver_calls": sum(o.solver_calls
+                                    for o in self.outcomes),
+                "opf_solves": sum(o.trace.get("opf", {}).get("solves", 0)
+                                  for o in self.outcomes),
+            },
+            "scenarios": [outcome.to_dict()
+                          for outcome in self.outcomes],
+        }
+
+    def write(self, path) -> Path:
+        """Write the trace JSON; returns the path written."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+        return target

@@ -72,10 +72,22 @@ class Model:
         self._bools = dict(bool_values)
         self._reals = dict(real_values)
 
-    def bool_value(self, var: BoolVar) -> bool:
+    def bool_value(self, var: BoolVar, strict: bool = False) -> bool:
+        """Value of *var*; with ``strict`` a variable absent from the
+        model raises :class:`KeyError` instead of defaulting to False
+        (absent variables usually mean a decoder asked about a variable
+        the encoding never constrained — a bug worth surfacing)."""
+        if strict and var not in self._bools:
+            raise KeyError(f"boolean variable {var.name!r} is not in "
+                           f"the model")
         return self._bools.get(var, False)
 
-    def real_value(self, var: RealVar) -> Fraction:
+    def real_value(self, var: RealVar, strict: bool = False) -> Fraction:
+        """Value of *var*; with ``strict`` an unknown variable raises
+        :class:`KeyError` instead of defaulting to 0."""
+        if strict and var not in self._reals:
+            raise KeyError(f"real variable {var.name!r} is not in "
+                           f"the model")
         return self._reals.get(var, Fraction(0))
 
     def eval_expr(self, expr) -> Fraction:

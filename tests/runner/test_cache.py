@@ -1,0 +1,76 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+from repro.runner import ResultCache, ScenarioSpec
+from repro.runner.cache import CACHE_FORMAT_VERSION
+from repro.runner.trace import ScenarioOutcome
+
+
+def _outcome(fingerprint):
+    spec = ScenarioSpec.build("5bus-study1", target=3)
+    return ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                           satisfiable=True, base_cost="17479/10",
+                           solver_calls=7,
+                           trace={"smt": {"decisions": 4}})
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get("ab" * 32) is None
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = "ab" * 32
+        stored = _outcome(fingerprint)
+        cache.put(fingerprint, stored.to_dict())
+        loaded = ScenarioOutcome.from_dict(cache.get(fingerprint))
+        assert loaded == stored
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = "ab" * 32
+        cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        path = tmp_path / "cache" / "results" / "ab" \
+            / f"{fingerprint}.json"
+        assert path.is_file()
+        # the envelope on disk is plain JSON with the expected metadata
+        envelope = json.loads(path.read_text())
+        assert envelope["version"] == CACHE_FORMAT_VERSION
+        assert envelope["fingerprint"] == fingerprint
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = "cd" * 32
+        cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        path = cache._path(fingerprint)
+        path.write_text("{ not json")
+        assert cache.get(fingerprint) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = "ef" * 32
+        cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        path = cache._path(fingerprint)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert cache.get(fingerprint) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        # e.g. a file copied/renamed by hand: never served
+        cache = ResultCache(tmp_path / "cache")
+        a, b = "aa" * 32, "bb" * 32
+        cache.put(a, _outcome(a).to_dict())
+        cache._path(b).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(b).write_text(cache._path(a).read_text())
+        assert cache.get(b) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for fingerprint in ("11" * 32, "22" * 32):
+            cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        assert cache.clear() == 2
+        assert cache.get("11" * 32) is None
+        assert cache.clear() == 0

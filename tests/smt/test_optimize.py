@@ -3,10 +3,12 @@
 import random
 from fractions import Fraction
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from scipy.optimize import linprog
 
+from repro.exceptions import ConvergenceError
 from repro.smt import (
     BoolVar,
     Or,
@@ -101,6 +103,99 @@ class TestBooleanStructure:
         result = minimize(solver, 3 * pa + 2 * pb)
         assert result.optimum == 10  # use b alone at 5 units
         assert result.model.bool_value(use_b)
+
+
+def _disjunctive_solver():
+    """Two propositional regions: cost >= 10 under p, >= 2 under ~p.
+
+    Minimization needs at least three solver iterations (first region,
+    second region, final unsat proof), so a budget of one or two must
+    trip the convergence guard.
+    """
+    solver = SmtSolver()
+    p = BoolVar("p")
+    x = RealVar("x")
+    solver.add(implies(p, x >= 10))
+    solver.add(Or(p, x >= 2))
+    solver.add(x <= 100)
+    return solver, x
+
+
+class TestIterationBudget:
+    def test_exhausted_budget_raises(self):
+        solver, x = _disjunctive_solver()
+        with pytest.raises(ConvergenceError, match="1 iterations"):
+            minimize(solver, x, max_iterations=1)
+
+    def test_zero_budget_raises_even_when_trivial(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 3)
+        with pytest.raises(ConvergenceError):
+            minimize(solver, x, max_iterations=0)
+
+    def test_solver_state_survives_convergence_error(self):
+        # The scratch scope must be popped on the error path too: the
+        # same solver converges when given a sufficient budget.
+        solver, x = _disjunctive_solver()
+        with pytest.raises(ConvergenceError):
+            minimize(solver, x, max_iterations=1)
+        result = minimize(solver, x)
+        assert result.optimum == 2
+
+    def test_iteration_count_reported(self):
+        solver, x = _disjunctive_solver()
+        result = minimize(solver, x)
+        assert result.feasible
+        assert 2 <= result.iterations <= 10
+
+    def test_maximize_propagates_budget(self):
+        solver, x = _disjunctive_solver()
+        with pytest.raises(ConvergenceError):
+            maximize(solver, x, max_iterations=1)
+
+
+class TestMaximize:
+    def test_sign_of_optimum_with_constant(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= -4)
+        solver.add(x <= 6)
+        result = maximize(solver, -2 * x + 3)
+        assert result.optimum == 11  # attained at x = -4
+
+    def test_model_attains_maximum(self):
+        solver = SmtSolver()
+        x, y = RealVar("mx"), RealVar("my")
+        solver.add(x + y <= 7)
+        solver.add(x >= 0)
+        solver.add(y >= 0)
+        result = maximize(solver, x + 2 * y)
+        assert result.optimum == 14  # x=0, y=7
+        model = result.model
+        assert model.real_value(x) + 2 * model.real_value(y) == 14
+
+    def test_infeasible_maximize(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 3)
+        solver.add(x <= 2)
+        result = maximize(solver, x)
+        assert not result.feasible
+        assert result.optimum is None and result.model is None
+
+    def test_maximize_over_disjunctive_regions(self):
+        solver, x = _disjunctive_solver()
+        result = maximize(solver, x)
+        assert result.optimum == 100
+
+    def test_exact_fractions(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(3 * x <= 1)
+        solver.add(x >= 0)
+        result = maximize(solver, x)
+        assert result.optimum == Fraction(1, 3)  # exact, not 0.333...
 
 
 class TestFuzzAgainstScipy:

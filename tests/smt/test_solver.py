@@ -198,6 +198,32 @@ class TestIncrementality:
         chosen = [i for i, b in enumerate(bools) if model.bool_value(b)]
         assert chosen and all(2 * (i + 1) <= 3 for i in chosen)
 
+    def test_model_lookup_defaults_for_unknown_variables(self):
+        solver = SmtSolver()
+        x = RealVar("known_x")
+        solver.add(x >= 3)
+        solver.solve()
+        model = solver.model()
+        assert model.bool_value(BoolVar("never_asserted")) is False
+        assert model.real_value(RealVar("never_asserted")) == 0
+
+    def test_model_strict_lookup_raises_for_unknown_variables(self):
+        # Decoders pass strict=True: asking for a variable the encoding
+        # never constrained is a bug, not a zero.
+        solver = SmtSolver()
+        x = RealVar("known_x")
+        p = BoolVar("known_p")
+        solver.add(x >= 3)
+        solver.add(p)
+        solver.solve()
+        model = solver.model()
+        assert model.real_value(x, strict=True) == 3
+        assert model.bool_value(p, strict=True) is True
+        with pytest.raises(KeyError, match="ghost_b"):
+            model.bool_value(BoolVar("ghost_b"), strict=True)
+        with pytest.raises(KeyError, match="ghost_r"):
+            model.real_value(RealVar("ghost_r"), strict=True)
+
     def test_statistics_populated(self):
         solver = SmtSolver()
         x = RealVar("x")

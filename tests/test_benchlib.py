@@ -76,6 +76,32 @@ class TestMeasure:
                 RuntimeError("boom")))
         assert not tracemalloc.is_tracing()
 
+    def test_profile_memory_is_reentrant(self):
+        # Nested profiling (e.g. pytest-memray or an outer profile_memory
+        # already tracing) must not stop the outer tracemalloc session.
+        import tracemalloc
+
+        def outer():
+            result, profile = profile_memory(lambda: [0] * 200000)
+            assert len(result) == 200000
+            assert profile.peak_mb > 0
+            assert tracemalloc.is_tracing()  # outer session still live
+            return result
+
+        _, outer_profile = profile_memory(outer)
+        assert not tracemalloc.is_tracing()
+        assert outer_profile.peak_mb > 0
+
+    def test_profile_memory_preserves_external_session(self):
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            profile_memory(lambda: [0] * 100000)
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+        assert not tracemalloc.is_tracing()
+
 
 class TestTables:
     def test_format_table(self):

@@ -59,3 +59,59 @@ class TestAnalyze:
         assert code == 0
         out = capsys.readouterr().out
         assert "UFDI attack on state(s) [3]" in out
+
+
+class TestSweep:
+    def _run(self, tmp_path, extra=(), capsys=None):
+        args = ["sweep", "--cases", "5bus-study1,5bus-study2",
+                "--analyzer", "fast", "--targets", "1",
+                "--state-samples", "4", "--serial",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--trace", str(tmp_path / "trace.json")]
+        return main(args + list(extra))
+
+    def test_sweep_runs_and_writes_trace(self, tmp_path, capsys):
+        import json
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2 scenarios" in out
+        assert "trace written" in out
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        assert payload["totals"]["scenarios"] == 2
+        assert payload["totals"]["failures"] == 0
+        assert payload["totals"]["opf_solves"] > 0
+        scenario = payload["scenarios"][0]
+        assert "smt" in scenario["trace"] and "opf" in scenario["trace"]
+
+    def test_second_sweep_served_from_cache(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert self._run(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2/2 hits" in out
+
+    def test_clear_cache(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert self._run(tmp_path, extra=["--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 2 cached result(s)" in out
+        assert "0/2 hits" in out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        code = main(["sweep", "--cases", "no-such-case", "--serial",
+                     "--no-cache", "--trace", ""])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_smt_sweep_reports_solver_calls(self, tmp_path, capsys):
+        import json
+        code = main(["sweep", "--cases", "5bus-study1",
+                     "--analyzer", "smt", "--targets", "1", "--serial",
+                     "--no-cache",
+                     "--trace", str(tmp_path / "trace.json")])
+        assert code == 0
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        assert payload["totals"]["solver_calls"] > 0
+        smt = payload["scenarios"][0]["trace"]["smt"]
+        assert smt["decisions"] >= 0 and "simplex_pivots" in smt
