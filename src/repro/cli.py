@@ -137,10 +137,16 @@ def _cmd_sweep(args) -> int:
         removed = ResultCache(cache_dir).clear()
         print(f"cleared {removed} cached result(s) from {cache_dir}")
     workers = 1 if args.serial else args.workers
+    budget = None
+    if args.max_conflicts or args.max_decisions or args.max_pivots:
+        from repro.smt import SolverBudget
+        budget = SolverBudget(max_conflicts=args.max_conflicts,
+                              max_decisions=args.max_decisions,
+                              max_pivots=args.max_pivots)
     engine = SweepEngine(SweepConfig(
         workers=workers, task_timeout=args.timeout,
         retries=args.retries, cache_dir=cache_dir,
-        use_cache=cache_dir is not None))
+        use_cache=cache_dir is not None, budget=budget))
     sweep = engine.run(specs)
 
     rows = []
@@ -244,7 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--serial", action="store_true",
                        help="force in-process serial execution")
     sweep.add_argument("--timeout", type=float, default=None,
-                       help="per-task wall-clock budget in seconds")
+                       help="per-task wall-clock budget in seconds, "
+                            "enforced inside the solvers (works in "
+                            "serial mode too); exhausted tasks are "
+                            "recorded as 'unknown'")
+    sweep.add_argument("--max-conflicts", type=int, default=None,
+                       help="per-task SAT conflict budget")
+    sweep.add_argument("--max-decisions", type=int, default=None,
+                       help="per-task SAT decision budget")
+    sweep.add_argument("--max-pivots", type=int, default=None,
+                       help="per-task simplex pivot budget")
     sweep.add_argument("--retries", type=int, default=1,
                        help="resubmissions after a worker crash")
     sweep.add_argument("--cache-dir", default=".repro-cache",

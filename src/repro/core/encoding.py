@@ -373,9 +373,19 @@ class AttackModelEncoding:
     # ------------------------------------------------------------------
 
     def solve(self) -> Optional[AttackVectorSolution]:
-        """One attack vector, or None when the model is unsatisfiable."""
+        """One attack vector, or None when the model is unsatisfiable.
+
+        With a budget attached to the solver an exhausted search raises
+        :class:`~repro.exceptions.BudgetExhausted` so callers can report
+        a partial result instead of mistaking UNKNOWN for UNSAT.
+        """
+        from repro.exceptions import BudgetExhausted
         from repro.smt import SolveResult
-        if self.solver.solve() is SolveResult.UNSAT:
+        result = self.solver.solve()
+        if result is SolveResult.UNKNOWN:
+            raise BudgetExhausted(self.solver.last_budget_reason
+                                  or "solver budget exhausted")
+        if result is SolveResult.UNSAT:
             return None
         return self.decode(self.solver.model())
 
@@ -534,12 +544,17 @@ class OpfModelEncoding:
 
     def check(self, threshold: Optional[Fraction] = None) -> bool:
         """Sat iff a dispatch exists with cost <= threshold (Eq. 35)."""
+        from repro.exceptions import BudgetExhausted
         from repro.smt import SolveResult
         assumptions = []
         if threshold is not None:
             assumptions.append(
                 self.cost_expr <= to_fraction(threshold) - self.cost_alpha)
-        return self.solver.solve(assumptions) is SolveResult.SAT
+        result = self.solver.solve(assumptions)
+        if result is SolveResult.UNKNOWN:
+            raise BudgetExhausted(self.solver.last_budget_reason
+                                  or "solver budget exhausted")
+        return result is SolveResult.SAT
 
     def minimum_cost(self) -> Optional[Fraction]:
         """Exact believed-optimal cost via the SMT optimizer (or None)."""

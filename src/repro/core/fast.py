@@ -50,6 +50,7 @@ from repro.grid.caseio import CaseDefinition
 from repro.grid.matrices import state_order, susceptance_matrix
 from repro.opf.dcopf import solve_dc_opf
 from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
+from repro.smt.budget import SolverBudget
 from repro.smt.rational import to_fraction
 
 
@@ -60,6 +61,11 @@ class FastQuery:
     state_samples: int = 24
     seed: int = 0
     bisection_tolerance: float = 1e-4
+    #: optional resource budget; checked between candidates (and between
+    #: state-infection samples), so an exhausted run reports the best
+    #: attack over the candidates already examined with
+    #: ``status="budget_exhausted"``.
+    budget: Optional[SolverBudget] = None
 
 
 class FastImpactAnalyzer:
@@ -98,12 +104,22 @@ class FastImpactAnalyzer:
         opf_calls_before = self._sf_opf.solve_calls
         opf_seconds_before = self._sf_opf.solve_seconds
 
+        budget = query.budget
+        if budget is not None:
+            budget.start()
+
+        status = "complete"
+        budget_reason: Optional[str] = None
         best: Optional[CandidateEvaluation] = None
         candidates = [("exclude", i)
                       for i in self.attacker.exclusion_candidates()]
         candidates += [("include", i)
                        for i in self.attacker.inclusion_candidates()]
         for kind, line_index in candidates:
+            if budget is not None and budget.exhausted():
+                status = "budget_exhausted"
+                budget_reason = budget.exhausted_reason
+                break
             evaluation = self._evaluate_candidate(
                 kind, line_index, threshold, query)
             self.evaluations.append(evaluation)
@@ -145,10 +161,12 @@ class FastImpactAnalyzer:
             return ImpactReport(True, self.base_cost, threshold, percent,
                                 solution, believed_min,
                                 len(self.evaluations), elapsed,
-                                trace=trace)
+                                trace=trace, status=status,
+                                budget_reason=budget_reason)
         return ImpactReport(False, self.base_cost, threshold, percent,
                             candidates_examined=len(self.evaluations),
-                            elapsed_seconds=elapsed, trace=trace)
+                            elapsed_seconds=elapsed, trace=trace,
+                            status=status, budget_reason=budget_reason)
 
     # ------------------------------------------------------------------
     # Candidate evaluation
@@ -414,6 +432,8 @@ class FastImpactAnalyzer:
         angles = {b: float(v) for b, v in operating.angles.items()}
 
         for _ in range(query.state_samples):
+            if query.budget is not None and query.budget.exhausted():
+                break
             target: Dict[int, float] = {}
             total_shift = 0.0
             chosen = rng.sample(load_buses,

@@ -38,10 +38,10 @@ from repro.core.encoding import (
     OpfModelEncoding,
 )
 from repro.core.results import AnalysisTrace, ImpactReport
-from repro.exceptions import ModelError
+from repro.exceptions import BudgetExhausted, ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.opf.dcopf import DcOpfResult, solve_dc_opf
-from repro.smt import Not, maximize, minimize
+from repro.smt import Not, SolverBudget, maximize, minimize
 from repro.smt.rational import to_fraction
 
 
@@ -64,6 +64,11 @@ class ImpactQuery:
     verify_with_smt_opf: bool = False
     opf_method: str = "exact"
     extremize_structures: bool = True
+    #: optional resource budget spanning the whole analysis (SMT search,
+    #: optimizer iterations and exact-OPF pivots all draw from it).  On
+    #: exhaustion ``analyze`` returns a *partial* report with
+    #: ``status="budget_exhausted"`` instead of raising.
+    budget: Optional[SolverBudget] = None
 
 
 class ImpactAnalyzer:
@@ -77,6 +82,8 @@ class ImpactAnalyzer:
         self._evaluations = 0
         self._opf_solves = 0
         self._opf_seconds = 0.0
+        self._best_seen: Optional[Tuple[AttackVectorSolution,
+                                        Fraction]] = None
 
     @property
     def base_result(self) -> DcOpfResult:
@@ -131,35 +138,48 @@ class ImpactAnalyzer:
         self._evaluations = 0
         self._opf_solves = 0
         self._opf_seconds = 0.0
+        self._best_seen: Optional[Tuple[AttackVectorSolution,
+                                        Fraction]] = None
+        budget = query.budget
+        if budget is not None:
+            budget.start()
+            encoding.solver.set_budget(budget)
 
-        structures = 0
-        while structures < query.max_candidates:
-            solution = encoding.solve()
-            if solution is None:
-                return self._unsat_report(threshold, percent, encoding,
-                                          started, encode_seconds)
-            structures += 1
-            success, believed_min = self._evaluate(solution, threshold,
-                                                   query.opf_method)
-            if success:
-                return self._success_report(
-                    solution, believed_min, threshold, percent,
-                    started, query, encoding, encode_seconds)
-            if query.extremize_structures:
-                best = self._extremize_structure(encoding, solution,
-                                                 threshold, query)
-                if best is not None:
-                    solution2, believed_min2 = best
+        try:
+            structures = 0
+            while structures < query.max_candidates:
+                if budget is not None:
+                    budget.check_wall()
+                solution = encoding.solve()
+                if solution is None:
+                    return self._unsat_report(threshold, percent, encoding,
+                                              started, encode_seconds)
+                structures += 1
+                success, believed_min = self._evaluate(solution, threshold,
+                                                       query.opf_method,
+                                                       budget)
+                if success:
                     return self._success_report(
-                        solution2, believed_min2, threshold, percent,
+                        solution, believed_min, threshold, percent,
                         started, query, encoding, encode_seconds)
-                # The structure's believed-load boundary has been searched
-                # without reaching the threshold: prune the whole
-                # structure (convexity puts the worst case on the
-                # boundary).
-                encoding.block_structure(solution)
-            else:
-                encoding.block(solution, query.precision)
+                if query.extremize_structures:
+                    best = self._extremize_structure(encoding, solution,
+                                                     threshold, query)
+                    if best is not None:
+                        solution2, believed_min2 = best
+                        return self._success_report(
+                            solution2, believed_min2, threshold, percent,
+                            started, query, encoding, encode_seconds)
+                    # The structure's believed-load boundary has been
+                    # searched without reaching the threshold: prune the
+                    # whole structure (convexity puts the worst case on
+                    # the boundary).
+                    encoding.block_structure(solution)
+                else:
+                    encoding.block(solution, query.precision)
+        except BudgetExhausted as exc:
+            return self._partial_report(threshold, percent, encoding,
+                                        started, encode_seconds, exc.reason)
 
         return self._unsat_report(threshold, percent, encoding, started,
                                   encode_seconds)
@@ -170,20 +190,29 @@ class ImpactAnalyzer:
 
     def _evaluate(self, solution: AttackVectorSolution,
                   threshold: Fraction,
-                  opf_method: str) -> Tuple[bool, Optional[Fraction]]:
+                  opf_method: str,
+                  budget: Optional[SolverBudget] = None
+                  ) -> Tuple[bool, Optional[Fraction]]:
         """(impact achieved?, believed minimum cost)."""
         self._evaluations += 1
         topology = solution.believed_topology(self.grid)
         if not self.grid.is_connected(topology):
             return False, None
         opf_started = time.perf_counter()
-        result = solve_dc_opf(self.grid, loads=solution.believed_loads,
-                              line_indices=topology, method=opf_method)
-        self._opf_solves += 1
-        self._opf_seconds += time.perf_counter() - opf_started
+        try:
+            result = solve_dc_opf(self.grid, loads=solution.believed_loads,
+                                  line_indices=topology, method=opf_method,
+                                  budget=budget)
+        finally:
+            self._opf_solves += 1
+            self._opf_seconds += time.perf_counter() - opf_started
         if not result.feasible:
             # Eq. 38 violated: the EMS's OPF would fail to converge.
             return False, None
+        if self._best_seen is None or result.cost > self._best_seen[1]:
+            # Remember the most expensive believed optimum examined so a
+            # budget-exhausted run can still report its best attack.
+            self._best_seen = (solution, result.cost)
         # Eq. 37 asks for an increase of *at least* I%, so a believed
         # optimum exactly on the threshold is a successful attack.
         return result.cost >= threshold, result.cost
@@ -223,6 +252,26 @@ class ImpactAnalyzer:
             elapsed_seconds=time.perf_counter() - started,
             solver_calls=encoding.solver.stats.solve_calls,
             trace=self._trace(encoding, started, encode_seconds))
+
+    def _partial_report(self, threshold, percent, encoding, started,
+                        encode_seconds, reason: str) -> ImpactReport:
+        """Budget ran out mid-search: report what was found so far.
+
+        ``satisfiable`` stays False (no candidate reached the threshold
+        before exhaustion — a success returns immediately), but the best
+        sub-threshold attack examined so far is attached so the caller
+        sees how close the search got.
+        """
+        attack = believed = None
+        if self._best_seen is not None:
+            attack, believed = self._best_seen
+        return ImpactReport(
+            False, self.base_cost, threshold, percent, attack, believed,
+            candidates_examined=self._evaluations,
+            elapsed_seconds=time.perf_counter() - started,
+            solver_calls=encoding.solver.stats.solve_calls,
+            trace=self._trace(encoding, started, encode_seconds),
+            status="budget_exhausted", budget_reason=reason)
 
     def _success_report(self, solution, believed_min, threshold, percent,
                         started, query, encoding,

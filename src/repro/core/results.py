@@ -59,6 +59,18 @@ class ImpactReport:
     #: bare candidate count under-reports.
     solver_calls: int = 0
     trace: Optional[AnalysisTrace] = None
+    #: ``"complete"`` for a definitive verdict, ``"budget_exhausted"``
+    #: when the analysis ran out of its resource budget mid-search; in
+    #: the latter case ``satisfiable``/``attack`` describe the *best
+    #: attack found so far* (if any) and the verdict is a lower bound,
+    #: not a proof of absence.
+    status: str = "complete"
+    #: which budget limit ran out (None unless ``budget_exhausted``).
+    budget_reason: Optional[str] = None
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status != "complete"
 
     @property
     def achieved_increase_percent(self) -> Optional[Fraction]:
@@ -77,8 +89,16 @@ class ImpactReport:
                      f"{float(self.target_increase_percent):.1f}%")
         lines.append(f"threshold cost           : "
                      f"{float(self.threshold):.2f}")
-        lines.append(f"verdict                  : "
-                     f"{'sat' if self.satisfiable else 'unsat'}")
+        if self.is_partial:
+            verdict = "sat (partial)" if self.satisfiable \
+                else "unknown (budget exhausted)"
+            lines.append(f"verdict                  : {verdict}")
+            if self.budget_reason:
+                lines.append(f"budget                   : "
+                             f"{self.budget_reason}")
+        else:
+            lines.append(f"verdict                  : "
+                         f"{'sat' if self.satisfiable else 'unsat'}")
         lines.append(f"attack vectors examined  : {self.candidates_examined}")
         if self.solver_calls:
             lines.append(f"SMT solver calls         : {self.solver_calls}")

@@ -35,5 +35,19 @@ class ConvergenceError(ReproError):
     """An iterative routine exhausted its iteration budget."""
 
 
+class BudgetExhausted(ReproError):
+    """A resource budget (wall clock, conflicts, decisions, pivots) ran out.
+
+    Not an error in the usual sense: layers that own a
+    :class:`~repro.smt.budget.SolverBudget` catch this to report a partial
+    result (``SolveResult.UNKNOWN``, a ``budget_exhausted`` impact report)
+    instead of crashing or hanging.
+    """
+
+    def __init__(self, reason: str = "resource budget exhausted") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class InputFormatError(ReproError):
     """A case-definition file could not be parsed."""

@@ -29,6 +29,7 @@ from repro.exceptions import InfeasibleError, ModelError
 from repro.grid.matrices import active_lines
 from repro.grid.network import Grid
 from repro.opf.lp import LinearProgram, LpStatus
+from repro.smt.budget import SolverBudget
 from repro.smt.rational import to_fraction
 
 
@@ -58,7 +59,8 @@ def solve_dc_opf(grid: Grid,
                  loads: Optional[Dict[int, Fraction]] = None,
                  line_indices: Optional[Iterable[int]] = None,
                  method: str = "exact",
-                 binding_tolerance: float = 1e-7) -> DcOpfResult:
+                 binding_tolerance: float = 1e-7,
+                 budget: Optional[SolverBudget] = None) -> DcOpfResult:
     """Minimize generation cost subject to the DC network constraints.
 
     Parameters
@@ -70,6 +72,11 @@ def solve_dc_opf(grid: Grid,
         The topology OPF believes (defaults to in-service lines) — the
         believed view from the topology processor, *not* necessarily the
         physical truth.
+    budget:
+        Optional shared :class:`~repro.smt.budget.SolverBudget`; with
+        ``method="exact"`` its pivot/wall limits bound the rational
+        simplex (exhaustion raises
+        :class:`~repro.exceptions.BudgetExhausted`).
     """
     if method not in ("exact", "highs"):
         raise ModelError(f"unknown OPF method {method!r}")
@@ -83,13 +90,14 @@ def solve_dc_opf(grid: Grid,
         demand = {bus: to_fraction(v) for bus, v in loads.items()}
 
     if method == "exact":
-        return _solve_exact(grid, demand, lines, binding_tolerance)
+        return _solve_exact(grid, demand, lines, binding_tolerance, budget)
     return _solve_highs(grid, demand, lines, binding_tolerance)
 
 
 def _solve_exact(grid: Grid, demand: Dict[int, Fraction],
-                 lines: List[int], binding_tolerance: float) -> DcOpfResult:
-    lp = LinearProgram()
+                 lines: List[int], binding_tolerance: float,
+                 budget: Optional[SolverBudget] = None) -> DcOpfResult:
+    lp = LinearProgram(budget=budget)
     # Variables: angles (all buses; reference fixed via equality bounds),
     # then generator outputs.
     theta = {}

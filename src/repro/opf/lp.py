@@ -16,6 +16,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import SolverError, UnboundedError
+from repro.smt.budget import SolverBudget
 from repro.smt.rational import DeltaRational, to_fraction
 from repro.smt.simplex import NO_LIT, Simplex
 
@@ -42,8 +43,11 @@ class LpResult:
 class LinearProgram:
     """Exact LP: build with variables/constraints, then :meth:`solve`."""
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Optional[SolverBudget] = None) -> None:
         self._simplex = Simplex()
+        # A shared task budget bounds the pivot loops of this LP too
+        # (exhaustion raises BudgetExhausted out of solve()).
+        self._simplex.budget = budget
         self._variables: List[int] = []
         self._objective: Dict[int, Fraction] = {}
         self._objective_const = Fraction(0)

@@ -75,6 +75,20 @@ class ResultCache:
                 pass
             raise
 
+    def try_put(self, fingerprint: str,
+                outcome: Dict[str, Any]) -> Optional[str]:
+        """Like :meth:`put` but degrades I/O failure to an error string.
+
+        The sweep engine checkpoints every finished outcome through this:
+        a full disk or permission problem must not abort a long sweep,
+        only cost it the checkpoint (reported per-outcome in the trace).
+        """
+        try:
+            self.put(fingerprint, outcome)
+        except OSError as exc:
+            return f"{type(exc).__name__}: {exc}"
+        return None
+
     def clear(self) -> int:
         """Remove all cached results; returns the number removed."""
         results = self.root / "results"

@@ -8,14 +8,23 @@ tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 * results are served from the on-disk :class:`~repro.runner.cache.
   ResultCache` when the (case, query, code) fingerprint matches a prior
   run, so repeated sweeps and benchmark reruns short-circuit;
-* each task has an optional wall-clock budget (``task_timeout``); a task
-  that exceeds it is recorded as ``timeout`` and the sweep moves on;
+* each finished ``ok`` outcome is checkpointed to the cache *as it
+  completes*, so a killed or interrupted sweep resumes from where it
+  left off instead of recomputing;
+* each task has an optional wall-clock budget (``task_timeout``) that is
+  shipped into the worker as an in-solver
+  :class:`~repro.smt.budget.SolverBudget` deadline: a solver-bound task
+  comes back as ``unknown`` with partial statistics.  The pool-level
+  ``timeout`` verdict remains as a backstop for tasks stuck outside the
+  solvers; when it fires, pending tasks are migrated to a fresh pool so
+  hung workers cannot starve the rest of the sweep;
 * a worker-process crash (OOM kill, segfault in a native library) breaks
   the pool — the engine rebuilds it and retries the affected scenarios up
   to ``retries`` times before recording them as ``crashed``;
 * when process pools are unavailable (restricted environments) or
   ``workers <= 1``, the engine degrades gracefully to in-process serial
-  execution with identical results.
+  execution with identical results (including budget enforcement — the
+  in-solver deadline works the same in-process).
 
 Execution is deterministic per scenario, so parallel and serial runs are
 interchangeable; only wall-clock differs.
@@ -33,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
+from repro.exceptions import BudgetExhausted
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.spec import ScenarioSpec
 from repro.runner.trace import (
@@ -40,9 +50,11 @@ from repro.runner.trace import (
     ERROR,
     OK,
     TIMEOUT,
+    UNKNOWN,
     ScenarioOutcome,
     SweepTrace,
 )
+from repro.smt.budget import SolverBudget
 
 
 @dataclass
@@ -51,21 +63,30 @@ class SweepConfig:
 
     workers: int = 4
     #: per-task wall-clock budget in seconds (None: unlimited).  Enforced
-    #: in parallel mode; serial fallback runs tasks to completion.
+    #: cooperatively inside the solvers in *both* modes (tasks come back
+    #: ``unknown`` with partial statistics); parallel mode additionally
+    #: keeps the pool-level wait as a backstop for hung workers.
     task_timeout: Optional[float] = None
     #: how many times a scenario is resubmitted after its worker crashed.
     retries: int = 1
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR
     use_cache: bool = True
+    #: extra per-task resource limits (conflicts/decisions/pivots/wall);
+    #: every task gets a *fresh* budget built from these limits, with
+    #: ``task_timeout`` folded in as a wall-clock bound.
+    budget: Optional[SolverBudget] = None
 
 
-def execute_scenario(spec: ScenarioSpec,
-                     fingerprint: str = "") -> ScenarioOutcome:
+def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
+                     budget: Optional[SolverBudget] = None
+                     ) -> ScenarioOutcome:
     """Run one scenario in-process and record its outcome + trace."""
     started = time.perf_counter()
     outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
                               worker_pid=os.getpid())
     try:
+        if budget is not None:
+            budget.start()   # the deadline covers case build + analysis
         case = spec.resolve_case()
         kind = spec.resolved_analyzer(case)
         if kind == "smt":
@@ -73,14 +94,24 @@ def execute_scenario(spec: ScenarioSpec,
             report = analyzer.analyze(ImpactQuery(
                 target_increase_percent=spec.target_fraction(),
                 with_state_infection=spec.with_state_infection,
-                max_candidates=spec.max_candidates))
+                max_candidates=spec.max_candidates,
+                budget=budget))
         else:
             fast = FastImpactAnalyzer(case)
             report = fast.analyze(FastQuery(
                 target_increase_percent=spec.target_fraction(),
                 with_state_infection=spec.with_state_infection,
                 state_samples=spec.state_samples,
-                seed=spec.sample_seed))
+                seed=spec.sample_seed,
+                budget=budget))
+    except BudgetExhausted as exc:
+        # The analyzers convert in-loop exhaustion into partial reports;
+        # this catches exhaustion outside those loops (e.g. the base OPF
+        # during analyzer construction).
+        outcome.status = UNKNOWN
+        outcome.error = exc.reason
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
     except Exception as exc:
         outcome.status = ERROR
         outcome.error = "".join(traceback.format_exception_only(
@@ -88,6 +119,9 @@ def execute_scenario(spec: ScenarioSpec,
         outcome.task_seconds = time.perf_counter() - started
         return outcome
 
+    if report.status == "budget_exhausted":
+        outcome.status = UNKNOWN
+        outcome.error = report.budget_reason or "resource budget exhausted"
     outcome.satisfiable = report.satisfiable
     outcome.base_cost = str(report.base_cost)
     outcome.threshold = str(report.threshold)
@@ -108,7 +142,9 @@ def execute_scenario(spec: ScenarioSpec,
 def _worker_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Top-level (picklable) process-pool entry point."""
     spec = ScenarioSpec.from_dict(payload["spec"])
-    return execute_scenario(spec, payload["fingerprint"]).to_dict()
+    budget_spec = payload.get("budget")
+    budget = SolverBudget.from_dict(budget_spec) if budget_spec else None
+    return execute_scenario(spec, payload["fingerprint"], budget).to_dict()
 
 
 class SweepEngine:
@@ -116,19 +152,25 @@ class SweepEngine:
 
     def __init__(self, config: Optional[SweepConfig] = None,
                  task: Optional[Callable[[Dict[str, Any]],
-                                         Dict[str, Any]]] = None) -> None:
+                                         Dict[str, Any]]] = None,
+                 cache: Optional[ResultCache] = None) -> None:
         self.config = config or SweepConfig()
         #: injectable for tests (e.g. a crashing task); must be a
         #: module-level callable so worker processes can unpickle it.
         self._task = task or _worker_entry
+        #: injectable for tests (e.g. a cache whose writes fail).
+        self._cache = cache
 
     # -- public API -----------------------------------------------------
 
     def run(self, specs: Sequence[ScenarioSpec]) -> SweepTrace:
         started = time.perf_counter()
         config = self.config
-        cache = ResultCache(config.cache_dir) \
-            if config.use_cache and config.cache_dir else None
+        if self._cache is not None:
+            cache = self._cache if config.use_cache else None
+        else:
+            cache = ResultCache(config.cache_dir) \
+                if config.use_cache and config.cache_dir else None
 
         # Fingerprinting resolves the case; a spec that cannot resolve
         # (unknown name, unparsable text) is recorded as an error outcome
@@ -149,28 +191,29 @@ class SweepEngine:
             if outcomes[idx] is not None:
                 continue
             hit = cache.get(fingerprint) if cache else None
-            if hit is not None:
-                outcome = ScenarioOutcome.from_dict(hit)
-                outcome.cache_hit = True
-                outcomes[idx] = outcome
-            else:
+            if hit is None:
                 pending.append(idx)
+                continue
+            try:
+                outcome = ScenarioOutcome.from_dict(hit)
+            except ValueError:
+                # Malformed or stale cached payload: a miss — recompute
+                # (and overwrite the bad entry on completion).
+                pending.append(idx)
+                continue
+            outcome.cache_hit = True
+            outcomes[idx] = outcome
 
         mode = "serial"
         if pending:
             if config.workers > 1 and len(pending) > 1:
                 if self._run_parallel(specs, fingerprints, pending,
-                                      outcomes):
+                                      outcomes, cache):
                     mode = "parallel"
                 # else: _run_parallel already fell back to serial
             else:
-                self._run_serial(specs, fingerprints, pending, outcomes)
-
-        if cache is not None:
-            for idx in pending:
-                outcome = outcomes[idx]
-                if outcome is not None and outcome.status == OK:
-                    cache.put(fingerprints[idx], outcome.to_dict())
+                self._run_serial(specs, fingerprints, pending, outcomes,
+                                 cache)
 
         return SweepTrace(
             outcomes=[o for o in outcomes if o is not None],
@@ -179,16 +222,73 @@ class SweepEngine:
             mode=mode,
             cache_dir=str(cache.root) if cache else None)
 
+    # -- task plumbing ---------------------------------------------------
+
+    def _task_budget(self) -> Optional[Dict[str, Any]]:
+        """Per-task budget limits (a fresh budget is built per task)."""
+        config = self.config
+        limits = dict(config.budget.to_dict()) \
+            if config.budget is not None else {}
+        if config.task_timeout is not None:
+            wall = limits.get("wall_seconds")
+            limits["wall_seconds"] = config.task_timeout if wall is None \
+                else min(wall, config.task_timeout)
+        return limits or None
+
+    def _task_payload(self, spec: ScenarioSpec,
+                      fingerprint: str) -> Dict[str, Any]:
+        payload = {"spec": spec.to_dict(), "fingerprint": fingerprint}
+        budget = self._task_budget()
+        if budget is not None:
+            payload["budget"] = budget
+        return payload
+
+    def _pool_wait(self) -> Optional[float]:
+        """Pool-level wait: the in-solver deadline plus grace, so a
+        solver-bound task reports ``unknown`` (with statistics) before
+        the blunt pool ``timeout`` backstop fires."""
+        timeout = self.config.task_timeout
+        if timeout is None:
+            return None
+        return timeout * 1.25 + 0.25
+
+    def _record(self, idx: int, outcome: ScenarioOutcome, fingerprints,
+                outcomes, cache: Optional[ResultCache]) -> None:
+        """Commit an outcome and checkpoint it to the cache immediately.
+
+        Only definitive ``ok`` outcomes are cached; budget-dependent
+        (``unknown``/``timeout``) and transient failures must recompute
+        next run.  A failed write degrades to ``cache_write_error``.
+        """
+        outcomes[idx] = outcome
+        if cache is not None and outcome.status == OK \
+                and fingerprints[idx]:
+            error = cache.try_put(fingerprints[idx], outcome.to_dict())
+            if error is not None:
+                outcome.cache_write_error = error
+
     # -- execution strategies -------------------------------------------
 
-    def _run_serial(self, specs, fingerprints, indices, outcomes) -> None:
+    def _run_serial(self, specs, fingerprints, indices, outcomes,
+                    cache) -> None:
         for idx in indices:
-            payload = self._task({"spec": specs[idx].to_dict(),
-                                  "fingerprint": fingerprints[idx]})
-            outcomes[idx] = ScenarioOutcome.from_dict(payload)
+            try:
+                payload = self._task(self._task_payload(
+                    specs[idx], fingerprints[idx]))
+                outcome = ScenarioOutcome.from_dict(payload)
+            except Exception as exc:
+                # KeyboardInterrupt deliberately propagates: completed
+                # outcomes are already checkpointed, so an interrupted
+                # sweep resumes from the cache.
+                outcome = ScenarioOutcome(
+                    spec=specs[idx], fingerprint=fingerprints[idx],
+                    status=ERROR,
+                    error="".join(traceback.format_exception_only(
+                        type(exc), exc)).strip())
+            self._record(idx, outcome, fingerprints, outcomes, cache)
 
-    def _run_parallel(self, specs, fingerprints, indices,
-                      outcomes) -> bool:
+    def _run_parallel(self, specs, fingerprints, indices, outcomes,
+                      cache) -> bool:
         """Returns False when it had to degrade to serial execution."""
         config = self.config
         attempts = {idx: 0 for idx in indices}
@@ -200,55 +300,75 @@ class SweepEngine:
             except (OSError, ValueError, ImportError):
                 # No usable multiprocessing primitives here (sandboxes,
                 # missing /dev/shm, ...): degrade to serial.
-                self._run_serial(specs, fingerprints, to_run, outcomes)
+                self._run_serial(specs, fingerprints, to_run, outcomes,
+                                 cache)
                 return False
-            retry: List[int] = []
+            next_round: List[int] = []
             try:
                 futures = {}
                 for idx in to_run:
                     attempts[idx] += 1
                     futures[idx] = pool.submit(
-                        self._task, {"spec": specs[idx].to_dict(),
-                                     "fingerprint": fingerprints[idx]})
+                        self._task, self._task_payload(
+                            specs[idx], fingerprints[idx]))
                 # Waiting in submission order gives every task up to
-                # ``task_timeout`` of dedicated wait on top of whatever
+                # the pool wait of dedicated time on top of whatever
                 # overlap it had with earlier waits — an approximate but
                 # cheap per-task budget.
+                timed_out = False
                 for idx in to_run:
                     future = futures[idx]
-                    try:
-                        payload = future.result(
-                            timeout=config.task_timeout)
-                    except FuturesTimeoutError:
+                    if timed_out and not future.done():
+                        # A timeout poisoned this pool: hung workers
+                        # cannot be cancelled, and tasks queued behind
+                        # them (already handed to the call queue, so
+                        # cancel() fails for them too) would inherit the
+                        # dead slots.  Reschedule everything unfinished
+                        # on a fresh pool — tasks are deterministic and
+                        # workers side-effect-free, so the possible
+                        # double execution of a genuinely-running task
+                        # is safe.
                         future.cancel()
-                        outcomes[idx] = ScenarioOutcome(
+                        attempts[idx] -= 1
+                        next_round.append(idx)
+                        continue
+                    try:
+                        payload = future.result(timeout=self._pool_wait())
+                    except FuturesTimeoutError:
+                        timed_out = True
+                        future.cancel()
+                        self._record(idx, ScenarioOutcome(
                             spec=specs[idx],
                             fingerprint=fingerprints[idx],
                             status=TIMEOUT, attempts=attempts[idx],
                             error=f"exceeded {config.task_timeout}s "
-                                  f"task budget")
+                                  f"task budget"),
+                            fingerprints, outcomes, cache)
                     except BrokenExecutor as exc:
                         if attempts[idx] <= config.retries:
-                            retry.append(idx)
+                            next_round.append(idx)
                         else:
-                            outcomes[idx] = ScenarioOutcome(
+                            self._record(idx, ScenarioOutcome(
                                 spec=specs[idx],
                                 fingerprint=fingerprints[idx],
                                 status=CRASHED, attempts=attempts[idx],
-                                error=str(exc) or "worker process died")
+                                error=str(exc) or "worker process died"),
+                                fingerprints, outcomes, cache)
                     except Exception as exc:  # pickling and kin
-                        outcomes[idx] = ScenarioOutcome(
+                        self._record(idx, ScenarioOutcome(
                             spec=specs[idx],
                             fingerprint=fingerprints[idx],
                             status=ERROR, attempts=attempts[idx],
                             error="".join(
                                 traceback.format_exception_only(
-                                    type(exc), exc)).strip())
+                                    type(exc), exc)).strip()),
+                            fingerprints, outcomes, cache)
                     else:
                         outcome = ScenarioOutcome.from_dict(payload)
                         outcome.attempts = attempts[idx]
-                        outcomes[idx] = outcome
+                        self._record(idx, outcome, fingerprints,
+                                     outcomes, cache)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
-            to_run = retry
+            to_run = next_round
         return True

@@ -27,7 +27,7 @@ from repro.grid.caseio import CaseDefinition, parse_case, write_case
 from repro.smt.rational import to_fraction
 
 #: bump when the cached-result layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: bus count at and below which ``analyzer="auto"`` picks the full SMT
 #: framework (mirrors the paper's Section IV-A hybrid).

@@ -23,6 +23,9 @@ OK = "ok"
 ERROR = "error"        # the analysis itself raised (deterministic; no retry)
 TIMEOUT = "timeout"    # exceeded the per-task budget
 CRASHED = "crashed"    # worker process died and retries were exhausted
+UNKNOWN = "unknown"    # the in-solver resource budget ran out mid-search
+
+_KNOWN_STATUSES = (OK, ERROR, TIMEOUT, CRASHED, UNKNOWN)
 
 
 @dataclass
@@ -45,6 +48,9 @@ class ScenarioOutcome:
     worker_pid: Optional[int] = None
     attempts: int = 1
     error: Optional[str] = None
+    #: the outcome itself is fine but checkpointing it failed (disk full,
+    #: permissions, ...); the sweep degrades instead of aborting.
+    cache_write_error: Optional[str] = None
     trace: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -60,10 +66,59 @@ class ScenarioOutcome:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioOutcome":
+        """Rebuild an outcome, validating shape and field types.
+
+        Raises :class:`ValueError` on any malformation, so a corrupt or
+        stale cached payload is detected at the boundary (and treated as
+        a cache miss by the engine) instead of poisoning a sweep.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("outcome payload is not a JSON object")
         data = dict(payload)
-        data["spec"] = ScenarioSpec.from_dict(data["spec"])
+        spec = data.get("spec")
+        if not isinstance(spec, dict):
+            raise ValueError("outcome payload has no spec object")
+        try:
+            data["spec"] = ScenarioSpec.from_dict(spec)
+        except TypeError as exc:
+            raise ValueError(f"malformed scenario spec: {exc}") from exc
         data["trace"] = dict(data.get("trace") or {})
-        return cls(**data)
+        try:
+            outcome = cls(**data)
+        except TypeError as exc:
+            raise ValueError(f"malformed outcome payload: {exc}") from exc
+        outcome._validate()
+        return outcome
+
+    def _validate(self) -> None:
+        if self.status not in _KNOWN_STATUSES:
+            raise ValueError(f"unknown outcome status {self.status!r}")
+        checks = (
+            ("fingerprint", self.fingerprint, str, False),
+            ("satisfiable", self.satisfiable, bool, True),
+            ("base_cost", self.base_cost, str, True),
+            ("threshold", self.threshold, str, True),
+            ("believed_min_cost", self.believed_min_cost, str, True),
+            ("achieved_increase_percent", self.achieved_increase_percent,
+             (int, float), True),
+            ("candidates_examined", self.candidates_examined, int, False),
+            ("solver_calls", self.solver_calls, int, False),
+            ("analysis_seconds", self.analysis_seconds, (int, float),
+             False),
+            ("task_seconds", self.task_seconds, (int, float), False),
+            ("cache_hit", self.cache_hit, bool, False),
+            ("worker_pid", self.worker_pid, int, True),
+            ("attempts", self.attempts, int, False),
+            ("error", self.error, str, True),
+            ("cache_write_error", self.cache_write_error, str, True),
+            ("trace", self.trace, dict, False),
+        )
+        for name, value, types, optional in checks:
+            if optional and value is None:
+                continue
+            if not isinstance(value, types):
+                raise ValueError(f"outcome field {name!r} has invalid "
+                                 f"value {value!r}")
 
 
 @dataclass
@@ -96,6 +151,11 @@ class SweepTrace:
                 "scenarios": len(self.outcomes),
                 "cache_hits": self.cache_hits,
                 "failures": len(self.failures),
+                "unknown": sum(o.status == UNKNOWN
+                               for o in self.outcomes),
+                "cache_write_errors": sum(
+                    o.cache_write_error is not None
+                    for o in self.outcomes),
                 "wall_seconds": self.wall_seconds,
                 "analysis_seconds": sum(o.analysis_seconds
                                         for o in self.outcomes),

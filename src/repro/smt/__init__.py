@@ -8,9 +8,13 @@ self-contained DPLL(T) stack:
 * :mod:`repro.smt.sat` — CDCL SAT core,
 * :mod:`repro.smt.simplex` — general simplex theory solver,
 * :mod:`repro.smt.solver` — the :class:`SmtSolver` facade,
-* :mod:`repro.smt.optimize` — exact linear optimization.
+* :mod:`repro.smt.optimize` — exact linear optimization,
+* :mod:`repro.smt.budget` — cooperative resource budgets
+  (:class:`SolverBudget`) bounding wall clock, conflicts, decisions and
+  simplex pivots; exhaustion surfaces as ``SolveResult.UNKNOWN``.
 """
 
+from repro.smt.budget import SolverBudget
 from repro.smt.optimize import OptimizationResult, maximize, minimize
 from repro.smt.rational import DeltaRational, to_fraction
 from repro.smt.solver import Model, SmtSolver, SmtStatistics, SolveResult
@@ -52,6 +56,7 @@ __all__ = [
     "Or",
     "RealVar",
     "SmtSolver",
+    "SolverBudget",
     "SmtStatistics",
     "SolveResult",
     "TRUE",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence, Union
 
-from repro.exceptions import ConvergenceError
+from repro.exceptions import BudgetExhausted, ConvergenceError
 from repro.smt.solver import Model, SmtSolver, SolveResult
 from repro.smt.terms import BoolTerm, LinExpr, RealVar
 
@@ -52,11 +52,24 @@ def minimize(solver: SmtSolver,
         best: Optional[Fraction] = None
         best_model: Optional[Model] = None
         iterations = 0
+        budget = solver.budget
         while iterations < max_iterations:
             iterations += 1
+            if budget is not None:
+                # Per-iteration deadline check: an instance solved purely
+                # by propagation generates no budget events, so the wall
+                # clock must be read here.
+                budget.check_wall()
             result = solver.solve(assumptions)
             if result is SolveResult.UNSAT:
                 break
+            if result is SolveResult.UNKNOWN:
+                # Budget ran out mid-optimization: unwind (the finally
+                # clause pops the scratch scope) and let the caller
+                # report a partial result.
+                raise BudgetExhausted(solver.last_budget_reason
+                                      or "solver budget exhausted during "
+                                         "optimization")
             local = solver.theory.simplex.minimize(obj_var)
             # For closed constraint systems the optimum is attained and the
             # infinitesimal component is zero; otherwise the rational part

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import SolverError
+from repro.smt.budget import SolverBudget
 
 UNASSIGNED = 0
 TRUE = 1
@@ -103,6 +104,10 @@ class SatSolver:
         self.cla_decay = 0.999
         self.max_learned = 4000
         self.unsat = False
+        #: optional cooperative resource budget; raises
+        #: :class:`~repro.exceptions.BudgetExhausted` out of :meth:`solve`
+        #: (at event boundaries, so the solver state stays reusable).
+        self.budget: Optional[SolverBudget] = None
         self.stats = SatStats()
         self._order_dirty: List[int] = []
 
@@ -416,6 +421,7 @@ class SatSolver:
             return False
 
         assumptions = list(assumptions)
+        budget = self.budget
         restart_count = 0
         conflicts_until_restart = 32 * luby(restart_count + 1)
         conflicts_since_restart = 0
@@ -430,6 +436,8 @@ class SatSolver:
 
             if conflict is not None:
                 self.stats.conflicts += 1
+                if budget is not None:
+                    budget.on_conflict()
                 conflicts_since_restart += 1
                 if self.decision_level == 0:
                     self.unsat = True
@@ -491,11 +499,15 @@ class SatSolver:
                     self.unsat = True
                     return False
                 self.stats.conflicts += 1
+                if budget is not None:
+                    budget.on_conflict()
                 learnt, back_level = self._analyze(conflict)
                 self._backtrack_to(back_level)
                 self._learn(learnt)
                 continue
             self.stats.decisions += 1
+            if budget is not None:
+                budget.on_decision()
             self._new_decision_level()
             phase = self.saved_phase[var]
             self._enqueue(var if phase == TRUE else -var, None)

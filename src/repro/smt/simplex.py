@@ -30,6 +30,7 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import SolverError, UnboundedError
+from repro.smt.budget import SolverBudget
 from repro.smt.rational import DeltaRational, resolve_delta
 
 NO_LIT = 0
@@ -53,6 +54,10 @@ class Simplex:
         self._log: List[Tuple] = []
         self.needs_check = False
         self.pivots = 0
+        #: optional cooperative resource budget; checked at the top of
+        #: every pivot, *before* the tableau is mutated, so an
+        #: interrupted simplex stays consistent and reusable.
+        self.budget: Optional[SolverBudget] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -182,6 +187,8 @@ class Simplex:
 
     def _pivot(self, basic: int, nonbasic: int) -> None:
         """Exchange *basic* and *nonbasic* in the tableau (no value change)."""
+        if self.budget is not None:
+            self.budget.on_pivot()
         self.pivots += 1
         row = self.rows.pop(basic)
         a = row.pop(nonbasic)

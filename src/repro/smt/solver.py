@@ -27,7 +27,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.exceptions import SolverError
+from repro.exceptions import BudgetExhausted, SolverError
+from repro.smt.budget import SolverBudget
 from repro.smt.cnf import CnfConverter
 from repro.smt.rational import DeltaRational
 from repro.smt.sat import FALSE, TRUE, SatSolver, TheoryListener
@@ -44,6 +45,9 @@ from repro.smt.terms import (
 class SolveResult(enum.Enum):
     SAT = "sat"
     UNSAT = "unsat"
+    #: the attached :class:`~repro.smt.budget.SolverBudget` ran out before
+    #: the search concluded; statistics up to that point are recorded.
+    UNKNOWN = "unknown"
 
 
 @dataclass
@@ -62,6 +66,9 @@ class SmtStatistics:
     propagations: int = 0
     restarts: int = 0
     simplex_pivots: int = 0
+    #: number of ``solve()`` calls that ended in ``UNKNOWN`` because the
+    #: attached budget ran out.
+    budget_exhaustions: int = 0
 
 
 class Model:
@@ -199,6 +206,23 @@ class SmtSolver:
         self._guards: List[int] = []  # active push/pop guard literals
         self.stats = SmtStatistics()
         self._clause_count = 0
+        self._budget: Optional[SolverBudget] = None
+        #: why the last ``solve()`` returned ``UNKNOWN`` (None otherwise).
+        self.last_budget_reason: Optional[str] = None
+
+    # -- resource governance ---------------------------------------------
+
+    def set_budget(self, budget: Optional[SolverBudget]) -> None:
+        """Attach (or with None detach) a budget to the SAT core and the
+        simplex; it persists across ``solve()`` calls, so cumulative
+        limits span a whole analysis."""
+        self._budget = budget
+        self._sat.budget = budget
+        self._theory.simplex.budget = budget
+
+    @property
+    def budget(self) -> Optional[SolverBudget]:
+        return self._budget
 
     # -- plumbing ------------------------------------------------------------
 
@@ -241,16 +265,35 @@ class SmtSolver:
 
     # -- solving --------------------------------------------------------
 
-    def solve(self, assumptions: Sequence[BoolTerm] = ()) -> SolveResult:
-        """Check satisfiability under optional assumption terms."""
+    def solve(self, assumptions: Sequence[BoolTerm] = (),
+              budget: Optional[SolverBudget] = None) -> SolveResult:
+        """Check satisfiability under optional assumption terms.
+
+        With a budget attached (here or via :meth:`set_budget`) the search
+        is bounded: on exhaustion the result is ``SolveResult.UNKNOWN``,
+        statistics cover the partial search, and ``last_budget_reason``
+        names the limit that ran out.
+        """
+        if budget is not None:
+            self.set_budget(budget)
         started = time.perf_counter()
+        self.last_budget_reason = None
         self._sat._backtrack_to(0)
         assumption_lits = [self._guards[i] for i in range(len(self._guards))]
         for term in assumptions:
             lit = self._cnf.convert(term)
             self._register_new_atoms()
             assumption_lits.append(lit)
-        sat = self._sat.solve(assumption_lits)
+        if self._budget is not None:
+            self._budget.start()
+        try:
+            sat = self._sat.solve(assumption_lits)
+        except BudgetExhausted as exc:
+            self._model = None
+            self.last_budget_reason = exc.reason
+            self.stats.budget_exhaustions += 1
+            self._record_stats(time.perf_counter() - started)
+            return SolveResult.UNKNOWN
         if sat:
             self._model = self._extract_model()
         else:

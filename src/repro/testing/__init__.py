@@ -1,0 +1,39 @@
+"""Deterministic fault injection for robustness testing.
+
+:mod:`repro.testing.faults` provides picklable fault plans that make
+sweep workers crash, hang, error, corrupt their inputs or exhaust their
+solver budgets on demand — plus cache doubles whose writes fail or whose
+entries are corrupted.  The chaos suite (``tests/chaos/``) drives the
+sweep engine through these to assert it always terminates with one
+outcome per scenario.
+"""
+
+from repro.testing.faults import (
+    CRASH_WORKER,
+    CORRUPT_CASE,
+    EXHAUST_BUDGET,
+    FAIL_CACHE_WRITE,
+    HANG_WORKER,
+    RAISE_ERROR,
+    Fault,
+    FaultPlan,
+    FlakyResultCache,
+    InjectedFault,
+    corrupt_cached_outcome,
+    interrupt_after,
+)
+
+__all__ = [
+    "CRASH_WORKER",
+    "CORRUPT_CASE",
+    "EXHAUST_BUDGET",
+    "FAIL_CACHE_WRITE",
+    "HANG_WORKER",
+    "RAISE_ERROR",
+    "Fault",
+    "FaultPlan",
+    "FlakyResultCache",
+    "InjectedFault",
+    "corrupt_cached_outcome",
+    "interrupt_after",
+]

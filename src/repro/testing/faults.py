@@ -1,0 +1,212 @@
+"""Seeded, picklable fault injection for the sweep engine.
+
+The harness wraps the engine's real worker entry point: a
+:class:`FaultPlan` maps scenario labels to :class:`Fault` actions, and
+:meth:`FaultPlan.task` yields a module-level partial that the engine can
+ship to worker processes.  Before delegating to the real worker, the
+wrapper consults the plan and — for the first ``fault.times`` attempts of
+a faulted scenario — crashes the process, hangs, raises, corrupts the
+case text, or replaces the task budget with an instantly-exhausted one.
+
+Determinism: plans are frozen values built either explicitly
+(:meth:`FaultPlan.single`) or from a seed (:meth:`FaultPlan.seeded`), and
+attempt counting survives process boundaries via per-label marker files
+under ``state_dir`` (one byte appended per attempt; ``O_APPEND`` keeps
+concurrent workers consistent).  The same plan therefore injects the same
+faults on every run.
+
+Cache-side faults do not live in workers: :class:`FlakyResultCache` fails
+its first N writes with ``ENOSPC`` and :func:`corrupt_cached_outcome`
+mangles an entry in place, exercising the engine's degraded paths.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+
+#: fault kinds.
+CRASH_WORKER = "crash_worker"       # os._exit: the pool sees a dead worker
+HANG_WORKER = "hang_worker"         # sleep past the task timeout
+RAISE_ERROR = "raise_error"         # deterministic in-task exception
+CORRUPT_CASE = "corrupt_case"       # unparsable case text reaches the task
+EXHAUST_BUDGET = "exhaust_budget"   # instantly-exhausted solver budget
+FAIL_CACHE_WRITE = "fail_cache_write"  # via FlakyResultCache, not workers
+
+#: kinds a worker-side plan can apply.  CRASH_WORKER is excluded from
+#: seeded defaults: in serial mode it would kill the host process.
+WORKER_KINDS = (HANG_WORKER, RAISE_ERROR, CORRUPT_CASE, EXHAUST_BUDGET)
+
+_EXHAUSTED_BUDGET = {"wall_seconds": 0.0, "max_conflicts": 1,
+                     "max_decisions": 1, "max_pivots": 1,
+                     "check_interval": 1}
+
+_GARBAGE_CASE = "this is not a case file {{{\n"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by RAISE_ERROR faults (distinguishable from real bugs)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault action, applied on the first ``times`` attempts."""
+
+    kind: str
+    times: int = 1
+    sleep_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        known = (CRASH_WORKER, HANG_WORKER, RAISE_ERROR, CORRUPT_CASE,
+                 EXHAUST_BUDGET)
+        if self.kind not in known:
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Frozen label -> fault mapping with cross-process attempt counts."""
+
+    state_dir: str
+    faults: Tuple[Tuple[str, Fault], ...] = ()
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def single(cls, state_dir, label: str, fault: Fault) -> "FaultPlan":
+        return cls(state_dir=str(state_dir), faults=((label, fault),))
+
+    @classmethod
+    def seeded(cls, state_dir, labels: Iterable[str], seed: int,
+               rate: float = 0.5,
+               kinds: Sequence[str] = WORKER_KINDS) -> "FaultPlan":
+        """Deterministically fault a ``rate`` fraction of *labels*."""
+        rng = random.Random(seed)
+        faults = []
+        for label in labels:
+            if rng.random() < rate:
+                kind = rng.choice(list(kinds))
+                faults.append((label, Fault(kind, times=1,
+                                            sleep_seconds=0.5)))
+        return cls(state_dir=str(state_dir), faults=tuple(faults))
+
+    # -- plan queries ----------------------------------------------------
+
+    def fault_for(self, label: str) -> Optional[Fault]:
+        for name, fault in self.faults:
+            if name == label:
+                return fault
+        return None
+
+    def _marker(self, label: str) -> Path:
+        digest = hashlib.sha256(label.encode()).hexdigest()[:16]
+        return Path(self.state_dir) / f"{digest}.attempts"
+
+    def record_attempt(self, label: str) -> int:
+        """Count this attempt; returns the 1-based attempt number."""
+        marker = self._marker(label)
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+        try:
+            os.write(fd, b".")
+        finally:
+            os.close(fd)
+        return marker.stat().st_size
+
+    def attempts(self, label: str) -> int:
+        marker = self._marker(label)
+        return marker.stat().st_size if marker.exists() else 0
+
+    # -- engine integration ----------------------------------------------
+
+    def task(self):
+        """A picklable SweepEngine task wrapping the real worker."""
+        return functools.partial(faulty_worker, self)
+
+
+def apply_fault(fault: Fault, payload: Dict[str, Any]) -> None:
+    """Mutate *payload* / the process according to *fault*."""
+    if fault.kind == CRASH_WORKER:
+        # A hard death (no exception, no cleanup) — what an OOM kill or a
+        # native-library segfault looks like to the pool.
+        os._exit(23)
+    elif fault.kind == HANG_WORKER:
+        time.sleep(fault.sleep_seconds)
+    elif fault.kind == RAISE_ERROR:
+        raise InjectedFault(
+            f"injected failure for {payload['spec'].get('label', '?')}")
+    elif fault.kind == CORRUPT_CASE:
+        payload["spec"] = dict(payload["spec"])
+        payload["spec"]["case_text"] = _GARBAGE_CASE
+    elif fault.kind == EXHAUST_BUDGET:
+        payload["budget"] = dict(_EXHAUSTED_BUDGET)
+
+
+def faulty_worker(plan: FaultPlan,
+                  payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Module-level (picklable) worker: maybe fault, then run for real."""
+    from repro.runner.engine import _worker_entry
+    label = payload["spec"].get("label", "")
+    attempt = plan.record_attempt(label)
+    fault = plan.fault_for(label)
+    if fault is not None and attempt <= fault.times:
+        apply_fault(fault, payload)
+    return _worker_entry(payload)
+
+
+def interrupting_worker(state_dir: str, limit: int,
+                        payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Serial-mode worker that raises KeyboardInterrupt after *limit*
+    completed tasks (simulating a user hitting Ctrl-C mid-sweep)."""
+    from repro.runner.engine import _worker_entry
+    marker = Path(state_dir) / "interrupt.count"
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    done = marker.stat().st_size if marker.exists() else 0
+    if done >= limit:
+        raise KeyboardInterrupt
+    result = _worker_entry(payload)
+    with open(marker, "a") as handle:
+        handle.write(".")
+    return result
+
+
+def interrupt_after(state_dir, limit: int):
+    """A picklable task that completes *limit* scenarios then interrupts."""
+    return functools.partial(interrupting_worker, str(state_dir), limit)
+
+
+class FlakyResultCache(ResultCache):
+    """A result cache whose first ``fail_writes`` puts raise ENOSPC."""
+
+    def __init__(self, root, fail_writes: int = 1) -> None:
+        super().__init__(root)
+        self.fail_writes = fail_writes
+        self.write_attempts = 0
+
+    def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        self.write_attempts += 1
+        if self.write_attempts <= self.fail_writes:
+            raise OSError(28, "No space left on device (injected)")
+        super().put(fingerprint, outcome)
+
+
+def corrupt_cached_outcome(cache: ResultCache, fingerprint: str,
+                           field_name: str, value: Any) -> None:
+    """Overwrite one field of a cached outcome in place (envelope stays
+    valid JSON with the right version/fingerprint — only the outcome
+    payload is malformed, exercising the validate-on-read path)."""
+    path = cache._path(fingerprint)
+    with open(path) as handle:
+        envelope = json.load(handle)
+    envelope["outcome"][field_name] = value
+    with open(path, "w") as handle:
+        json.dump(envelope, handle, indent=1)

@@ -1,0 +1,227 @@
+"""Chaos tests: the sweep engine must terminate with one outcome per
+scenario no matter which faults are injected, and checkpoint/resume must
+survive interrupts, full disks and corrupted cache entries."""
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    ScenarioSpec,
+    SweepConfig,
+    SweepEngine,
+)
+from repro.runner.trace import (
+    CRASHED,
+    ERROR,
+    OK,
+    TIMEOUT,
+    UNKNOWN,
+    _KNOWN_STATUSES,
+)
+from repro.smt import SolverBudget
+from repro.testing import (
+    CORRUPT_CASE,
+    CRASH_WORKER,
+    EXHAUST_BUDGET,
+    RAISE_ERROR,
+    Fault,
+    FaultPlan,
+    FlakyResultCache,
+    corrupt_cached_outcome,
+    interrupt_after,
+)
+
+#: worker kinds that are safe in serial (in-host-process) execution.
+SERIAL_KINDS = (RAISE_ERROR, CORRUPT_CASE, EXHAUST_BUDGET)
+
+
+def _specs(n=4):
+    """Cheap fast-analyzer scenarios with distinct labels."""
+    return [
+        ScenarioSpec.build("5bus-study1" if i % 2 == 0 else "5bus-study2",
+                           analyzer="fast", target=1 + i // 2,
+                           max_candidates=10, state_samples=4,
+                           label=f"cell-{i}")
+        for i in range(n)
+    ]
+
+
+def _smt_spec(label="smt-cell"):
+    return ScenarioSpec.build("5bus-study1", analyzer="smt", target=1,
+                              max_candidates=20, label=label)
+
+
+class TestSeededChaos:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_every_sweep_terminates_with_full_outcomes(self, tmp_path,
+                                                       seed):
+        specs = _specs(6)
+        plan = FaultPlan.seeded(tmp_path / "plan", [s.label for s in specs],
+                                seed=seed, rate=0.5, kinds=SERIAL_KINDS)
+        engine = SweepEngine(SweepConfig(workers=1, use_cache=False),
+                             task=plan.task())
+        trace = engine.run(specs)           # must not raise
+        assert len(trace.outcomes) == len(specs)
+        assert [o.spec.label for o in trace.outcomes] \
+            == [s.label for s in specs]
+        faulted = {label for label, _ in plan.faults}
+        for outcome in trace.outcomes:
+            assert outcome.status in _KNOWN_STATUSES
+            if outcome.spec.label in faulted:
+                assert outcome.status in (ERROR, UNKNOWN)
+                assert outcome.error
+            else:
+                assert outcome.status == OK
+
+    def test_same_seed_same_faults(self, tmp_path):
+        labels = [s.label for s in _specs(6)]
+        one = FaultPlan.seeded(tmp_path / "a", labels, seed=5, rate=0.5,
+                               kinds=SERIAL_KINDS)
+        two = FaultPlan.seeded(tmp_path / "b", labels, seed=5, rate=0.5,
+                               kinds=SERIAL_KINDS)
+        assert one.faults == two.faults
+
+
+class TestBudgetExhaustionOutcomes:
+    def test_unknown_outcome_with_partial_stats_not_cached(self, tmp_path):
+        config = SweepConfig(workers=1,
+                             cache_dir=str(tmp_path / "cache"),
+                             budget=SolverBudget(max_decisions=1))
+        spec = _smt_spec()
+        first = SweepEngine(config).run([spec])
+        outcome = first.outcomes[0]
+        assert outcome.status == UNKNOWN
+        assert "decision budget" in outcome.error
+        # Partial statistics from the truncated search are preserved.
+        assert outcome.trace["smt"]["solve_calls"] >= 1
+        assert outcome.trace["smt"]["decisions"] >= 1
+        assert first.to_dict()["totals"]["unknown"] == 1
+        # UNKNOWN is budget-dependent: it must never be served from cache.
+        second = SweepEngine(config).run([spec])
+        assert second.cache_hits == 0
+        assert second.outcomes[0].status == UNKNOWN
+
+    def test_serial_task_timeout_enforced_in_solver(self, tmp_path):
+        # The old engine could not enforce task_timeout in serial mode;
+        # the in-solver deadline makes it work (and yields partial data
+        # instead of a blunt kill).
+        config = SweepConfig(workers=1, task_timeout=0.01,
+                             use_cache=False)
+        trace = SweepEngine(config).run([_smt_spec()])
+        outcome = trace.outcomes[0]
+        assert outcome.status == UNKNOWN
+        assert "wall-clock" in outcome.error
+        assert outcome.task_seconds < 5.0
+
+    def test_parallel_budget_beats_pool_backstop(self, tmp_path):
+        # Solver-bound tasks must come back UNKNOWN (with statistics),
+        # not TIMEOUT: the pool wait allows the in-worker deadline grace.
+        config = SweepConfig(workers=2, task_timeout=0.05,
+                             use_cache=False)
+        specs = [_smt_spec("p1"), _smt_spec("p2")]
+        trace = SweepEngine(config).run(specs)
+        assert len(trace.outcomes) == 2
+        for outcome in trace.outcomes:
+            assert outcome.status == UNKNOWN
+            assert "wall-clock" in outcome.error
+
+    def test_injected_budget_exhaustion_fault(self, tmp_path):
+        specs = _specs(2)
+        plan = FaultPlan.single(tmp_path / "plan", "cell-0",
+                                Fault(EXHAUST_BUDGET))
+        engine = SweepEngine(SweepConfig(workers=1, use_cache=False),
+                             task=plan.task())
+        trace = engine.run(specs)
+        assert trace.outcomes[0].status == UNKNOWN
+        assert trace.outcomes[1].status == OK
+
+
+class TestCheckpointResume:
+    def test_interrupt_then_resume_serves_completed_cells(self, tmp_path):
+        specs = _specs(4)
+        config = SweepConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        interrupted = SweepEngine(
+            config, task=interrupt_after(tmp_path / "state", 2))
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run(specs)
+        # The two completed cells were checkpointed before the interrupt.
+        resumed = SweepEngine(config).run(specs)
+        assert resumed.cache_hits >= 2
+        assert [o.status for o in resumed.outcomes] == [OK] * 4
+
+    def test_cache_write_failure_degrades_to_warning(self, tmp_path):
+        specs = _specs(2)
+        cache = FlakyResultCache(tmp_path / "cache", fail_writes=10 ** 6)
+        engine = SweepEngine(SweepConfig(workers=1), cache=cache)
+        trace = engine.run(specs)           # must not raise
+        for outcome in trace.outcomes:
+            assert outcome.status == OK
+            assert "No space left on device" in outcome.cache_write_error
+        assert trace.to_dict()["totals"]["cache_write_errors"] == 2
+        # Nothing was persisted, so a second run recomputes.
+        assert SweepEngine(SweepConfig(workers=1),
+                           cache=cache).run(specs).cache_hits == 0
+
+    def test_transient_cache_write_failure_recovers(self, tmp_path):
+        specs = _specs(2)
+        cache = FlakyResultCache(tmp_path / "cache", fail_writes=1)
+        engine = SweepEngine(SweepConfig(workers=1), cache=cache)
+        first = engine.run(specs)
+        write_errors = [o.cache_write_error for o in first.outcomes]
+        assert write_errors[0] is not None
+        assert write_errors[1] is None
+        second = SweepEngine(SweepConfig(workers=1),
+                             cache=ResultCache(tmp_path / "cache"))
+        assert second.run(specs).cache_hits == 1
+
+    def test_malformed_cached_outcome_is_recomputed(self, tmp_path):
+        specs = _specs(2)
+        cache = ResultCache(tmp_path / "cache")
+        config = SweepConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        SweepEngine(config).run(specs)
+        corrupt_cached_outcome(cache, specs[0].fingerprint(),
+                               "status", "not-a-status")
+        trace = SweepEngine(config).run(specs)
+        assert trace.cache_hits == 1        # only the intact entry
+        assert [o.status for o in trace.outcomes] == [OK, OK]
+        # The recomputation overwrote the corrupt entry.
+        assert SweepEngine(config).run(specs).cache_hits == 2
+
+    def test_wrong_typed_field_in_cache_is_recomputed(self, tmp_path):
+        specs = _specs(1)
+        cache = ResultCache(tmp_path / "cache")
+        config = SweepConfig(workers=1, cache_dir=str(tmp_path / "cache"))
+        SweepEngine(config).run(specs)
+        corrupt_cached_outcome(cache, specs[0].fingerprint(),
+                               "satisfiable", "yes")
+        trace = SweepEngine(config).run(specs)
+        assert trace.cache_hits == 0
+        assert trace.outcomes[0].status == OK
+
+
+class TestCrashChaos:
+    def test_crash_once_is_retried_to_success(self, tmp_path):
+        specs = _specs(2)
+        plan = FaultPlan.single(tmp_path / "plan", "cell-0",
+                                Fault(CRASH_WORKER, times=1))
+        engine = SweepEngine(
+            SweepConfig(workers=2, retries=2, use_cache=False),
+            task=plan.task())
+        trace = engine.run(specs)
+        assert [o.status for o in trace.outcomes] == [OK, OK]
+        assert plan.attempts("cell-0") == 2
+
+    def test_persistent_crash_is_recorded_after_retries(self, tmp_path):
+        # Single spec: a neighbour sharing the pool can legitimately get
+        # dragged down by repeated pool breakage, so isolate the crasher.
+        specs = _specs(2)
+        plan = FaultPlan.single(tmp_path / "plan", "cell-0",
+                                Fault(CRASH_WORKER, times=10))
+        engine = SweepEngine(
+            SweepConfig(workers=2, retries=1, use_cache=False),
+            task=plan.task())
+        trace = engine.run([specs[0], specs[0]])
+        outcome = trace.outcomes[0]
+        assert outcome.status == CRASHED
+        assert outcome.attempts == 2
+        assert "died" in outcome.error or outcome.error

@@ -1,0 +1,146 @@
+"""Budget-exhausted analyses degrade to partial reports, not errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.fast import FastImpactAnalyzer, FastQuery
+from repro.core.framework import ImpactAnalyzer, ImpactQuery
+from repro.exceptions import BudgetExhausted
+from repro.grid.cases import get_case
+from repro.smt import SolverBudget
+
+
+class _ScriptedBudget:
+    """Duck-typed budget whose loop-top check trips after N probes.
+
+    Lets tests pick exactly *when* in the analyzer loop exhaustion hits,
+    independent of solver event counts.
+    """
+
+    def __init__(self, allowed_checks: int) -> None:
+        self.allowed_checks = allowed_checks
+        self.checks = 0
+        self.exhausted_reason = None
+
+    def start(self):
+        return self
+
+    def on_conflict(self):
+        pass
+
+    def on_decision(self):
+        pass
+
+    def on_pivot(self):
+        pass
+
+    def check_wall(self):
+        self.checks += 1
+        if self.checks > self.allowed_checks:
+            self.exhausted_reason = "scripted budget exhausted"
+            raise BudgetExhausted(self.exhausted_reason)
+
+    def exhausted(self):
+        try:
+            self.check_wall()
+        except BudgetExhausted:
+            return True
+        return False
+
+
+class TestSmtAnalyzerPartialReports:
+    def test_instant_exhaustion_yields_partial_report(self):
+        analyzer = ImpactAnalyzer(get_case("5bus-study1"))
+        budget = SolverBudget(max_decisions=1)
+        report = analyzer.analyze(ImpactQuery(budget=budget))
+        assert report.status == "budget_exhausted"
+        assert report.is_partial
+        assert report.satisfiable is False
+        assert "decision budget" in report.budget_reason
+        assert report.candidates_examined == 0
+        assert report.attack is None
+        # Partial statistics still cover the truncated search.
+        assert report.trace is not None
+        assert report.trace.smt["solve_calls"] >= 1
+        assert report.trace.smt["decisions"] >= 1
+
+    def test_partial_report_carries_best_attack_so_far(self):
+        # Let one candidate through, then exhaust at the next loop-top
+        # check: the report must carry the best sub-threshold attack.
+        analyzer = ImpactAnalyzer(get_case("5bus-study1"))
+        query = ImpactQuery(target_increase_percent=Fraction(50),
+                            with_state_infection=True,
+                            extremize_structures=False,
+                            budget=_ScriptedBudget(allowed_checks=1))
+        report = analyzer.analyze(query)
+        assert report.status == "budget_exhausted"
+        assert report.satisfiable is False
+        assert report.budget_reason == "scripted budget exhausted"
+        assert report.candidates_examined >= 1
+        assert report.attack is not None
+        assert report.believed_min_cost is not None
+        assert report.believed_min_cost < report.threshold
+
+    def test_generous_budget_reaches_complete_verdict(self):
+        analyzer = ImpactAnalyzer(get_case("5bus-study1"))
+        budget = SolverBudget(wall_seconds=120.0, max_conflicts=10 ** 9)
+        report = analyzer.analyze(ImpactQuery(budget=budget))
+        assert report.status == "complete"
+        assert not report.is_partial
+        assert report.budget_reason is None
+        assert report.satisfiable is True
+
+    def test_budgeted_verdict_matches_unbudgeted(self):
+        case = get_case("5bus-study1")
+        plain = ImpactAnalyzer(case).analyze(ImpactQuery())
+        budgeted = ImpactAnalyzer(case).analyze(ImpactQuery(
+            budget=SolverBudget(wall_seconds=120.0)))
+        assert budgeted.satisfiable == plain.satisfiable
+        assert budgeted.believed_min_cost == plain.believed_min_cost
+
+    def test_render_mentions_budget(self):
+        analyzer = ImpactAnalyzer(get_case("5bus-study1"))
+        report = analyzer.analyze(ImpactQuery(
+            budget=SolverBudget(max_decisions=1)))
+        text = report.render()
+        assert "unknown (budget exhausted)" in text
+        assert "decision budget" in text
+
+
+class TestFastAnalyzerPartialReports:
+    def test_instant_exhaustion_yields_partial_report(self):
+        analyzer = FastImpactAnalyzer(get_case("ieee14"))
+        budget = SolverBudget(wall_seconds=0.0)
+        report = analyzer.analyze(FastQuery(budget=budget))
+        assert report.status == "budget_exhausted"
+        assert "wall-clock" in report.budget_reason
+        assert report.candidates_examined == 0
+        assert report.satisfiable is False
+
+    def test_mid_run_exhaustion_keeps_examined_candidates(self):
+        analyzer = FastImpactAnalyzer(get_case("ieee14"))
+        query = FastQuery(budget=_ScriptedBudget(allowed_checks=3))
+        report = analyzer.analyze(query)
+        assert report.status == "budget_exhausted"
+        assert report.candidates_examined == 3
+        assert report.budget_reason == "scripted budget exhausted"
+
+    def test_generous_budget_complete(self):
+        analyzer = FastImpactAnalyzer(get_case("ieee14"))
+        plain = analyzer.analyze(FastQuery())
+        budgeted = FastImpactAnalyzer(get_case("ieee14")).analyze(
+            FastQuery(budget=SolverBudget(wall_seconds=120.0)))
+        assert budgeted.status == "complete"
+        assert budgeted.satisfiable == plain.satisfiable
+        assert budgeted.candidates_examined == plain.candidates_examined
+
+
+class TestEncodingUnknownSurfacing:
+    def test_encoding_solve_raises_not_misreports(self):
+        from repro.core.encoding import AttackModelEncoding
+        encoding = AttackModelEncoding(get_case("5bus-study1"))
+        encoding.solver.set_budget(SolverBudget(max_decisions=1).start())
+        # UNKNOWN must never be conflated with "no attack exists".
+        with pytest.raises(BudgetExhausted):
+            encoding.solve()

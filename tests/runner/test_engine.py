@@ -62,6 +62,13 @@ def _sleep_forever(payload):
     return _stub_outcome(payload)
 
 
+def _hang_if_labelled(payload):
+    """Hang long (3s) only for specs whose label starts with 'hang'."""
+    if payload["spec"]["label"].startswith("hang"):
+        time.sleep(3.0)
+    return _stub_outcome(payload)
+
+
 # -- execute_scenario ---------------------------------------------------
 
 class TestExecuteScenario:
@@ -194,6 +201,28 @@ class TestParallel:
         trace = engine.run(_fast_specs())
         assert all(o.status == TIMEOUT for o in trace.outcomes)
         assert all("task budget" in o.error for o in trace.outcomes)
+
+    def test_timeout_does_not_starve_queued_tasks(self, tmp_path):
+        # Regression: future.cancel() cannot stop an already-running
+        # worker, so after a timeout the queued tasks behind the hung
+        # slots used to inherit dead workers and time out in turn.  The
+        # engine must migrate them to a fresh pool instead.
+        specs = [ScenarioSpec.build("5bus-study1", analyzer="fast",
+                                    label=label)
+                 for label in ("hang-0", "hang-1", "fast-0", "fast-1")]
+        engine = SweepEngine(
+            SweepConfig(workers=2, task_timeout=0.2, use_cache=False),
+            task=_hang_if_labelled)
+        started = time.perf_counter()
+        trace = engine.run(specs)
+        wall = time.perf_counter() - started
+        statuses = {o.spec.label: o.status for o in trace.outcomes}
+        assert statuses == {"hang-0": TIMEOUT, "hang-1": TIMEOUT,
+                            "fast-0": OK, "fast-1": OK}
+        # Rescheduling off a poisoned pool is not a crash retry.
+        assert all(o.attempts == 1 for o in trace.outcomes)
+        # The sweep never waited out the 3s hangs.
+        assert wall < 3.0
 
     def test_falls_back_to_serial_without_process_pools(
             self, tmp_path, monkeypatch):

@@ -1,0 +1,199 @@
+"""Tests for SolverBudget and its enforcement inside the solver stack."""
+
+import time
+
+import pytest
+
+from repro.exceptions import BudgetExhausted
+from repro.opf.lp import LinearProgram, LpStatus
+from repro.smt import (
+    BoolVar,
+    Or,
+    RealVar,
+    SmtSolver,
+    SolveResult,
+    SolverBudget,
+    at_most,
+    minimize,
+)
+
+
+def _pigeonhole(solver, pigeons=6, holes=5):
+    """Assert the (unsat) pigeonhole principle: a conflict-heavy search."""
+    grid = [[BoolVar(f"p{i}h{j}") for j in range(holes)]
+            for i in range(pigeons)]
+    for row in grid:
+        solver.add(Or(*row))
+    for j in range(holes):
+        solver.add(at_most([grid[i][j] for i in range(pigeons)], 1))
+
+
+class TestBudgetUnit:
+    def test_counter_limits_raise_with_reason(self):
+        budget = SolverBudget(max_conflicts=2)
+        budget.on_conflict()
+        with pytest.raises(BudgetExhausted) as info:
+            budget.on_conflict()
+        assert "conflict budget" in str(info.value)
+        assert budget.exhausted_reason == info.value.reason
+
+    def test_each_counter_has_its_own_limit(self):
+        for hook, field in (("on_conflict", "conflict"),
+                            ("on_decision", "decision"),
+                            ("on_pivot", "pivot")):
+            budget = SolverBudget(**{f"max_{field}s": 1}) \
+                if field != "pivot" else SolverBudget(max_pivots=1)
+            with pytest.raises(BudgetExhausted) as info:
+                getattr(budget, hook)()
+            assert field in str(info.value)
+
+    def test_keeps_raising_once_exhausted(self):
+        budget = SolverBudget(max_decisions=1)
+        with pytest.raises(BudgetExhausted):
+            budget.on_decision()
+        # Any further event fails fast with the original reason.
+        with pytest.raises(BudgetExhausted) as info:
+            budget.on_conflict()
+        assert "decision budget" in str(info.value)
+
+    def test_wall_clock_deadline(self):
+        budget = SolverBudget(wall_seconds=0.01, check_interval=1).start()
+        time.sleep(0.02)
+        with pytest.raises(BudgetExhausted) as info:
+            budget.on_decision()
+        assert "wall-clock" in str(info.value)
+
+    def test_wall_checked_only_every_interval(self):
+        budget = SolverBudget(wall_seconds=0.01, check_interval=1000)
+        budget.start()
+        time.sleep(0.02)
+        # 999 events pass without a clock read; the 1000th catches it.
+        for _ in range(999):
+            budget.on_decision()
+        with pytest.raises(BudgetExhausted):
+            budget.on_decision()
+
+    def test_check_wall_is_unconditional(self):
+        budget = SolverBudget(wall_seconds=0.0).start()
+        with pytest.raises(BudgetExhausted):
+            budget.check_wall()
+
+    def test_exhausted_probe_does_not_raise(self):
+        budget = SolverBudget(wall_seconds=0.0).start()
+        assert budget.exhausted()
+        assert budget.exhausted_reason is not None
+        assert SolverBudget(max_conflicts=5).exhausted() is False
+
+    def test_start_is_idempotent(self):
+        budget = SolverBudget(wall_seconds=10.0).start()
+        deadline = budget._deadline
+        assert budget.start()._deadline == deadline
+
+    def test_unlimited_budget_never_exhausts(self):
+        budget = SolverBudget()
+        for _ in range(200):
+            budget.on_conflict()
+            budget.on_decision()
+            budget.on_pivot()
+        assert not budget.exhausted()
+
+    def test_dict_round_trip(self):
+        budget = SolverBudget(wall_seconds=1.5, max_conflicts=10,
+                              max_pivots=99, check_interval=8)
+        clone = SolverBudget.from_dict(budget.to_dict())
+        assert clone.wall_seconds == 1.5
+        assert clone.max_conflicts == 10
+        assert clone.max_decisions is None
+        assert clone.max_pivots == 99
+        assert clone.check_interval == 8
+        assert SolverBudget.from_dict({}).to_dict() == {}
+
+    def test_bad_check_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SolverBudget(check_interval=0)
+
+
+class TestSolverIntegration:
+    def test_exhaustion_returns_unknown_with_partial_stats(self):
+        solver = SmtSolver()
+        _pigeonhole(solver)
+        result = solver.solve(budget=SolverBudget(max_conflicts=3))
+        assert result is SolveResult.UNKNOWN
+        assert "conflict budget" in solver.last_budget_reason
+        assert solver.stats.budget_exhaustions == 1
+        assert solver.stats.solve_calls == 1
+        assert solver.stats.conflicts >= 3
+
+    def test_solver_reusable_after_exhaustion(self):
+        solver = SmtSolver()
+        _pigeonhole(solver)
+        assert solver.solve(budget=SolverBudget(max_conflicts=3)) \
+            is SolveResult.UNKNOWN
+        solver.set_budget(None)
+        assert solver.solve() is SolveResult.UNSAT
+        assert solver.last_budget_reason is None
+
+    def test_budget_is_cumulative_across_solvers(self):
+        # One budget attached to two solvers in sequence (the shape of a
+        # whole impact analysis): the counters keep accumulating.
+        budget = SolverBudget(max_conflicts=100000)
+        first = SmtSolver()
+        _pigeonhole(first)
+        first.set_budget(budget)
+        assert first.solve() is SolveResult.UNSAT
+        spent = budget.conflicts
+        assert spent > 0
+        second = SmtSolver()
+        _pigeonhole(second)
+        second.set_budget(budget)
+        assert second.solve() is SolveResult.UNSAT
+        assert budget.conflicts >= 2 * spent
+
+    def test_unbudgeted_solve_unaffected(self):
+        solver = SmtSolver()
+        _pigeonhole(solver)
+        assert solver.budget is None
+        assert solver.solve() is SolveResult.UNSAT
+
+    def test_generous_budget_same_answer(self):
+        solver = SmtSolver()
+        _pigeonhole(solver)
+        result = solver.solve(budget=SolverBudget(wall_seconds=60.0,
+                                                  max_conflicts=10 ** 9))
+        assert result is SolveResult.UNSAT
+
+    def test_optimizer_raises_on_exhaustion(self):
+        solver = SmtSolver()
+        x = RealVar("x")
+        solver.add(x >= 1)
+        solver.add(x <= 5)
+        solver.set_budget(SolverBudget(wall_seconds=0.0,
+                                       check_interval=1).start())
+        with pytest.raises(BudgetExhausted):
+            minimize(solver, x)
+
+
+class TestLpIntegration:
+    def _lp(self, budget=None):
+        lp = LinearProgram(budget=budget)
+        x = lp.add_variable(0, 10, "x")
+        y = lp.add_variable(0, 10, "y")
+        lp.add_constraint({x: 1, y: 1}, lower=4)
+        lp.add_constraint({x: 1, y: -1}, upper=2)
+        lp.set_objective({x: 3, y: 1})
+        return lp
+
+    def test_pivot_budget_enforced(self):
+        with pytest.raises(BudgetExhausted) as info:
+            self._lp(SolverBudget(max_pivots=1).start()).solve()
+        assert "pivot budget" in str(info.value)
+
+    def test_unbudgeted_lp_still_solves(self):
+        result = self._lp().solve()
+        assert result.status is LpStatus.OPTIMAL
+
+    def test_generous_budget_lp_solves(self):
+        budget = SolverBudget(max_pivots=10 ** 6).start()
+        result = self._lp(budget).solve()
+        assert result.status is LpStatus.OPTIMAL
+        assert budget.pivots > 0
