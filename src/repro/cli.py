@@ -70,19 +70,22 @@ def _cmd_analyze(args) -> int:
     if args.target is not None:
         target = Fraction(args.target).limit_denominator(10000)
 
+    self_check = True if args.self_check else None
     if args.fast:
         analyzer = FastImpactAnalyzer(case)
         report = analyzer.analyze(FastQuery(
             target_increase_percent=target,
             with_state_infection=args.with_states,
-            seed=args.seed))
+            seed=args.seed,
+            self_check=self_check))
     else:
         analyzer = ImpactAnalyzer(case)
         report = analyzer.analyze(ImpactQuery(
             target_increase_percent=target,
             with_state_infection=args.with_states,
             verify_with_smt_opf=args.verify_smt,
-            max_candidates=args.max_candidates))
+            max_candidates=args.max_candidates,
+            self_check=self_check))
 
     plan = MeasurementPlan.from_case(case)
     text = report.render(plan)
@@ -92,6 +95,8 @@ def _cmd_analyze(args) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    if report.status == "certificate_error":
+        return 2
     return 0 if report.satisfiable else 1
 
 
@@ -146,7 +151,8 @@ def _cmd_sweep(args) -> int:
     engine = SweepEngine(SweepConfig(
         workers=workers, task_timeout=args.timeout,
         retries=args.retries, cache_dir=cache_dir,
-        use_cache=cache_dir is not None, budget=budget))
+        use_cache=cache_dir is not None, budget=budget,
+        self_check=True if args.self_check else None))
     sweep = engine.run(specs)
 
     rows = []
@@ -173,6 +179,13 @@ def _cmd_sweep(args) -> int:
     print(f"cache          : {sweep.cache_hits}/{len(specs)} hits"
           + (f" under {sweep.cache_dir}" if sweep.cache_dir else
              " (disabled)"))
+    if totals["certificate_errors"] or totals["certified"]:
+        print(f"certificates   : {totals['certified']} verified, "
+              f"{totals['certificate_errors']} rejected")
+    if sweep.cache_rejected:
+        print(f"cache rejected : {sweep.cache_rejected} stale/corrupt "
+              f"entr{'y' if sweep.cache_rejected == 1 else 'ies'} "
+              f"recomputed")
     if args.trace:
         path = sweep.write(args.trace)
         print(f"trace written  : {path}")
@@ -180,6 +193,20 @@ def _cmd_sweep(args) -> int:
     for outcome in failures:
         print(f"FAILED {outcome.spec.label}: {outcome.status} "
               f"({outcome.error})")
+    if args.strict:
+        # --strict: any non-definitive cell — error, unknown, a rejected
+        # certificate, a failed cache write, or (under --self-check) a
+        # cell that somehow skipped certification — fails the sweep hard.
+        strict_bad = [
+            o for o in sweep.outcomes
+            if o.status in ("error", "unknown", "timeout", "crashed",
+                            "certificate_error")
+            or o.cache_write_error is not None
+            or (args.self_check and o.certified is not True)]
+        if strict_bad:
+            print(f"STRICT: {len(strict_bad)} non-definitive "
+                  f"outcome(s)")
+            return 2
     return 1 if failures else 0
 
 
@@ -226,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seed for the fast analyzer's sampling")
     analyze.add_argument("--output", help="write the report to a file "
                                           "(the paper's output file)")
+    analyze.add_argument("--self-check", action="store_true",
+                         help="certified mode: independently verify "
+                              "every SAT model and UNSAT proof before "
+                              "reporting (exit 2 on a rejected "
+                              "certificate); REPRO_SELF_CHECK=1 does "
+                              "the same")
     analyze.set_defaults(func=_cmd_analyze)
 
     sweep = sub.add_parser(
@@ -275,6 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--state-samples", type=int, default=24)
     sweep.add_argument("--seed", type=int, default=0,
                        help="fast-analyzer sampling seed")
+    sweep.add_argument("--self-check", action="store_true",
+                       help="certified mode for every cell: answers are "
+                            "verified against independent certificates "
+                            "and cache hits must be certified; "
+                            "REPRO_SELF_CHECK=1 does the same")
+    sweep.add_argument("--strict", action="store_true",
+                       help="exit 2 when any cell is non-definitive "
+                            "(error/unknown/timeout/crashed/"
+                            "certificate_error, or a failed cache "
+                            "write)")
     sweep.set_defaults(func=_cmd_sweep)
     return parser
 

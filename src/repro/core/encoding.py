@@ -104,12 +104,13 @@ class AttackModelEncoding:
     """Builds the attack model into an :class:`SmtSolver`."""
 
     def __init__(self, case: CaseDefinition,
-                 config: Optional[AttackEncodingConfig] = None) -> None:
+                 config: Optional[AttackEncodingConfig] = None,
+                 certify: bool = False) -> None:
         self.case = case
         self.config = config or AttackEncodingConfig()
         self.grid = case.build_grid()
         self.plan = MeasurementPlan.from_case(case, self.grid)
-        self.solver = SmtSolver()
+        self.solver = SmtSolver(certify=certify)
         self._build()
 
     # ------------------------------------------------------------------
@@ -493,11 +494,12 @@ class OpfModelEncoding:
 
     def __init__(self, grid: Grid,
                  topology: Iterable[int],
-                 loads: Dict[int, Fraction]) -> None:
+                 loads: Dict[int, Fraction],
+                 certify: bool = False) -> None:
         self.grid = grid
         self.topology = sorted(topology)
         self.loads = {bus: to_fraction(v) for bus, v in loads.items()}
-        self.solver = SmtSolver()
+        self.solver = SmtSolver(certify=certify)
         self._build()
 
     def _build(self) -> None:

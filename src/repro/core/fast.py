@@ -45,13 +45,22 @@ from repro.core.results import (
     CandidateEvaluation,
     ImpactReport,
 )
-from repro.exceptions import ModelError
+from repro.exceptions import CertificateError, ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.grid.matrices import state_order, susceptance_matrix
 from repro.opf.dcopf import solve_dc_opf
 from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
 from repro.smt.budget import SolverBudget
+from repro.smt.certificates import self_check_default
 from repro.smt.rational import to_fraction
+
+#: relative tolerance of the certified-mode cost recheck: the fast
+#: analyzer's PTDF pipeline and the independent B-theta re-solve travel
+#: different float paths, so bit-exact agreement is not expected.
+_CERT_REL_TOL = 1e-6
+#: absolute slack on Eq.-36 load-bound checks (believed loads are rounded
+#: to 6 decimals when packed into the report).
+_CERT_LOAD_TOL = 1e-5
 
 
 @dataclass
@@ -66,6 +75,13 @@ class FastQuery:
     #: attack over the candidates already examined with
     #: ``status="budget_exhausted"``.
     budget: Optional[SolverBudget] = None
+    #: certified mode: a SAT answer is re-verified by an *independent*
+    #: exact OPF solve (B-theta formulation, not the PTDF pipeline that
+    #: produced it) plus Eq.-36 load-bound and connectivity checks.  None
+    #: defers to ``REPRO_SELF_CHECK``.  The fast analyzer's "unsat" is a
+    #: bounded single-line search, so there is nothing to certify for it
+    #: beyond "no check failed" — see the report's ``certified`` field.
+    self_check: Optional[bool] = None
 
 
 class FastImpactAnalyzer:
@@ -129,6 +145,8 @@ class FastImpactAnalyzer:
                                 > best.best_increase_percent):
                 best = evaluation
 
+        certify = self_check_default(query.self_check)
+        cert_stats: Dict = {}
         elapsed = time.perf_counter() - started
         trace = AnalysisTrace(
             stages={"total_seconds": elapsed},
@@ -158,15 +176,84 @@ class FastImpactAnalyzer:
                                 for b, v in best.believed_loads.items()},
                 state_shift={}, operating_dispatch={}, operating_flows={},
                 operating_cost=Fraction(0))
+            if certify:
+                try:
+                    cert_stats = self._certify_solution(
+                        solution, believed_min, threshold)
+                except CertificateError as exc:
+                    trace.certificates = {"enabled": True,
+                                          "error": str(exc)}
+                    return ImpactReport(
+                        False, self.base_cost, threshold, percent,
+                        candidates_examined=len(self.evaluations),
+                        elapsed_seconds=time.perf_counter() - started,
+                        trace=trace, status="certificate_error",
+                        certified=False, certificate_error=str(exc))
+                trace.certificates = cert_stats
             return ImpactReport(True, self.base_cost, threshold, percent,
                                 solution, believed_min,
-                                len(self.evaluations), elapsed,
+                                len(self.evaluations),
+                                time.perf_counter() - started,
                                 trace=trace, status=status,
-                                budget_reason=budget_reason)
+                                budget_reason=budget_reason,
+                                certified=True if certify else None)
+        if certify:
+            trace.certificates = {"enabled": True, "models_checked": 0}
         return ImpactReport(False, self.base_cost, threshold, percent,
                             candidates_examined=len(self.evaluations),
                             elapsed_seconds=elapsed, trace=trace,
-                            status=status, budget_reason=budget_reason)
+                            status=status, budget_reason=budget_reason,
+                            certified=True if certify else None)
+
+    def _certify_solution(self, solution, believed_min: Fraction,
+                          threshold: Fraction) -> Dict:
+        """Independently re-verify a fast-path SAT answer.
+
+        The PTDF/LODF pipeline that found the attack is *not* reused: the
+        believed system is re-solved from scratch with the B-theta OPF
+        (exact rationals up to 30 buses, HiGHS beyond), and the believed
+        topology, Eq.-36 load bounds and threshold claim are re-checked.
+        Raises :class:`CertificateError` on any disagreement.
+        """
+        started = time.perf_counter()
+        topology = solution.believed_topology(self.grid)
+        if not self.grid.is_connected(topology):
+            raise CertificateError(
+                "certified recheck: believed topology is disconnected")
+        for bus, value in solution.believed_loads.items():
+            load = self.grid.loads.get(bus)
+            if load is None:
+                if abs(float(value)) > _CERT_LOAD_TOL:
+                    raise CertificateError(
+                        f"certified recheck: believed load at non-load "
+                        f"bus {bus}")
+                continue
+            if float(value) < float(load.p_min) - _CERT_LOAD_TOL \
+                    or float(value) > float(load.p_max) + _CERT_LOAD_TOL:
+                raise CertificateError(
+                    f"certified recheck: believed load at bus {bus} "
+                    f"violates Eq. 36 bounds")
+        method = "exact" if self.grid.num_buses <= 30 else "highs"
+        result = solve_dc_opf(self.grid, loads=solution.believed_loads,
+                              line_indices=topology, method=method)
+        if not result.feasible:
+            raise CertificateError(
+                "certified recheck: believed OPF is infeasible (Eq. 38)")
+        recomputed = float(result.cost)
+        claimed = float(believed_min)
+        if abs(recomputed - claimed) > _CERT_REL_TOL * max(
+                1.0, abs(claimed)) + 1e-4 * abs(claimed):
+            raise CertificateError(
+                f"certified recheck: believed optimal cost {claimed:.6f} "
+                f"disagrees with independent re-solve {recomputed:.6f}")
+        if recomputed < float(threshold) * (1 - _CERT_REL_TOL) - 1e-9:
+            raise CertificateError(
+                f"certified recheck: re-solved cost {recomputed:.6f} is "
+                f"below the threshold {float(threshold):.6f}")
+        return {"enabled": True, "models_checked": 1,
+                "recheck_method": method,
+                "recheck_cost": recomputed,
+                "seconds": time.perf_counter() - started}
 
     # ------------------------------------------------------------------
     # Candidate evaluation

@@ -38,11 +38,20 @@ from repro.core.encoding import (
     OpfModelEncoding,
 )
 from repro.core.results import AnalysisTrace, ImpactReport
-from repro.exceptions import BudgetExhausted, ModelError
+from repro.exceptions import BudgetExhausted, CertificateError, ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.opf.dcopf import DcOpfResult, solve_dc_opf
 from repro.smt import Not, SolverBudget, maximize, minimize
+from repro.smt.certificates import (
+    CheckReport,
+    self_check_default,
+    verify_sat,
+    verify_unsat,
+)
 from repro.smt.rational import to_fraction
+
+#: cap on the per-check event list kept in the trace (counters are exact).
+_MAX_CERT_EVENTS = 200
 
 
 @dataclass
@@ -69,6 +78,12 @@ class ImpactQuery:
     #: exhaustion ``analyze`` returns a *partial* report with
     #: ``status="budget_exhausted"`` instead of raising.
     budget: Optional[SolverBudget] = None
+    #: certified mode: every SAT model and terminal UNSAT is checked by
+    #: :mod:`repro.smt.certificates` before it is reported.  None (the
+    #: default) defers to the ``REPRO_SELF_CHECK`` environment variable;
+    #: a failed check yields ``status="certificate_error"``, never a
+    #: silently wrong verdict.
+    self_check: Optional[bool] = None
 
 
 class ImpactAnalyzer:
@@ -84,6 +99,8 @@ class ImpactAnalyzer:
         self._opf_seconds = 0.0
         self._best_seen: Optional[Tuple[AttackVectorSolution,
                                         Fraction]] = None
+        self._certify = False
+        self._cert_stats: Dict = {}
 
     @property
     def base_result(self) -> DcOpfResult:
@@ -133,7 +150,10 @@ class ImpactAnalyzer:
             min_operating_cost=None if query.with_state_infection
             else threshold,
         )
-        encoding = AttackModelEncoding(self.case, config)
+        self._certify = self_check_default(query.self_check)
+        self._cert_stats = self._fresh_cert_stats()
+        encoding = AttackModelEncoding(self.case, config,
+                                       certify=self._certify)
         encode_seconds = time.perf_counter() - started
         self._evaluations = 0
         self._opf_solves = 0
@@ -152,8 +172,10 @@ class ImpactAnalyzer:
                     budget.check_wall()
                 solution = encoding.solve()
                 if solution is None:
+                    self._certify_unsat(encoding.solver)
                     return self._unsat_report(threshold, percent, encoding,
                                               started, encode_seconds)
+                self._certify_model(encoding.solver)
                 structures += 1
                 success, believed_min = self._evaluate(solution, threshold,
                                                        query.opf_method,
@@ -180,6 +202,10 @@ class ImpactAnalyzer:
         except BudgetExhausted as exc:
             return self._partial_report(threshold, percent, encoding,
                                         started, encode_seconds, exc.reason)
+        except CertificateError as exc:
+            return self._certificate_error_report(
+                threshold, percent, encoding, started, encode_seconds,
+                str(exc))
 
         return self._unsat_report(threshold, percent, encoding, started,
                                   encode_seconds)
@@ -217,6 +243,51 @@ class ImpactAnalyzer:
         # optimum exactly on the threshold is a successful attack.
         return result.cost >= threshold, result.cost
 
+    def _fresh_cert_stats(self) -> Dict:
+        return {
+            "enabled": self._certify,
+            "models_checked": 0,
+            "unsat_checked": 0,
+            "terms_checked": 0,
+            "rup_steps": 0,
+            "theory_lemmas": 0,
+            "seconds": 0.0,
+            "events": [],
+        }
+
+    def _record_check(self, report: CheckReport) -> None:
+        stats = self._cert_stats
+        if report.kind == "model":
+            stats["models_checked"] += 1
+        else:
+            stats["unsat_checked"] += 1
+        stats["terms_checked"] += report.terms_checked
+        stats["rup_steps"] += report.rup_steps
+        stats["theory_lemmas"] += report.theory_lemmas
+        stats["seconds"] += report.seconds
+        events = stats["events"]
+        if len(events) < _MAX_CERT_EVENTS:
+            events.append({"kind": report.kind,
+                           "terms": report.terms_checked,
+                           "rup_steps": report.rup_steps,
+                           "theory_lemmas": report.theory_lemmas,
+                           "seconds": report.seconds})
+
+    def _certify_model(self, solver, model=None, assumptions=None) -> None:
+        """Check a SAT answer against the original assertions (no-op
+        unless the analysis runs in certified mode)."""
+        if not self._certify:
+            return
+        self._record_check(verify_sat(solver, model=model,
+                                      assumptions=assumptions))
+
+    def _certify_unsat(self, solver) -> None:
+        """Check an UNSAT answer against its recorded proof (no-op
+        unless the analysis runs in certified mode)."""
+        if not self._certify:
+            return
+        self._record_check(verify_unsat(solver))
+
     def _trace(self, encoding: AttackModelEncoding, started: float,
                encode_seconds: float) -> AnalysisTrace:
         stats = encoding.solver.stats
@@ -242,7 +313,8 @@ class ImpactAnalyzer:
             opf={
                 "solves": self._opf_solves,
                 "seconds": self._opf_seconds,
-            })
+            },
+            certificates=dict(self._cert_stats) if self._certify else {})
 
     def _unsat_report(self, threshold, percent, encoding, started,
                       encode_seconds) -> ImpactReport:
@@ -251,7 +323,8 @@ class ImpactAnalyzer:
             candidates_examined=self._evaluations,
             elapsed_seconds=time.perf_counter() - started,
             solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds))
+            trace=self._trace(encoding, started, encode_seconds),
+            certified=True if self._certify else None)
 
     def _partial_report(self, threshold, percent, encoding, started,
                         encode_seconds, reason: str) -> ImpactReport:
@@ -273,6 +346,24 @@ class ImpactAnalyzer:
             trace=self._trace(encoding, started, encode_seconds),
             status="budget_exhausted", budget_reason=reason)
 
+    def _certificate_error_report(self, threshold, percent, encoding,
+                                  started, encode_seconds,
+                                  message: str) -> ImpactReport:
+        """An answer failed its certificate check: report *no* verdict.
+
+        ``satisfiable`` is False but ``status="certificate_error"``
+        marks the whole report as untrusted — callers must treat it like
+        an error, never like a proven unsat.
+        """
+        return ImpactReport(
+            False, self.base_cost, threshold, percent,
+            candidates_examined=self._evaluations,
+            elapsed_seconds=time.perf_counter() - started,
+            solver_calls=encoding.solver.stats.solve_calls,
+            trace=self._trace(encoding, started, encode_seconds),
+            status="certificate_error", certified=False,
+            certificate_error=message)
+
     def _success_report(self, solution, believed_min, threshold, percent,
                         started, query, encoding,
                         encode_seconds) -> ImpactReport:
@@ -284,17 +375,29 @@ class ImpactAnalyzer:
             believed_min, self._evaluations,
             time.perf_counter() - started, confirmed,
             solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds))
+            trace=self._trace(encoding, started, encode_seconds),
+            certified=True if self._certify else None)
 
     def confirm_with_smt_opf(self, solution: AttackVectorSolution,
                              threshold: Fraction) -> bool:
         """The paper's original Eq. 37/38 discharge via SMT (un)sat."""
         opf = OpfModelEncoding(self.grid,
                                solution.believed_topology(self.grid),
-                               solution.believed_loads)
-        no_cheap_dispatch = not opf.check(threshold)     # Eq. 37: unsat
-        converges = opf.check(None)                      # Eq. 38: sat
+                               solution.believed_loads,
+                               certify=self._certify)
+        no_cheap_dispatch = not self._checked_opf(opf, threshold)  # Eq. 37
+        converges = self._checked_opf(opf, None)                   # Eq. 38
         return no_cheap_dispatch and converges
+
+    def _checked_opf(self, opf: OpfModelEncoding,
+                     threshold: Optional[Fraction]) -> bool:
+        sat = opf.check(threshold)
+        if self._certify:
+            if sat:
+                self._certify_model(opf.solver)
+            else:
+                self._certify_unsat(opf.solver)
+        return sat
 
     def _extremize_structure(self, encoding: AttackModelEncoding,
                              solution: AttackVectorSolution,
@@ -326,8 +429,15 @@ class ImpactAnalyzer:
             for optimizer in (maximize, minimize):
                 result = optimizer(encoding.solver, load_var,
                                    assumptions=assumptions)
+                # The optimization loop always terminates on an UNSAT
+                # (either "no model at all" or "no model better than the
+                # incumbent"); in certified mode both that proof and the
+                # incumbent model are checked.
+                self._certify_unsat(encoding.solver)
                 if not result.feasible or result.model is None:
                     continue
+                self._certify_model(encoding.solver, model=result.model,
+                                    assumptions=assumptions)
                 candidate = encoding.decode(result.model)
                 success, believed_min = self._evaluate(
                     candidate, threshold, query.opf_method)

@@ -24,6 +24,11 @@ class AnalysisTrace:
     stages: Dict[str, float] = field(default_factory=dict)
     smt: Dict[str, Any] = field(default_factory=dict)
     opf: Dict[str, Any] = field(default_factory=dict)
+    #: per-check certificate events of a self-checking run: counters
+    #: (``models_checked``, ``unsat_checked``, ``terms_checked``,
+    #: ``rup_steps``, ``theory_lemmas``, ``seconds``) plus an ``events``
+    #: list with one entry per verification.  Empty when self-check off.
+    certificates: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -32,7 +37,8 @@ class AnalysisTrace:
     def from_dict(cls, payload: Dict[str, Any]) -> "AnalysisTrace":
         return cls(stages=dict(payload.get("stages", {})),
                    smt=dict(payload.get("smt", {})),
-                   opf=dict(payload.get("opf", {})))
+                   opf=dict(payload.get("opf", {})),
+                   certificates=dict(payload.get("certificates", {})))
 
 
 @dataclass
@@ -63,10 +69,18 @@ class ImpactReport:
     #: when the analysis ran out of its resource budget mid-search; in
     #: the latter case ``satisfiable``/``attack`` describe the *best
     #: attack found so far* (if any) and the verdict is a lower bound,
-    #: not a proof of absence.
+    #: not a proof of absence.  ``"certificate_error"`` when self-check
+    #: mode rejected an answer: the verdict is *not trusted* and is
+    #: deliberately never conflated with sat/unsat.
     status: str = "complete"
     #: which budget limit ran out (None unless ``budget_exhausted``).
     budget_reason: Optional[str] = None
+    #: True when every answer behind this report passed its independent
+    #: certificate check, False when a check failed (status is then
+    #: ``certificate_error``), None when self-check mode was off.
+    certified: Optional[bool] = None
+    #: what the failed certificate check reported (None otherwise).
+    certificate_error: Optional[str] = None
 
     @property
     def is_partial(self) -> bool:
@@ -89,7 +103,13 @@ class ImpactReport:
                      f"{float(self.target_increase_percent):.1f}%")
         lines.append(f"threshold cost           : "
                      f"{float(self.threshold):.2f}")
-        if self.is_partial:
+        if self.status == "certificate_error":
+            lines.append("verdict                  : "
+                         "certificate error (answer not trusted)")
+            if self.certificate_error:
+                lines.append(f"certificate              : "
+                             f"{self.certificate_error}")
+        elif self.is_partial:
             verdict = "sat (partial)" if self.satisfiable \
                 else "unknown (budget exhausted)"
             lines.append(f"verdict                  : {verdict}")
@@ -99,6 +119,9 @@ class ImpactReport:
         else:
             lines.append(f"verdict                  : "
                          f"{'sat' if self.satisfiable else 'unsat'}")
+            if self.certified is not None:
+                lines.append(f"certificates             : "
+                             f"{'verified' if self.certified else 'FAILED'}")
         lines.append(f"attack vectors examined  : {self.candidates_examined}")
         if self.solver_calls:
             lines.append(f"SMT solver calls         : {self.solver_calls}")

@@ -49,5 +49,16 @@ class BudgetExhausted(ReproError):
         self.reason = reason
 
 
+class CertificateError(ReproError):
+    """An answer failed its independent certificate check.
+
+    Raised by :mod:`repro.smt.certificates` when a SAT model does not
+    satisfy the original assertions, an UNSAT proof has a non-verifiable
+    step, or a Farkas witness does not actually refute its theory lemma.
+    Layers that run in self-check mode catch this and report a
+    ``certificate_error`` status — never a (possibly wrong) SAT/UNSAT.
+    """
+
+
 class InputFormatError(ReproError):
     """A case-definition file could not be parsed."""

@@ -40,12 +40,15 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from fractions import Fraction
+
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
 from repro.exceptions import BudgetExhausted
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.spec import ScenarioSpec
 from repro.runner.trace import (
+    CERTIFICATE_ERROR,
     CRASHED,
     ERROR,
     OK,
@@ -55,6 +58,7 @@ from repro.runner.trace import (
     SweepTrace,
 )
 from repro.smt.budget import SolverBudget
+from repro.smt.certificates import self_check_default
 
 
 @dataclass
@@ -75,10 +79,18 @@ class SweepConfig:
     #: every task gets a *fresh* budget built from these limits, with
     #: ``task_timeout`` folded in as a wall-clock bound.
     budget: Optional[SolverBudget] = None
+    #: certified mode for every scenario: each analyzer answer is checked
+    #: against an independent certificate before it is reported, and
+    #: cache hits must additionally carry ``certified=True`` to be
+    #: served.  None (the default) defers to ``REPRO_SELF_CHECK`` —
+    #: resolved inside each worker, so the environment variable works in
+    #: parallel mode too.
+    self_check: Optional[bool] = None
 
 
 def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
-                     budget: Optional[SolverBudget] = None
+                     budget: Optional[SolverBudget] = None,
+                     self_check: Optional[bool] = None
                      ) -> ScenarioOutcome:
     """Run one scenario in-process and record its outcome + trace."""
     started = time.perf_counter()
@@ -95,7 +107,8 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
                 target_increase_percent=spec.target_fraction(),
                 with_state_infection=spec.with_state_infection,
                 max_candidates=spec.max_candidates,
-                budget=budget))
+                budget=budget,
+                self_check=self_check))
         else:
             fast = FastImpactAnalyzer(case)
             report = fast.analyze(FastQuery(
@@ -103,7 +116,8 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
                 with_state_infection=spec.with_state_infection,
                 state_samples=spec.state_samples,
                 seed=spec.sample_seed,
-                budget=budget))
+                budget=budget,
+                self_check=self_check))
     except BudgetExhausted as exc:
         # The analyzers convert in-loop exhaustion into partial reports;
         # this catches exhaustion outside those loops (e.g. the base OPF
@@ -122,6 +136,12 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
     if report.status == "budget_exhausted":
         outcome.status = UNKNOWN
         outcome.error = report.budget_reason or "resource budget exhausted"
+    elif report.status == "certificate_error":
+        # The verdict failed its independent check: never record it as
+        # sat/unsat.
+        outcome.status = CERTIFICATE_ERROR
+        outcome.error = report.certificate_error or "certificate rejected"
+    outcome.certified = report.certified
     outcome.satisfiable = report.satisfiable
     outcome.base_cost = str(report.base_cost)
     outcome.threshold = str(report.threshold)
@@ -144,7 +164,64 @@ def _worker_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
     spec = ScenarioSpec.from_dict(payload["spec"])
     budget_spec = payload.get("budget")
     budget = SolverBudget.from_dict(budget_spec) if budget_spec else None
-    return execute_scenario(spec, payload["fingerprint"], budget).to_dict()
+    return execute_scenario(spec, payload["fingerprint"], budget,
+                            self_check=payload.get("self_check")).to_dict()
+
+
+def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
+                          require_certified: bool = False) -> None:
+    """Re-verify a cache-served outcome before trusting it.
+
+    Structural validation (:meth:`ScenarioOutcome.from_dict`) already ran;
+    this checks the *semantics*: the recorded numbers must be internally
+    consistent with the spec's query, and in certified mode the outcome
+    must have been produced with its certificates verified.  Raises
+    :class:`ValueError` on any inconsistency — the engine treats that as
+    a cache miss and recomputes.
+    """
+    if outcome.status != OK:
+        raise ValueError(
+            f"cached outcome has non-definitive status {outcome.status!r}")
+    if outcome.satisfiable is None:
+        raise ValueError("cached ok outcome has no verdict")
+    try:
+        base = Fraction(outcome.base_cost)
+        threshold = Fraction(outcome.threshold)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"cached outcome has unparsable costs: {exc}")
+    if base <= 0:
+        raise ValueError(f"cached base cost {base} is not positive")
+    target = spec.target_fraction()
+    if target is not None and threshold != base * (1 + target / 100):
+        raise ValueError(
+            "cached threshold is inconsistent with the spec's target")
+    if outcome.satisfiable:
+        if outcome.believed_min_cost is None:
+            raise ValueError("cached sat outcome has no believed cost")
+        try:
+            believed = Fraction(outcome.believed_min_cost)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"cached believed cost is unparsable: {exc}")
+        # The fast analyzer's believed cost travels through floats, so
+        # allow the same relative slack its certification uses.
+        if float(believed) < float(threshold) * (1 - 1e-6) - 1e-9:
+            raise ValueError(
+                "cached sat outcome's believed cost is below threshold")
+        if outcome.achieved_increase_percent is not None:
+            expected = float((believed / base - 1) * 100)
+            if abs(outcome.achieved_increase_percent - expected) > 1e-6:
+                raise ValueError(
+                    "cached achieved-increase disagrees with its costs")
+    elif outcome.believed_min_cost is not None:
+        # Definitive unsat outcomes carry no believed cost (partial ones
+        # do, but those are never cached): a leftover cost means the
+        # verdict was rewritten in place.
+        raise ValueError("cached unsat outcome carries a believed cost")
+    if require_certified and outcome.certified is not True:
+        raise ValueError(
+            "certified sweep: cached outcome was not produced with "
+            "certificates verified")
 
 
 class SweepEngine:
@@ -186,6 +263,8 @@ class SweepEngine:
                     spec=spec, fingerprint="", status=ERROR,
                     error="".join(traceback.format_exception_only(
                         type(exc), exc)).strip())
+        certify = self_check_default(config.self_check)
+        cache_rejected = 0
         pending: List[int] = []
         for idx, fingerprint in enumerate(fingerprints):
             if outcomes[idx] is not None:
@@ -196,9 +275,13 @@ class SweepEngine:
                 continue
             try:
                 outcome = ScenarioOutcome.from_dict(hit)
+                verify_cached_outcome(outcome, specs[idx],
+                                      require_certified=certify)
             except ValueError:
-                # Malformed or stale cached payload: a miss — recompute
-                # (and overwrite the bad entry on completion).
+                # Malformed, stale or semantically inconsistent cached
+                # payload: a miss — recompute (and overwrite the bad
+                # entry on completion).
+                cache_rejected += 1
                 pending.append(idx)
                 continue
             outcome.cache_hit = True
@@ -220,7 +303,8 @@ class SweepEngine:
             wall_seconds=time.perf_counter() - started,
             workers=config.workers if mode == "parallel" else 1,
             mode=mode,
-            cache_dir=str(cache.root) if cache else None)
+            cache_dir=str(cache.root) if cache else None,
+            cache_rejected=cache_rejected)
 
     # -- task plumbing ---------------------------------------------------
 
@@ -241,6 +325,8 @@ class SweepEngine:
         budget = self._task_budget()
         if budget is not None:
             payload["budget"] = budget
+        if self.config.self_check is not None:
+            payload["self_check"] = self.config.self_check
         return payload
 
     def _pool_wait(self) -> Optional[float]:

@@ -27,13 +27,36 @@ from repro.grid.caseio import CaseDefinition, parse_case, write_case
 from repro.smt.rational import to_fraction
 
 #: bump when the cached-result layout changes incompatibly.
-CACHE_FORMAT_VERSION = 2
+#: v3: cache keys additionally carry the installed ``repro`` version and
+#: a dedicated fingerprint of the encoding-relevant modules, so results
+#: produced by a differently-versioned or differently-encoding install
+#: never alias (outcomes also record ``certified``).
+CACHE_FORMAT_VERSION = 3
 
 #: bus count at and below which ``analyzer="auto"`` picks the full SMT
 #: framework (mirrors the paper's Section IV-A hybrid).
 AUTO_SMT_MAX_BUSES = 14
 
 _code_fingerprint: Optional[str] = None
+_encoding_fingerprint: Optional[str] = None
+
+#: subpackages/modules (relative to the ``repro`` package root) whose
+#: sources determine how a scenario is *encoded and solved* — the part of
+#: the code whose changes can silently alter cached verdicts.
+_ENCODING_SOURCES = ("smt", "core", "opf", "attacks", "estimation",
+                    "grid", "topology")
+
+
+def _hash_sources(root: Path, relatives) -> str:
+    digest = hashlib.sha256()
+    for relative in relatives:
+        target = root / relative
+        paths = sorted(target.rglob("*.py")) if target.is_dir() \
+            else ([target] if target.exists() else [])
+        for path in paths:
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 def code_fingerprint() -> str:
@@ -46,12 +69,24 @@ def code_fingerprint() -> str:
     if _code_fingerprint is None:
         import repro
         root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(path.read_bytes())
-        _code_fingerprint = digest.hexdigest()[:16]
+        _code_fingerprint = _hash_sources(root, ["."])
     return _code_fingerprint
+
+
+def encoding_fingerprint() -> str:
+    """Hash of the encoding/solving modules only (cached per process).
+
+    Narrower than :func:`code_fingerprint`: it pins the semantics of the
+    SMT encodings and solvers behind a cached verdict without churning on
+    runner/CLI edits, and is recorded in cache keys alongside the package
+    version (cache format v3).
+    """
+    global _encoding_fingerprint
+    if _encoding_fingerprint is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        _encoding_fingerprint = _hash_sources(root, _ENCODING_SOURCES)
+    return _encoding_fingerprint
 
 
 @dataclass(frozen=True)
@@ -131,10 +166,13 @@ class ScenarioSpec:
 
     def fingerprint(self) -> str:
         """Deterministic identity of (resolved case, query, code)."""
+        import repro
         case = self.resolve_case()
         key = {
             "format": CACHE_FORMAT_VERSION,
+            "version": repro.__version__,
             "code": code_fingerprint(),
+            "encoding": encoding_fingerprint(),
             "case_text": write_case(case),
             "analyzer": self.resolved_analyzer(case),
             "target": self.target,

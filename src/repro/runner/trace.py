@@ -24,8 +24,12 @@ ERROR = "error"        # the analysis itself raised (deterministic; no retry)
 TIMEOUT = "timeout"    # exceeded the per-task budget
 CRASHED = "crashed"    # worker process died and retries were exhausted
 UNKNOWN = "unknown"    # the in-solver resource budget ran out mid-search
+#: self-check mode rejected an answer's certificate: the verdict is not
+#: trusted and deliberately never rendered as sat/unsat.
+CERTIFICATE_ERROR = "certificate_error"
 
-_KNOWN_STATUSES = (OK, ERROR, TIMEOUT, CRASHED, UNKNOWN)
+_KNOWN_STATUSES = (OK, ERROR, TIMEOUT, CRASHED, UNKNOWN,
+                   CERTIFICATE_ERROR)
 
 
 @dataclass
@@ -51,6 +55,10 @@ class ScenarioOutcome:
     #: the outcome itself is fine but checkpointing it failed (disk full,
     #: permissions, ...); the sweep degrades instead of aborting.
     cache_write_error: Optional[str] = None
+    #: True when the analysis ran in certified mode and every answer
+    #: passed its independent check; False when a check failed (status is
+    #: then ``certificate_error``); None when self-check was off.
+    certified: Optional[bool] = None
     trace: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -111,6 +119,7 @@ class ScenarioOutcome:
             ("attempts", self.attempts, int, False),
             ("error", self.error, str, True),
             ("cache_write_error", self.cache_write_error, str, True),
+            ("certified", self.certified, bool, True),
             ("trace", self.trace, dict, False),
         )
         for name, value, types, optional in checks:
@@ -130,6 +139,9 @@ class SweepTrace:
     workers: int
     mode: str                                  # "parallel" | "serial"
     cache_dir: Optional[str] = None
+    #: cached payloads that failed the load-time re-verification and were
+    #: recomputed instead of served (stale/corrupt entries).
+    cache_rejected: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -150,9 +162,14 @@ class SweepTrace:
             "totals": {
                 "scenarios": len(self.outcomes),
                 "cache_hits": self.cache_hits,
+                "cache_rejected": self.cache_rejected,
                 "failures": len(self.failures),
                 "unknown": sum(o.status == UNKNOWN
                                for o in self.outcomes),
+                "certificate_errors": sum(o.status == CERTIFICATE_ERROR
+                                          for o in self.outcomes),
+                "certified": sum(o.certified is True
+                                 for o in self.outcomes),
                 "cache_write_errors": sum(
                     o.cache_write_error is not None
                     for o in self.outcomes),

@@ -11,10 +11,24 @@ self-contained DPLL(T) stack:
 * :mod:`repro.smt.optimize` — exact linear optimization,
 * :mod:`repro.smt.budget` — cooperative resource budgets
   (:class:`SolverBudget`) bounding wall clock, conflicts, decisions and
-  simplex pivots; exhaustion surfaces as ``SolveResult.UNKNOWN``.
+  simplex pivots; exhaustion surfaces as ``SolveResult.UNKNOWN``,
+* :mod:`repro.smt.proof` / :mod:`repro.smt.certificates` — certified
+  solving: RUP proof logging, Farkas infeasibility witnesses, and
+  independent checkers (:func:`check_model`, :func:`check_rup_proof`,
+  :func:`check_farkas`) that audit SAT/UNSAT answers.
 """
 
 from repro.smt.budget import SolverBudget
+from repro.smt.certificates import (
+    CheckReport,
+    check_farkas,
+    check_model,
+    check_rup_proof,
+    self_check_default,
+    verify_sat,
+    verify_unsat,
+)
+from repro.smt.proof import ProofLog, ProofStep, UnsatCertificate
 from repro.smt.optimize import OptimizationResult, maximize, minimize
 from repro.smt.rational import DeltaRational, to_fraction
 from repro.smt.solver import Model, SmtSolver, SmtStatistics, SolveResult
@@ -47,6 +61,7 @@ __all__ = [
     "BoolConst",
     "BoolTerm",
     "BoolVar",
+    "CheckReport",
     "DeltaRational",
     "FALSE",
     "LinExpr",
@@ -54,12 +69,21 @@ __all__ = [
     "Not",
     "OptimizationResult",
     "Or",
+    "ProofLog",
+    "ProofStep",
     "RealVar",
     "SmtSolver",
     "SolverBudget",
     "SmtStatistics",
     "SolveResult",
     "TRUE",
+    "UnsatCertificate",
+    "check_farkas",
+    "check_model",
+    "check_rup_proof",
+    "self_check_default",
+    "verify_sat",
+    "verify_unsat",
     "at_least",
     "at_most",
     "exactly",

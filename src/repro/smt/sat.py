@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import SolverError
 from repro.smt.budget import SolverBudget
+from repro.smt.proof import ProofLog
 
 UNASSIGNED = 0
 TRUE = 1
@@ -47,6 +48,12 @@ class TheoryListener:
 
     def final_check(self) -> Optional[List[int]]:
         """Complete consistency check on a full propositional model."""
+        return None
+
+    def take_conflict_witness(self):
+        """Farkas witness for the most recent conflict explanation, as
+        ``[(literal, coefficient), ...]`` pairs, or None when the theory
+        does not generate certificates.  Consumed once per conflict."""
         return None
 
 
@@ -108,6 +115,10 @@ class SatSolver:
         #: :class:`~repro.exceptions.BudgetExhausted` out of :meth:`solve`
         #: (at event boundaries, so the solver state stays reusable).
         self.budget: Optional[SolverBudget] = None
+        #: chronological clause log for certified solving; None (the
+        #: default) disables all proof bookkeeping, keeping the hot paths
+        #: allocation-free.
+        self.proof: Optional[ProofLog] = None
         self.stats = SatStats()
         self._order_dirty: List[int] = []
 
@@ -141,6 +152,10 @@ class SatSolver:
             self._backtrack_to(0)
         if self.unsat:
             return
+        if self.proof is not None:
+            # Log the clause as given: the level-0 simplifications below
+            # are justified by unit inputs already in the log.
+            self.proof.add_input(lits)
         seen = set()
         filtered: List[int] = []
         for lit in lits:
@@ -292,6 +307,8 @@ class SatSolver:
             if self.value(l) != TRUE:
                 raise SolverError(
                     "theory explanation contains a non-true literal")
+        if self.proof is not None:
+            self.proof.add_theory(lits, self.theory.take_conflict_witness())
         return _Clause(lits, learned=True)
 
     # ------------------------------------------------------------------
@@ -539,6 +556,8 @@ class SatSolver:
     def _learn(self, learnt: List[int]) -> None:
         self.stats.learned_clauses += 1
         self.stats.learned_literals += len(learnt)
+        if self.proof is not None:
+            self.proof.add_rup(learnt)
         if len(learnt) == 1:
             if not self._enqueue(learnt[0], None):
                 self.unsat = True

@@ -58,6 +58,13 @@ class Simplex:
         #: every pivot, *before* the tableau is mutated, so an
         #: interrupted simplex stays consistent and reusable.
         self.budget: Optional[SolverBudget] = None
+        #: when True, every conflict explanation also produces a Farkas
+        #: witness in :attr:`last_witness` (``[(lit, coeff), ...]`` with
+        #: nonnegative rational coefficients over the explanation
+        #: literals).  Off by default: the conflict paths then allocate
+        #: nothing beyond the explanation itself.
+        self.certify = False
+        self.last_witness: Optional[List[Tuple[int, Fraction]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -118,6 +125,8 @@ class Simplex:
             explanation = [self.lower_lit[var]]
             if lit != NO_LIT:
                 explanation.append(lit)
+            if self.certify:
+                self._set_witness([(self.lower_lit[var], 1), (lit, 1)])
             return [l for l in explanation if l != NO_LIT]
         current = self.upper[var]
         if current is not None and current <= bound:
@@ -140,6 +149,8 @@ class Simplex:
             explanation = [self.upper_lit[var]]
             if lit != NO_LIT:
                 explanation.append(lit)
+            if self.certify:
+                self._set_witness([(self.upper_lit[var], 1), (lit, 1)])
             return [l for l in explanation if l != NO_LIT]
         current = self.lower[var]
         if current is not None and current >= bound:
@@ -275,9 +286,12 @@ class Simplex:
                 return None
         # No pivot candidate: the row is a certificate of infeasibility.
         explanation = []
+        witness = [] if self.certify else None
         bound_lit = self.lower_lit[basic] if below else self.upper_lit[basic]
         if bound_lit != NO_LIT:
             explanation.append(bound_lit)
+        if witness is not None:
+            witness.append((bound_lit, 1))
         for nonbasic, coeff in row.items():
             if below:
                 lit = self.upper_lit[nonbasic] if coeff > 0 \
@@ -287,7 +301,28 @@ class Simplex:
                     else self.upper_lit[nonbasic]
             if lit != NO_LIT:
                 explanation.append(lit)
+            if witness is not None:
+                witness.append((lit, abs(coeff)))
+        if witness is not None:
+            self._set_witness(witness)
         return explanation
+
+    def _set_witness(self, pairs) -> None:
+        """Record the Farkas witness for the conflict just explained.
+
+        A bound asserted without a literal (``NO_LIT``) cannot be named
+        in a certificate; the witness is then marked unavailable, which
+        the checker treats as a failure — never as a silent accept.
+        """
+        if any(l == NO_LIT for l, _ in pairs):
+            self.last_witness = None
+        else:
+            self.last_witness = [(l, Fraction(c)) for l, c in pairs]
+
+    def take_witness(self) -> Optional[List[Tuple[int, Fraction]]]:
+        """Consume the witness for the most recent conflict."""
+        witness, self.last_witness = self.last_witness, None
+        return witness
 
     def _can_increase(self, var: int) -> bool:
         hi = self.upper[var]

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.exceptions import BudgetExhausted, SolverError
 from repro.smt.budget import SolverBudget
 from repro.smt.cnf import CnfConverter
+from repro.smt.proof import ProofLog, UnsatCertificate
 from repro.smt.rational import DeltaRational
 from repro.smt.sat import FALSE, TRUE, SatSolver, TheoryListener
 from repro.smt.simplex import NO_LIT, Simplex
@@ -194,11 +195,14 @@ class _LraBridge(TheoryListener):
     def final_check(self) -> Optional[List[int]]:
         return self.simplex.check()
 
+    def take_conflict_witness(self):
+        return self.simplex.take_witness()
+
 
 class SmtSolver:
     """SMT solver for quantifier-free Boolean + linear real arithmetic."""
 
-    def __init__(self) -> None:
+    def __init__(self, certify: bool = False) -> None:
         self._theory = _LraBridge()
         self._sat = SatSolver(self._theory)
         self._cnf = CnfConverter(self._emit_clause, self._new_var)
@@ -209,6 +213,51 @@ class SmtSolver:
         self._budget: Optional[SolverBudget] = None
         #: why the last ``solve()`` returned ``UNKNOWN`` (None otherwise).
         self.last_budget_reason: Optional[str] = None
+        self._certify = False
+        # Original (pre-CNF) assertions, one list per open scope; only
+        # maintained in certify mode, for independent model checking.
+        self._assertion_scopes: List[List[BoolTerm]] = [[]]
+        #: assumption terms of the most recent solve() (certify mode).
+        self.last_assumptions: List[BoolTerm] = []
+        #: UNSAT certificate of the most recent solve(), when it
+        #: returned UNSAT in certify mode; None otherwise.
+        self.last_certificate: Optional[UnsatCertificate] = None
+        if certify:
+            self.enable_certificates()
+
+    # -- certified solving ------------------------------------------------
+
+    @property
+    def certify(self) -> bool:
+        return self._certify
+
+    def enable_certificates(self) -> None:
+        """Switch on certificate generation (idempotent; cannot be
+        undone).  Must be called before the first assertion so the proof
+        log covers every input clause."""
+        if self._certify:
+            return
+        if self._clause_count or self._sat.num_vars:
+            raise SolverError("enable_certificates() must be called on a "
+                              "fresh solver (the proof log would miss "
+                              "already-asserted clauses)")
+        self._certify = True
+        self._sat.proof = ProofLog()
+        self._theory.simplex.certify = True
+
+    @property
+    def proof(self) -> Optional[ProofLog]:
+        return self._sat.proof
+
+    @property
+    def atom_of_var(self):
+        """SAT variable -> theory :class:`Atom` map (for the checkers)."""
+        return self._cnf.atom_of_var
+
+    def active_assertions(self) -> List[BoolTerm]:
+        """All original assertions in currently-open scopes (certify
+        mode only; empty otherwise)."""
+        return [term for scope in self._assertion_scopes for term in scope]
 
     # -- resource governance ---------------------------------------------
 
@@ -238,6 +287,8 @@ class SmtSolver:
     def add(self, term: BoolTerm) -> None:
         """Assert *term* (within the current push/pop scope, if any)."""
         self._sat._backtrack_to(0)
+        if self._certify:
+            self._assertion_scopes[-1].append(term)
         root_clauses = self._cnf.assert_term(term)
         self._register_new_atoms()
         guard = [-self._guards[-1]] if self._guards else []
@@ -254,6 +305,7 @@ class SmtSolver:
         self._sat._backtrack_to(0)
         guard = self._sat.new_var()
         self._guards.append(guard)
+        self._assertion_scopes.append([])
 
     def pop(self) -> None:
         """Close the innermost scope, retracting its assertions."""
@@ -261,6 +313,7 @@ class SmtSolver:
             raise SolverError("pop() without matching push()")
         self._sat._backtrack_to(0)
         guard = self._guards.pop()
+        self._assertion_scopes.pop()
         self._sat.add_clause([-guard])
 
     # -- solving --------------------------------------------------------
@@ -278,6 +331,9 @@ class SmtSolver:
             self.set_budget(budget)
         started = time.perf_counter()
         self.last_budget_reason = None
+        self.last_certificate = None
+        if self._certify:
+            self.last_assumptions = list(assumptions)
         self._sat._backtrack_to(0)
         assumption_lits = [self._guards[i] for i in range(len(self._guards))]
         for term in assumptions:
@@ -298,6 +354,12 @@ class SmtSolver:
             self._model = self._extract_model()
         else:
             self._model = None
+            if self._certify:
+                # Snapshot the log length now: clauses asserted later
+                # (e.g. blocking clauses) must not leak into this check.
+                self.last_certificate = UnsatCertificate(
+                    self._sat.proof, len(self._sat.proof),
+                    tuple(assumption_lits))
         self._record_stats(time.perf_counter() - started)
         return SolveResult.SAT if sat else SolveResult.UNSAT
 

@@ -3,9 +3,12 @@
 :mod:`repro.testing.faults` provides picklable fault plans that make
 sweep workers crash, hang, error, corrupt their inputs or exhaust their
 solver budgets on demand — plus cache doubles whose writes fail or whose
-entries are corrupted.  The chaos suite (``tests/chaos/``) drives the
-sweep engine through these to assert it always terminates with one
-outcome per scenario.
+entries are corrupted, and certificate-corruption helpers (tampered
+models, truncated/corrupted UNSAT proofs, semantically stale cache
+entries) for certified-mode testing.  The chaos suite (``tests/chaos/``)
+drives the sweep engine through these to assert it always terminates
+with one outcome per scenario and that corrupted certificates are never
+silently accepted.
 """
 
 from repro.testing.faults import (
@@ -20,7 +23,11 @@ from repro.testing.faults import (
     FlakyResultCache,
     InjectedFault,
     corrupt_cached_outcome,
+    corrupt_proof,
     interrupt_after,
+    tamper_model,
+    truncate_proof,
+    write_stale_cache_entry,
 )
 
 __all__ = [
@@ -35,5 +42,9 @@ __all__ = [
     "FlakyResultCache",
     "InjectedFault",
     "corrupt_cached_outcome",
+    "corrupt_proof",
     "interrupt_after",
+    "tamper_model",
+    "truncate_proof",
+    "write_stale_cache_entry",
 ]

@@ -18,6 +18,16 @@ faults on every run.
 Cache-side faults do not live in workers: :class:`FlakyResultCache` fails
 its first N writes with ``ENOSPC`` and :func:`corrupt_cached_outcome`
 mangles an entry in place, exercising the engine's degraded paths.
+
+Certificate-corruption faults target certified solving
+(:mod:`repro.smt.certificates`): :func:`tamper_model` bit-flips one
+assignment of a satisfying model, :func:`truncate_proof` and
+:func:`corrupt_proof` damage an UNSAT certificate, and
+:func:`write_stale_cache_entry` plants a *structurally valid but
+semantically wrong* cached outcome — the kind only the engine's
+load-time re-verification can catch.  The chaos suite proves each of
+these is surfaced as a certificate error (or recomputed), never silently
+accepted as sat/unsat.
 """
 
 from __future__ import annotations
@@ -210,3 +220,85 @@ def corrupt_cached_outcome(cache: ResultCache, fingerprint: str,
     envelope["outcome"][field_name] = value
     with open(path, "w") as handle:
         json.dump(envelope, handle, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Certificate-corruption faults
+# ---------------------------------------------------------------------------
+
+def tamper_model(model, bool_var=None, real_var=None):
+    """A copy of *model* with one assignment bit-flipped.
+
+    Flips the named boolean variable (default: the first one in the
+    model) or, when ``real_var`` is given, perturbs that real value by
+    one — either way the result is a *plausible-looking* but wrong model
+    that :func:`repro.smt.certificates.check_model` must reject.
+    """
+    from repro.smt.solver import Model
+    bools = dict(model._bools)
+    reals = dict(model._reals)
+    if real_var is not None:
+        reals[real_var] = reals[real_var] + 1
+    else:
+        if bool_var is None:
+            if not bools:
+                raise ValueError("model has no boolean variables to flip")
+            bool_var = next(iter(bools))
+        bools[bool_var] = not bools[bool_var]
+    return Model(bools, reals)
+
+
+def truncate_proof(certificate, drop: int = 1):
+    """An UNSAT certificate missing its last *drop* proof steps — the
+    refutation no longer closes, so the RUP check must fail."""
+    from repro.smt.proof import UnsatCertificate
+    return UnsatCertificate(certificate.proof,
+                            max(0, certificate.num_steps - drop),
+                            certificate.assumption_lits)
+
+
+def corrupt_proof(certificate, step_index: Optional[int] = None):
+    """An UNSAT certificate with one learned clause's literal rewritten.
+
+    The first literal of a RUP step (the first one by default) is
+    replaced with a literal over a *fresh* variable the proof has never
+    seen.  Merely negating a literal can leave the clause derivable —
+    once enough contradiction has accumulated, *any* clause is RUP — but
+    a fresh variable has no occurrences to propagate over, so the
+    tampered step can only pass if the preceding steps were already
+    contradictory, which cannot happen in a verified prefix.
+    """
+    from repro.smt.proof import ProofLog, UnsatCertificate, RUP
+    steps = list(certificate.steps)
+    if step_index is None:
+        candidates = [i for i, s in enumerate(steps) if s.kind == RUP
+                      and s.lits]
+        if not candidates:
+            raise ValueError("certificate has no RUP step to corrupt")
+        step_index = candidates[0]
+    step = steps[step_index]
+    if not step.lits:
+        raise ValueError("cannot corrupt an empty clause")
+    fresh = 1 + max((max(abs(l) for l in s.lits) for s in steps if s.lits),
+                    default=0)
+    tampered = (fresh,) + step.lits[1:]
+    steps[step_index] = type(step)(step.kind, tampered, step.witness)
+    log = ProofLog(steps)
+    return UnsatCertificate(log, len(steps), certificate.assumption_lits)
+
+
+def write_stale_cache_entry(cache: ResultCache, fingerprint: str,
+                            outcome_payload: Dict[str, Any],
+                            **mutations: Any) -> None:
+    """Plant a *structurally valid* but semantically wrong cached entry.
+
+    Unlike :func:`corrupt_cached_outcome` (which breaks the payload's
+    shape), the mutated fields keep their types — e.g. a flipped
+    ``satisfiable``, an inflated ``believed_min_cost`` or a cleared
+    ``certified`` flag — so only the engine's semantic re-verification
+    (:func:`repro.runner.engine.verify_cached_outcome`) can tell the
+    entry is lying.
+    """
+    payload = json.loads(json.dumps(outcome_payload))   # deep copy
+    payload.update(mutations)
+    cache.put(fingerprint, payload)

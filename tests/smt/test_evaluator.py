@@ -1,0 +1,208 @@
+"""Exhaustive tests for :mod:`repro.smt.evaluator`.
+
+The evaluator is the foundation of certified solving's ``check_model`` —
+a bug here would let wrong SAT answers through — so every term
+constructor gets direct truth-table coverage, plus a randomized
+round-trip property: any formula the solver finds satisfiable must
+evaluate to True under the returned model.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.smt import (
+    And,
+    AtMost,
+    BoolVar,
+    FALSE,
+    Not,
+    Or,
+    RealVar,
+    SmtSolver,
+    SolveResult,
+    TRUE,
+    at_least,
+    at_most,
+    exactly,
+    iff,
+    implies,
+    ite,
+)
+from repro.smt.evaluator import evaluate
+from repro.smt.solver import Model
+from repro.smt.terms import Atom, BoolTerm
+
+P, Q, R = BoolVar("p"), BoolVar("q"), BoolVar("r")
+X, Y = RealVar("x"), RealVar("y")
+
+
+def model(bools=None, reals=None) -> Model:
+    return Model(bools or {}, reals or {})
+
+
+M = model({P: True, Q: False, R: True},
+          {X: Fraction(3), Y: Fraction(-1, 2)})
+
+
+class TestBoolConst:
+    def test_true(self):
+        assert evaluate(TRUE, M) is True
+
+    def test_false(self):
+        assert evaluate(FALSE, M) is False
+
+
+class TestBoolVar:
+    def test_present(self):
+        assert evaluate(P, M) is True
+        assert evaluate(Q, M) is False
+
+    def test_absent_defaults_false(self):
+        assert evaluate(BoolVar("never_assigned"), M) is False
+
+
+class TestAtom:
+    @pytest.mark.parametrize("term,expected", [
+        (X <= 3, True), (X <= 2, False), (X <= 4, True),
+        (X < 3, False), (X < 4, True),
+        (X >= 3, True), (X > 3, False),
+        (X.eq(3), True), (X.eq(2), False),
+        (X + Y <= Fraction(5, 2), True),
+        (X + 2 * Y <= 1, False),
+        (2 * X - Y >= Fraction(13, 2), True),
+        (X - Y < Fraction(7, 2), False),       # 3.5 < 3.5 is false
+        ((X + Y).eq(Fraction(5, 2)), True),
+    ])
+    def test_linear_atoms(self, term, expected):
+        assert evaluate(term, M) is expected
+
+    def test_absent_real_defaults_zero(self):
+        z = RealVar("never_assigned_real")
+        assert evaluate(z <= 0, M) is True
+        assert evaluate(z.eq(0), M) is True
+
+    def test_exact_rationals_no_float_drift(self):
+        # 1/3 + 1/6 == 1/2 exactly; floats would make this flaky.
+        m = model(reals={X: Fraction(1, 3), Y: Fraction(1, 6)})
+        assert evaluate((X + Y).eq(Fraction(1, 2)), m) is True
+        assert evaluate(X + Y < Fraction(1, 2), m) is False
+
+
+class TestNot:
+    def test_single(self):
+        assert evaluate(Not(P), M) is False
+        assert evaluate(Not(Q), M) is True
+
+    def test_nested_negations(self):
+        term: BoolTerm = Q
+        for depth in range(1, 7):
+            term = Not(term)
+            assert evaluate(term, M) is (depth % 2 == 1)
+
+    def test_negated_atom(self):
+        assert evaluate(Not(X <= 2), M) is True
+        assert evaluate(Not(Not(X <= 2)), M) is False
+
+
+class TestAndOr:
+    def test_and(self):
+        assert evaluate(And(P, R), M) is True
+        assert evaluate(And(P, Q), M) is False
+
+    def test_or(self):
+        assert evaluate(Or(Q, P), M) is True
+        assert evaluate(Or(Q, Not(P)), M) is False
+
+    def test_mixed_bool_and_theory(self):
+        assert evaluate(And(P, X <= 3, Or(Q, Y < 0)), M) is True
+
+    def test_implies_iff_ite(self):
+        assert evaluate(implies(Q, P), M) is True
+        assert evaluate(implies(P, Q), M) is False
+        assert evaluate(iff(P, R), M) is True
+        assert evaluate(iff(P, Q), M) is False
+        assert evaluate(ite(P, R, Q), M) is True
+        assert evaluate(ite(Q, R, Not(P)), M) is False
+
+
+class TestAtMost:
+    @pytest.mark.parametrize("bound,expected", [
+        (0, False), (1, False), (2, True), (3, True),
+    ])
+    def test_direct(self, bound, expected):
+        # P and R hold, Q does not: 2 of 3.
+        assert evaluate(AtMost((P, Q, R), bound), M) is expected
+
+    def test_over_negations(self):
+        # Not(Q) holds, the others' negations do not: 1 of 3.
+        term = AtMost((Not(P), Not(Q), Not(R)), 1)
+        assert evaluate(term, M) is True
+
+    def test_at_least_and_exactly(self):
+        assert evaluate(at_least([P, Q, R], 2), M) is True
+        assert evaluate(at_least([P, Q, R], 3), M) is False
+        assert evaluate(exactly([P, Q, R], 2), M) is True
+        assert evaluate(exactly([P, Q, R], 1), M) is False
+
+    def test_atoms_as_args(self):
+        term = at_most([X <= 3, Y <= 0, X < 0], 2)
+        assert evaluate(term, M) is True
+        assert evaluate(at_most([X <= 3, Y <= 0], 1), M) is False
+
+
+class TestErrors:
+    def test_unknown_term_type(self):
+        with pytest.raises(SolverError):
+            evaluate(object(), M)      # type: ignore[arg-type]
+
+
+class TestRoundTripProperty:
+    """Random formula -> solver model -> evaluate(...) is True."""
+
+    def _random_term(self, rng, bools, reals, depth) -> BoolTerm:
+        if depth <= 0:
+            roll = rng.random()
+            if roll < 0.4:
+                var = rng.choice(bools)
+                return var if rng.random() < 0.5 else Not(var)
+            expr = sum((rng.randint(-3, 3) * v for v in reals),
+                       rng.randint(-2, 2) * reals[0])
+            bound = Fraction(rng.randint(-8, 8), rng.randint(1, 3))
+            return rng.choice([expr <= bound, expr < bound,
+                               expr >= bound, expr.eq(bound)])
+        roll = rng.random()
+        if roll < 0.25:
+            return Not(self._random_term(rng, bools, reals, depth - 1))
+        if roll < 0.5:
+            return And(*[self._random_term(rng, bools, reals, depth - 1)
+                         for _ in range(rng.randint(2, 3))])
+        if roll < 0.75:
+            return Or(*[self._random_term(rng, bools, reals, depth - 1)
+                        for _ in range(rng.randint(2, 3))])
+        args = [self._random_term(rng, bools, reals, 0)
+                for _ in range(rng.randint(2, 4))]
+        return AtMost(tuple(args), rng.randint(0, len(args) - 1))
+
+    def test_solver_models_evaluate_true(self):
+        rng = random.Random(987654)
+        sat_seen = 0
+        for round_no in range(60):
+            bools = [BoolVar(f"rb{round_no}_{i}") for i in range(3)]
+            reals = [RealVar(f"rr{round_no}_{i}") for i in range(2)]
+            terms = [self._random_term(rng, bools, reals,
+                                       rng.randint(1, 3))
+                     for _ in range(rng.randint(1, 4))]
+            solver = SmtSolver()
+            for term in terms:
+                solver.add(term)
+            if solver.solve() is not SolveResult.SAT:
+                continue
+            sat_seen += 1
+            m = solver.model()
+            for term in terms:
+                assert evaluate(term, m) is True, repr(term)
+            assert evaluate(And(*terms), m) is True
+        assert sat_seen >= 20    # the property must actually be exercised
