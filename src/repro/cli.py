@@ -26,10 +26,16 @@ from repro.core import (
     ImpactQuery,
 )
 from repro.estimation import MeasurementPlan
+from repro.exceptions import InputFormatError
 from repro.grid import parse_case
 from repro.grid.caseio import CaseDefinition
 from repro.grid.cases import case_names, get_case
 from repro.opf import solve_dc_opf
+
+#: dedicated exit codes for preflight rejections (``analyze``/``opf``):
+#: structurally malformed input vs. well-formed but degenerate case.
+EXIT_INVALID_INPUT = 3
+EXIT_DEGENERATE_CASE = 4
 
 
 def _load_case(args) -> CaseDefinition:
@@ -49,8 +55,18 @@ def _cmd_cases(_args) -> int:
     return 0
 
 
+def _parse_failure(args, exc: InputFormatError) -> int:
+    from repro.runner.engine import parse_failure_report
+    subject = args.input or args.case or "case"
+    print(parse_failure_report(subject, exc).render(), file=sys.stderr)
+    return EXIT_INVALID_INPUT
+
+
 def _cmd_opf(args) -> int:
-    case = _load_case(args)
+    try:
+        case = _load_case(args)
+    except InputFormatError as exc:
+        return _parse_failure(args, exc)
     grid = case.build_grid()
     result = solve_dc_opf(grid, method=args.method)
     if not result.feasible:
@@ -65,7 +81,10 @@ def _cmd_opf(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    case = _load_case(args)
+    try:
+        case = _load_case(args)
+    except InputFormatError as exc:
+        return _parse_failure(args, exc)
     target: Optional[Fraction] = None
     if args.target is not None:
         target = Fraction(args.target).limit_denominator(10000)
@@ -87,7 +106,14 @@ def _cmd_analyze(args) -> int:
             max_candidates=args.max_candidates,
             self_check=self_check))
 
-    plan = MeasurementPlan.from_case(case)
+    plan = None
+    if not report.is_rejected:
+        try:
+            plan = MeasurementPlan.from_case(case)
+        except Exception:
+            # Rendering must not crash on a case whose measurement plan
+            # cannot be built; the report stands on its own.
+            plan = None
     text = report.render(plan)
     if args.output:
         with open(args.output, "w") as handle:
@@ -97,7 +123,21 @@ def _cmd_analyze(args) -> int:
         print(text)
     if report.status == "certificate_error":
         return 2
+    if report.status == "invalid_input":
+        return EXIT_INVALID_INPUT
+    if report.status == "degenerate_case":
+        return EXIT_DEGENERATE_CASE
     return 0 if report.satisfiable else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.testing.fuzz import fuzz_bundled_case
+    report = fuzz_bundled_case(
+        args.case, seed=args.seed, iterations=args.iterations,
+        analyzer=args.analyzer, max_mutations=args.max_mutations,
+        time_limit=args.time_limit)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -186,6 +226,10 @@ def _cmd_sweep(args) -> int:
         print(f"cache rejected : {sweep.cache_rejected} stale/corrupt "
               f"entr{'y' if sweep.cache_rejected == 1 else 'ies'} "
               f"recomputed")
+    if totals["invalid_input"] or totals["degenerate_case"]:
+        print(f"preflight      : {totals['invalid_input']} invalid "
+              f"input(s), {totals['degenerate_case']} degenerate "
+              f"case(s) rejected before analysis")
     if args.trace:
         path = sweep.write(args.trace)
         print(f"trace written  : {path}")
@@ -195,14 +239,18 @@ def _cmd_sweep(args) -> int:
               f"({outcome.error})")
     if args.strict:
         # --strict: any non-definitive cell — error, unknown, a rejected
-        # certificate, a failed cache write, or (under --self-check) a
-        # cell that somehow skipped certification — fails the sweep hard.
+        # certificate, a rejected *input* (invalid/degenerate), a failed
+        # cache write, or (under --self-check) a cell that somehow
+        # skipped certification — fails the sweep hard.
         strict_bad = [
             o for o in sweep.outcomes
             if o.status in ("error", "unknown", "timeout", "crashed",
-                            "certificate_error")
+                            "certificate_error", "invalid_input",
+                            "degenerate_case")
             or o.cache_write_error is not None
-            or (args.self_check and o.certified is not True)]
+            or (args.self_check and o.certified is not True
+                and o.status not in ("invalid_input",
+                                     "degenerate_case"))]
         if strict_bad:
             print(f"STRICT: {len(strict_bad)} non-definitive "
                   f"outcome(s)")
@@ -261,6 +309,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "the same")
     analyze.set_defaults(func=_cmd_analyze)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="drive seeded case mutants through the analyze "
+                     "path; exit 1 if any escapes as an uncaught "
+                     "exception")
+    fuzz.add_argument("--case", default="5bus-study1",
+                      help="bundled case to mutate (default: "
+                           "5bus-study1)")
+    fuzz.add_argument("--iterations", type=int, default=200,
+                      help="number of mutants to generate (default 200)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="mutation seed; (case, seed, iteration) "
+                           "fully determines each mutant")
+    fuzz.add_argument("--analyzer", choices=("fast", "smt"),
+                      default="fast")
+    fuzz.add_argument("--max-mutations", type=int, default=3,
+                      help="max corruptions applied per mutant")
+    fuzz.add_argument("--time-limit", type=float, default=None,
+                      help="abort (exit 1) if the run exceeds this many "
+                           "seconds")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
     sweep = sub.add_parser(
         "sweep", help="run a (case × target × scenario) grid on the "
                       "parallel sweep engine with result caching")
@@ -316,7 +385,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--strict", action="store_true",
                        help="exit 2 when any cell is non-definitive "
                             "(error/unknown/timeout/crashed/"
-                            "certificate_error, or a failed cache "
+                            "certificate_error/invalid_input/"
+                            "degenerate_case, or a failed cache "
                             "write)")
     sweep.set_defaults(func=_cmd_sweep)
     return parser

@@ -53,6 +53,7 @@ from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
 from repro.smt.budget import SolverBudget
 from repro.smt.certificates import self_check_default
 from repro.smt.rational import to_fraction
+from repro.validation import FATAL, WARNING, ValidationReport, validate_case
 
 #: relative tolerance of the certified-mode cost recheck: the fast
 #: analyzer's PTDF pipeline and the independent B-theta re-solve travel
@@ -87,19 +88,40 @@ class FastQuery:
 class FastImpactAnalyzer:
     """Single-line topology-attack impact analysis at IEEE-118 scale."""
 
-    def __init__(self, case: CaseDefinition) -> None:
+    def __init__(self, case: CaseDefinition,
+                 preflight: bool = True) -> None:
         self.case = case
-        self.grid = case.build_grid()
-        self.attacker = AttackerModel.from_case(case, self.grid)
-        self.base_topology = [l.index for l in self.grid.lines
-                              if l.in_service]
-        self._sf_opf = ShiftFactorOpf(self.grid, self.base_topology)
-        base = self._sf_opf.solve()
-        if not base.feasible:
-            raise ModelError(
-                f"case {case.name}: attack-free OPF is infeasible")
-        self.base_cost = base.cost
+        #: preflight findings; fatal ones mean :meth:`analyze` returns a
+        #: rejected report instead of touching the PTDF pipeline.
+        self.preflight = validate_case(case) if preflight \
+            else ValidationReport(subject=case.name)
+        self._rejection = self.preflight.fatal_status()
+        self._run_notes = ValidationReport(subject=case.name)
+        self.grid = None
+        self.base_cost = Fraction(0)
         self.evaluations: List[CandidateEvaluation] = []
+        if self._rejection is not None:
+            return
+        try:
+            self.grid = case.build_grid()
+            self.attacker = AttackerModel.from_case(case, self.grid)
+            self.base_topology = [l.index for l in self.grid.lines
+                                  if l.in_service]
+            self._sf_opf = ShiftFactorOpf(self.grid, self.base_topology)
+            base = self._sf_opf.solve()
+        except ModelError as exc:
+            self.preflight.add("case.model_error", FATAL, str(exc))
+            self._rejection = self.preflight.fatal_status()
+            return
+        if not base.feasible:
+            self.preflight.add(
+                "opf.base_infeasible", FATAL,
+                f"case {case.name}: attack-free OPF is infeasible",
+                hint="no dispatch satisfies the base case's line and "
+                     "generation limits")
+            self._rejection = self.preflight.fatal_status()
+            return
+        self.base_cost = base.cost
 
     def threshold_for(self, percent) -> Fraction:
         return self.base_cost * (1 + to_fraction(percent) / 100)
@@ -114,8 +136,13 @@ class FastImpactAnalyzer:
             query.target_increase_percent
             if query.target_increase_percent is not None
             else self.case.min_increase_percent)
-        threshold = self.threshold_for(percent)
         started = time.perf_counter()
+        self._run_notes = ValidationReport(subject=self.case.name)
+        if self._rejection is not None:
+            return ImpactReport.rejected(
+                self.preflight, percent,
+                elapsed_seconds=time.perf_counter() - started)
+        threshold = self.threshold_for(percent)
         self.evaluations = []
         opf_calls_before = self._sf_opf.solve_calls
         opf_seconds_before = self._sf_opf.solve_seconds
@@ -188,7 +215,8 @@ class FastImpactAnalyzer:
                         candidates_examined=len(self.evaluations),
                         elapsed_seconds=time.perf_counter() - started,
                         trace=trace, status="certificate_error",
-                        certified=False, certificate_error=str(exc))
+                        certified=False, certificate_error=str(exc),
+                        diagnostics=self._diagnostics())
                 trace.certificates = cert_stats
             return ImpactReport(True, self.base_cost, threshold, percent,
                                 solution, believed_min,
@@ -196,14 +224,16 @@ class FastImpactAnalyzer:
                                 time.perf_counter() - started,
                                 trace=trace, status=status,
                                 budget_reason=budget_reason,
-                                certified=True if certify else None)
+                                certified=True if certify else None,
+                                diagnostics=self._diagnostics())
         if certify:
             trace.certificates = {"enabled": True, "models_checked": 0}
         return ImpactReport(False, self.base_cost, threshold, percent,
                             candidates_examined=len(self.evaluations),
                             elapsed_seconds=elapsed, trace=trace,
                             status=status, budget_reason=budget_reason,
-                            certified=True if certify else None)
+                            certified=True if certify else None,
+                            diagnostics=self._diagnostics())
 
     def _certify_solution(self, solution, believed_min: Fraction,
                           threshold: Fraction) -> Dict:
@@ -259,9 +289,41 @@ class FastImpactAnalyzer:
     # Candidate evaluation
     # ------------------------------------------------------------------
 
+    def _believed_topology(self, kind: str, line_index: int) -> List[int]:
+        if kind == "exclude":
+            return [i for i in self.base_topology if i != line_index]
+        return self.base_topology + [line_index]
+
+    def _note_islanding(self, kind: str, line_index: int) -> None:
+        notes = [d for d in self._run_notes.diagnostics
+                 if d.code == "topology.attack_islands_network"]
+        if len(notes) >= 3:
+            return
+        self._run_notes.add(
+            "topology.attack_islands_network", WARNING,
+            f"single-line {kind} attack on line {line_index} islands "
+            f"the believed topology; candidate pruned",
+            [f"line:{line_index}"],
+            hint="the EMS's OPF has no solution on this view")
+
+    def _diagnostics(self) -> Optional[ValidationReport]:
+        merged = ValidationReport(subject=self.case.name)
+        merged.extend(self.preflight)
+        merged.extend(self._run_notes)
+        return merged if merged.diagnostics else None
+
     def _evaluate_candidate(self, kind: str, line_index: int,
                             threshold: Fraction,
                             query: FastQuery) -> CandidateEvaluation:
+        # Post-attack revalidation *before* the PTDF/LODF pipeline: a
+        # bridge-line exclusion makes the believed susceptance matrix
+        # singular, which used to surface as a numpy LinAlgError.
+        if not self.grid.is_connected(
+                self._believed_topology(kind, line_index)):
+            self._note_islanding(kind, line_index)
+            return CandidateEvaluation(
+                kind, line_index, False,
+                "believed topology is disconnected")
         problems = self._required_alterations(kind, line_index)
         if isinstance(problems, str):
             return CandidateEvaluation(kind, line_index, False, problems)

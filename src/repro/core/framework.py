@@ -49,9 +49,12 @@ from repro.smt.certificates import (
     verify_unsat,
 )
 from repro.smt.rational import to_fraction
+from repro.validation import FATAL, WARNING, ValidationReport, validate_case
 
 #: cap on the per-check event list kept in the trace (counters are exact).
 _MAX_CERT_EVENTS = 200
+#: cap on the per-run "candidate islands the network" notes recorded.
+_MAX_ISLANDING_NOTES = 3
 
 
 @dataclass
@@ -89,9 +92,25 @@ class ImpactQuery:
 class ImpactAnalyzer:
     """Analyzes one case for stealthy-attack impact on OPF."""
 
-    def __init__(self, case: CaseDefinition) -> None:
+    def __init__(self, case: CaseDefinition,
+                 preflight: bool = True) -> None:
         self.case = case
-        self.grid = case.build_grid()
+        #: preflight findings; fatal ones mean :meth:`analyze` returns a
+        #: rejected report instead of touching an encoder.
+        self.preflight = validate_case(case) if preflight \
+            else ValidationReport(subject=case.name)
+        self._rejection = self.preflight.fatal_status()
+        self.grid = None
+        if self._rejection is None:
+            try:
+                self.grid = case.build_grid()
+            except ModelError as exc:
+                # Safety net: preflight models the Grid invariants at the
+                # spec level, but a construction failure it missed must
+                # still reject, not crash.
+                self.preflight.add("case.model_error", FATAL, str(exc))
+                self._rejection = self.preflight.fatal_status()
+        self._run_notes = ValidationReport(subject=case.name)
         self._base: Optional[DcOpfResult] = None
         # per-analyze() work counters (reset at the top of analyze()).
         self._evaluations = 0
@@ -130,8 +149,25 @@ class ImpactAnalyzer:
             query.target_increase_percent
             if query.target_increase_percent is not None
             else self.case.min_increase_percent)
-        threshold = self.threshold_for(percent)
         started = time.perf_counter()
+        self._run_notes = ValidationReport(subject=self.case.name)
+        if self._rejection is not None:
+            return ImpactReport.rejected(
+                self.preflight, percent,
+                elapsed_seconds=time.perf_counter() - started)
+        try:
+            threshold = self.threshold_for(percent)
+        except ModelError as exc:
+            # Preflight admits the case on aggregate load/capacity, but
+            # line limits can still make the attack-free OPF infeasible.
+            self.preflight.add(
+                "opf.base_infeasible", FATAL, str(exc),
+                hint="no dispatch satisfies the base case's line and "
+                     "generation limits")
+            self._rejection = self.preflight.fatal_status()
+            return ImpactReport.rejected(
+                self.preflight, percent,
+                elapsed_seconds=time.perf_counter() - started)
 
         if not query.allow_topology_attack \
                 and not query.with_state_infection:
@@ -223,6 +259,7 @@ class ImpactAnalyzer:
         self._evaluations += 1
         topology = solution.believed_topology(self.grid)
         if not self.grid.is_connected(topology):
+            self._note_islanding(solution)
             return False, None
         opf_started = time.perf_counter()
         try:
@@ -242,6 +279,33 @@ class ImpactAnalyzer:
         # Eq. 37 asks for an increase of *at least* I%, so a believed
         # optimum exactly on the threshold is a successful attack.
         return result.cost >= threshold, result.cost
+
+    def _note_islanding(self, solution: AttackVectorSolution) -> None:
+        """Record that a candidate's believed topology is disconnected.
+
+        Post-attack revalidation: the candidate is pruned (the EMS's OPF
+        would not converge), and the report's diagnostics say so instead
+        of the candidate silently vanishing.
+        """
+        notes = [d for d in self._run_notes.diagnostics
+                 if d.code == "topology.attack_islands_network"]
+        if len(notes) >= _MAX_ISLANDING_NOTES:
+            return
+        components = [f"line:{i}" for i in solution.excluded] + \
+            [f"line:{i}" for i in solution.included]
+        self._run_notes.add(
+            "topology.attack_islands_network", WARNING,
+            f"candidate attack (excluded={solution.excluded}, "
+            f"included={solution.included}) islands the believed "
+            f"topology; candidate pruned", components,
+            hint="the EMS's OPF has no solution on this view")
+
+    def _diagnostics(self) -> Optional[ValidationReport]:
+        """Preflight findings + per-run notes, or None when clean."""
+        merged = ValidationReport(subject=self.case.name)
+        merged.extend(self.preflight)
+        merged.extend(self._run_notes)
+        return merged if merged.diagnostics else None
 
     def _fresh_cert_stats(self) -> Dict:
         return {
@@ -324,7 +388,8 @@ class ImpactAnalyzer:
             elapsed_seconds=time.perf_counter() - started,
             solver_calls=encoding.solver.stats.solve_calls,
             trace=self._trace(encoding, started, encode_seconds),
-            certified=True if self._certify else None)
+            certified=True if self._certify else None,
+            diagnostics=self._diagnostics())
 
     def _partial_report(self, threshold, percent, encoding, started,
                         encode_seconds, reason: str) -> ImpactReport:
@@ -344,7 +409,8 @@ class ImpactAnalyzer:
             elapsed_seconds=time.perf_counter() - started,
             solver_calls=encoding.solver.stats.solve_calls,
             trace=self._trace(encoding, started, encode_seconds),
-            status="budget_exhausted", budget_reason=reason)
+            status="budget_exhausted", budget_reason=reason,
+            diagnostics=self._diagnostics())
 
     def _certificate_error_report(self, threshold, percent, encoding,
                                   started, encode_seconds,
@@ -362,7 +428,8 @@ class ImpactAnalyzer:
             solver_calls=encoding.solver.stats.solve_calls,
             trace=self._trace(encoding, started, encode_seconds),
             status="certificate_error", certified=False,
-            certificate_error=message)
+            certificate_error=message,
+            diagnostics=self._diagnostics())
 
     def _success_report(self, solution, believed_min, threshold, percent,
                         started, query, encoding,
@@ -376,7 +443,8 @@ class ImpactAnalyzer:
             time.perf_counter() - started, confirmed,
             solver_calls=encoding.solver.stats.solve_calls,
             trace=self._trace(encoding, started, encode_seconds),
-            certified=True if self._certify else None)
+            certified=True if self._certify else None,
+            diagnostics=self._diagnostics())
 
     def confirm_with_smt_opf(self, solution: AttackVectorSolution,
                              threshold: Fraction) -> bool:

@@ -8,6 +8,11 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.encoding import AttackVectorSolution
 from repro.estimation.measurement import MeasurementPlan
+from repro.validation.diagnostics import (
+    DEGENERATE_CASE,
+    INVALID_INPUT,
+    ValidationReport,
+)
 
 
 @dataclass
@@ -71,7 +76,10 @@ class ImpactReport:
     #: attack found so far* (if any) and the verdict is a lower bound,
     #: not a proof of absence.  ``"certificate_error"`` when self-check
     #: mode rejected an answer: the verdict is *not trusted* and is
-    #: deliberately never conflated with sat/unsat.
+    #: deliberately never conflated with sat/unsat.  ``"invalid_input"``
+    #: / ``"degenerate_case"`` when preflight validation rejected the
+    #: case before any encoding: ``diagnostics`` lists the findings and
+    #: no analysis happened at all.
     status: str = "complete"
     #: which budget limit ran out (None unless ``budget_exhausted``).
     budget_reason: Optional[str] = None
@@ -81,6 +89,28 @@ class ImpactReport:
     certified: Optional[bool] = None
     #: what the failed certificate check reported (None otherwise).
     certificate_error: Optional[str] = None
+    #: preflight findings — always populated for rejected reports, and
+    #: also carries degraded/warning findings of accepted runs.
+    diagnostics: Optional[ValidationReport] = None
+
+    @classmethod
+    def rejected(cls, report: ValidationReport,
+                 target_increase_percent: Fraction = Fraction(0),
+                 elapsed_seconds: float = 0.0) -> "ImpactReport":
+        """A report for a case preflight refused to analyze."""
+        status = report.fatal_status()
+        if status not in (INVALID_INPUT, DEGENERATE_CASE):
+            raise ValueError(
+                "rejected() needs a report with fatal diagnostics")
+        return cls(satisfiable=False, base_cost=Fraction(0),
+                   threshold=Fraction(0),
+                   target_increase_percent=target_increase_percent,
+                   status=status, diagnostics=report,
+                   elapsed_seconds=elapsed_seconds)
+
+    @property
+    def is_rejected(self) -> bool:
+        return self.status in (INVALID_INPUT, DEGENERATE_CASE)
 
     @property
     def is_partial(self) -> bool:
@@ -98,6 +128,15 @@ class ImpactReport:
         lines.append("=" * 64)
         lines.append("Impact analysis of stealthy topology poisoning on OPF")
         lines.append("=" * 64)
+        if self.is_rejected:
+            verdict = "invalid input (rejected by preflight)" \
+                if self.status == INVALID_INPUT \
+                else "degenerate case (analysis undefined)"
+            lines.append(f"verdict                  : {verdict}")
+            if self.diagnostics is not None:
+                lines.append(self.diagnostics.render())
+            lines.append("=" * 64)
+            return "\n".join(lines)
         lines.append(f"attack-free optimal cost : {float(self.base_cost):.2f}")
         lines.append(f"target increase          : "
                      f"{float(self.target_increase_percent):.1f}%")
@@ -156,6 +195,9 @@ class ImpactReport:
                          f"{float(self.believed_min_cost):.2f}")
             lines.append(f"achieved increase        : "
                          f"{float(self.achieved_increase_percent):.2f}%")
+        if self.diagnostics is not None and self.diagnostics.diagnostics:
+            lines.append("-" * 64)
+            lines.append(self.diagnostics.render())
         lines.append("=" * 64)
         return "\n".join(lines)
 

@@ -62,3 +62,17 @@ class CertificateError(ReproError):
 
 class InputFormatError(ReproError):
     """A case-definition file could not be parsed."""
+
+
+class CaseFieldError(InputFormatError):
+    """A specific case-file field is missing, mistyped or out of range.
+
+    ``path`` locates the offending field as
+    ``<section>[<row>].<field>`` (e.g. ``topology[2].admittance``), so
+    callers can attach it to a structured diagnostic.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+        self.detail = message

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.exceptions import InputFormatError, ModelError
+from repro.exceptions import CaseFieldError, InputFormatError, ModelError
 from repro.grid.components import Bus, Generator, Line, Load
 from repro.grid.network import Grid
 from repro.smt.rational import to_fraction
@@ -170,8 +170,64 @@ def _section_of(header: str) -> Optional[str]:
     return None
 
 
+def _flag(token: str) -> bool:
+    if token not in ("0", "1"):
+        raise ValueError(f"expected 0/1 flag, got {token!r}")
+    return token == "1"
+
+
+#: (field name, converter) per section row, in file order.
+_LINE_FIELDS = (
+    ("index", int), ("from_bus", int), ("to_bus", int),
+    ("admittance", to_fraction), ("capacity", to_fraction),
+    ("knowledge", _flag), ("in_true_topology", _flag),
+    ("in_core", _flag), ("secured", _flag), ("alterable", _flag))
+_MEASUREMENT_FIELDS = (
+    ("index", int), ("taken", _flag), ("secured", _flag),
+    ("alterable", _flag))
+_BUS_FIELDS = (("index", int), ("is_generator", _flag), ("is_load", _flag))
+_GENERATOR_FIELDS = (
+    ("bus", int), ("p_max", to_fraction), ("p_min", to_fraction),
+    ("cost_alpha", to_fraction), ("cost_beta", to_fraction))
+_LOAD_FIELDS = (
+    ("bus", int), ("existing", to_fraction), ("p_max", to_fraction),
+    ("p_min", to_fraction))
+_RESOURCE_FIELDS = (("measurements", int), ("buses", int))
+_COST_FIELDS = (("base_cost", to_fraction), ("min_increase_percent",
+                                             to_fraction))
+
+
+def _convert_row(section: str, position: int, row: Sequence[str],
+                 fields: Sequence[tuple]) -> list:
+    """Convert one data row, naming the exact field on failure.
+
+    Every conversion failure — including a zero-denominator fraction like
+    ``1/0``, which :class:`~fractions.Fraction` reports as
+    ``ZeroDivisionError`` — becomes a :class:`CaseFieldError` carrying the
+    field path (``topology[2].admittance``).
+    """
+    path = f"{section}[{position}]"
+    if len(row) != len(fields):
+        raise CaseFieldError(
+            path, f"expected {len(fields)} fields, got {len(row)}")
+    values = []
+    for token, (field_name, converter) in zip(row, fields):
+        try:
+            values.append(converter(token))
+        except (ValueError, ZeroDivisionError) as exc:
+            raise CaseFieldError(f"{path}.{field_name}",
+                                 f"cannot parse {token!r}: {exc}") from exc
+    return values
+
+
 def parse_case(text: str, name: str = "case") -> CaseDefinition:
-    """Parse a case file in the paper's input format."""
+    """Parse a case file in the paper's input format.
+
+    Malformed fields raise :class:`CaseFieldError` (a subclass of
+    :class:`InputFormatError`) carrying the field path; semantically
+    inconsistent component rows (e.g. a generator with ``p_max < p_min``)
+    are wrapped the same way, pointing at the offending row.
+    """
     section: Optional[str] = None
     rows: Dict[str, List[List[str]]] = {key: [] for key in _SECTIONS}
     for raw_line in text.splitlines():
@@ -188,61 +244,64 @@ def parse_case(text: str, name: str = "case") -> CaseDefinition:
                 f"data line before any section header: {stripped!r}")
         rows[section].append(stripped.split())
 
-    def as_bool(token: str) -> bool:
-        if token not in ("0", "1"):
-            raise InputFormatError(f"expected 0/1 flag, got {token!r}")
-        return token == "1"
+    def parsed(section_key: str, path_name: str,
+               fields: Sequence[tuple]) -> List[list]:
+        return [_convert_row(path_name, pos, row, fields)
+                for pos, row in enumerate(rows[section_key])]
+
+    def construct(factory, path_name: str, position: int, values: list):
+        try:
+            return factory(*values)
+        except ModelError as exc:
+            raise CaseFieldError(f"{path_name}[{position}]",
+                                 str(exc)) from exc
+
+    line_specs = [construct(LineSpec, "topology", pos, values)
+                  for pos, values in
+                  enumerate(parsed("topology", "topology", _LINE_FIELDS))]
+    measurement_specs = [
+        MeasurementSpec(*values)
+        for values in parsed("measurement", "measurement",
+                             _MEASUREMENT_FIELDS)]
+    bus_types = [tuple(values)
+                 for values in parsed("bus types", "bus_types",
+                                      _BUS_FIELDS)]
+    generators = [construct(Generator, "generator", pos, values)
+                  for pos, values in
+                  enumerate(parsed("generator", "generator",
+                                   _GENERATOR_FIELDS))]
+    loads = [construct(Load, "load", pos, values)
+             for pos, values in
+             enumerate(parsed("load", "load", _LOAD_FIELDS))]
+    if len(rows["resource"]) != 1:
+        raise InputFormatError(
+            "resource section must hold one '<measurements> <buses>' row")
+    resource_measurements, resource_buses = _convert_row(
+        "resource", 0, rows["resource"][0], _RESOURCE_FIELDS)
+    if len(rows["cost"]) != 1:
+        raise InputFormatError(
+            "cost section must hold one '<cost> <percent>' row")
+    base_cost, percent = _convert_row(
+        "cost", 0, rows["cost"][0], _COST_FIELDS)
 
     try:
-        line_specs = [
-            LineSpec(int(r[0]), int(r[1]), int(r[2]),
-                     to_fraction(r[3]), to_fraction(r[4]),
-                     as_bool(r[5]), as_bool(r[6]), as_bool(r[7]),
-                     as_bool(r[8]), as_bool(r[9]))
-            for r in rows["topology"]
-        ]
-        measurement_specs = [
-            MeasurementSpec(int(r[0]), as_bool(r[1]), as_bool(r[2]),
-                            as_bool(r[3]))
-            for r in rows["measurement"]
-        ]
-        bus_types = [(int(r[0]), as_bool(r[1]), as_bool(r[2]))
-                     for r in rows["bus types"]]
-        generators = [
-            Generator(int(r[0]), to_fraction(r[1]), to_fraction(r[2]),
-                      to_fraction(r[3]), to_fraction(r[4]))
-            for r in rows["generator"]
-        ]
-        loads = [
-            Load(int(r[0]), to_fraction(r[1]), to_fraction(r[2]),
-                 to_fraction(r[3]))
-            for r in rows["load"]
-        ]
-        if len(rows["resource"]) != 1 or len(rows["resource"][0]) != 2:
-            raise InputFormatError(
-                "resource section must hold one '<measurements> <buses>' row")
-        resource_measurements, resource_buses = map(
-            int, rows["resource"][0])
-        if len(rows["cost"]) != 1 or len(rows["cost"][0]) != 2:
-            raise InputFormatError(
-                "cost section must hold one '<cost> <percent>' row")
-        base_cost = to_fraction(rows["cost"][0][0])
-        percent = to_fraction(rows["cost"][0][1])
-    except (ValueError, IndexError) as exc:
-        raise InputFormatError(f"malformed case file: {exc}") from exc
-
-    return CaseDefinition(
-        name=name,
-        line_specs=line_specs,
-        measurement_specs=measurement_specs,
-        bus_types=bus_types,
-        generators=generators,
-        loads=loads,
-        resource_measurements=resource_measurements,
-        resource_buses=resource_buses,
-        base_cost=base_cost,
-        min_increase_percent=percent,
-    )
+        return CaseDefinition(
+            name=name,
+            line_specs=line_specs,
+            measurement_specs=measurement_specs,
+            bus_types=bus_types,
+            generators=generators,
+            loads=loads,
+            resource_measurements=resource_measurements,
+            resource_buses=resource_buses,
+            base_cost=base_cost,
+            min_increase_percent=percent,
+        )
+    except ModelError as exc:
+        # Cross-section consistency checks (e.g. the measurement count
+        # not matching the line count) live in CaseDefinition; at the
+        # parse boundary they are still input-format failures.
+        raise CaseFieldError("case", str(exc)) from exc
 
 
 def write_case(case: CaseDefinition) -> str:

@@ -44,14 +44,17 @@ from fractions import Fraction
 
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
-from repro.exceptions import BudgetExhausted
+from repro.exceptions import BudgetExhausted, CaseFieldError, \
+    InputFormatError
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.spec import ScenarioSpec
 from repro.runner.trace import (
     CERTIFICATE_ERROR,
     CRASHED,
     ERROR,
+    INVALID_INPUT,
     OK,
+    REJECTED_STATUSES,
     TIMEOUT,
     UNKNOWN,
     ScenarioOutcome,
@@ -59,6 +62,31 @@ from repro.runner.trace import (
 )
 from repro.smt.budget import SolverBudget
 from repro.smt.certificates import self_check_default
+from repro.validation import FATAL, ValidationReport, validate_case
+
+
+def parse_failure_report(subject: str,
+                         exc: Exception) -> ValidationReport:
+    """A one-finding report for a case text that failed to parse."""
+    report = ValidationReport(subject=subject)
+    components = [f"field:{exc.path}"] \
+        if isinstance(exc, CaseFieldError) else []
+    report.add("parse.malformed", FATAL, str(exc), components,
+               hint="fix the case text at the reported field path"
+               if components else "the case text does not follow the "
+               "paper's input format")
+    return report
+
+
+def _rejected_outcome(spec: ScenarioSpec, fingerprint: str,
+                      report: ValidationReport) -> ScenarioOutcome:
+    """An outcome for an input preflight (or the parser) refused."""
+    fatal = [d.code for d in report.fatal]
+    return ScenarioOutcome(
+        spec=spec, fingerprint=fingerprint,
+        status=report.fatal_status() or INVALID_INPUT,
+        error="; ".join(fatal),
+        diagnostics=report.to_dict())
 
 
 @dataclass
@@ -99,7 +127,16 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
     try:
         if budget is not None:
             budget.start()   # the deadline covers case build + analysis
-        case = spec.resolve_case()
+        try:
+            case = spec.resolve_case()
+        except InputFormatError as exc:
+            # A deterministic verdict about the input, not a runtime
+            # failure: reject with a structured diagnostic.
+            rejected = _rejected_outcome(
+                spec, fingerprint, parse_failure_report(spec.case, exc))
+            rejected.worker_pid = os.getpid()
+            rejected.task_seconds = time.perf_counter() - started
+            return rejected
         kind = spec.resolved_analyzer(case)
         if kind == "smt":
             analyzer = ImpactAnalyzer(case)
@@ -141,7 +178,15 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
         # sat/unsat.
         outcome.status = CERTIFICATE_ERROR
         outcome.error = report.certificate_error or "certificate rejected"
+    elif report.is_rejected:
+        # Preflight refused the input: a deterministic verdict with the
+        # findings attached, not an error.
+        outcome.status = report.status
+        outcome.error = "; ".join(
+            d.code for d in report.diagnostics.fatal)
     outcome.certified = report.certified
+    if report.diagnostics is not None:
+        outcome.diagnostics = report.diagnostics.to_dict()
     outcome.satisfiable = report.satisfiable
     outcome.base_cost = str(report.base_cost)
     outcome.threshold = str(report.threshold)
@@ -179,6 +224,23 @@ def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
     :class:`ValueError` on any inconsistency — the engine treats that as
     a cache miss and recomputes.
     """
+    if outcome.status in REJECTED_STATUSES:
+        # Structural validation already guaranteed fatal diagnostics
+        # matching the status; re-run preflight on the resolved case so a
+        # stale rejection (case since repaired, or aliased) is recomputed
+        # instead of served.  Preflight involves no solver answers, so
+        # certified sweeps may serve rejections too.
+        try:
+            case = spec.resolve_case()
+        except InputFormatError:
+            raise ValueError(
+                "cached rejection is for a case that no longer parses")
+        report = validate_case(case, observability=False)
+        if report.fatal_status() != outcome.status:
+            raise ValueError(
+                f"cached {outcome.status} rejection no longer matches "
+                f"preflight (now {report.fatal_status()!r})")
+        return
     if outcome.status != OK:
         raise ValueError(
             f"cached outcome has non-definitive status {outcome.status!r}")
@@ -257,6 +319,12 @@ class SweepEngine:
         for idx, spec in enumerate(specs):
             try:
                 fingerprints.append(spec.fingerprint())
+            except InputFormatError as exc:
+                # The case text does not parse: a deterministic verdict
+                # about the input (no fingerprint, so never cached).
+                fingerprints.append("")
+                outcomes[idx] = _rejected_outcome(
+                    spec, "", parse_failure_report(spec.case, exc))
             except Exception as exc:
                 fingerprints.append("")
                 outcomes[idx] = ScenarioOutcome(
@@ -338,17 +406,25 @@ class SweepEngine:
             return None
         return timeout * 1.25 + 0.25
 
-    def _record(self, idx: int, outcome: ScenarioOutcome, fingerprints,
-                outcomes, cache: Optional[ResultCache]) -> None:
+    def _record(self, idx: int, outcome: ScenarioOutcome, spec,
+                fingerprints, outcomes,
+                cache: Optional[ResultCache]) -> None:
         """Commit an outcome and checkpoint it to the cache immediately.
 
-        Only definitive ``ok`` outcomes are cached; budget-dependent
-        (``unknown``/``timeout``) and transient failures must recompute
-        next run.  A failed write degrades to ``cache_write_error``.
+        Definitive ``ok`` outcomes and deterministic preflight rejections
+        (``invalid_input``/``degenerate_case``) are cached;
+        budget-dependent (``unknown``/``timeout``) and transient failures
+        must recompute next run.  The outcome's spec must equal the
+        submitted spec — a worker that analyzed something else (fault
+        injection, memory corruption) must not poison the submitted
+        spec's cache slot.  A failed write degrades to
+        ``cache_write_error``.
         """
         outcomes[idx] = outcome
-        if cache is not None and outcome.status == OK \
-                and fingerprints[idx]:
+        cacheable = outcome.status == OK \
+            or outcome.status in REJECTED_STATUSES
+        if cache is not None and cacheable and fingerprints[idx] \
+                and outcome.spec.to_dict() == spec.to_dict():
             error = cache.try_put(fingerprints[idx], outcome.to_dict())
             if error is not None:
                 outcome.cache_write_error = error
@@ -371,7 +447,8 @@ class SweepEngine:
                     status=ERROR,
                     error="".join(traceback.format_exception_only(
                         type(exc), exc)).strip())
-            self._record(idx, outcome, fingerprints, outcomes, cache)
+            self._record(idx, outcome, specs[idx], fingerprints,
+                         outcomes, cache)
 
     def _run_parallel(self, specs, fingerprints, indices, outcomes,
                       cache) -> bool:
@@ -429,7 +506,7 @@ class SweepEngine:
                             status=TIMEOUT, attempts=attempts[idx],
                             error=f"exceeded {config.task_timeout}s "
                                   f"task budget"),
-                            fingerprints, outcomes, cache)
+                            specs[idx], fingerprints, outcomes, cache)
                     except BrokenExecutor as exc:
                         if attempts[idx] <= config.retries:
                             next_round.append(idx)
@@ -439,7 +516,8 @@ class SweepEngine:
                                 fingerprint=fingerprints[idx],
                                 status=CRASHED, attempts=attempts[idx],
                                 error=str(exc) or "worker process died"),
-                                fingerprints, outcomes, cache)
+                                specs[idx], fingerprints, outcomes,
+                                cache)
                     except Exception as exc:  # pickling and kin
                         self._record(idx, ScenarioOutcome(
                             spec=specs[idx],
@@ -448,12 +526,12 @@ class SweepEngine:
                             error="".join(
                                 traceback.format_exception_only(
                                     type(exc), exc)).strip()),
-                            fingerprints, outcomes, cache)
+                            specs[idx], fingerprints, outcomes, cache)
                     else:
                         outcome = ScenarioOutcome.from_dict(payload)
                         outcome.attempts = attempts[idx]
-                        self._record(idx, outcome, fingerprints,
-                                     outcomes, cache)
+                        self._record(idx, outcome, specs[idx],
+                                     fingerprints, outcomes, cache)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
             to_run = next_round

@@ -31,7 +31,11 @@ from repro.smt.rational import to_fraction
 #: a dedicated fingerprint of the encoding-relevant modules, so results
 #: produced by a differently-versioned or differently-encoding install
 #: never alias (outcomes also record ``certified``).
-CACHE_FORMAT_VERSION = 3
+#: v4: outcomes grow a ``diagnostics`` payload and the deterministic
+#: preflight rejections (``invalid_input``/``degenerate_case``) are
+#: cached alongside ``ok`` — pre-v4 entries must not be served as "no
+#: diagnostics recorded".
+CACHE_FORMAT_VERSION = 4
 
 #: bus count at and below which ``analyzer="auto"`` picks the full SMT
 #: framework (mirrors the paper's Section IV-A hybrid).

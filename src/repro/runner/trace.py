@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.runner.spec import ScenarioSpec, code_fingerprint
+from repro.validation.diagnostics import ValidationReport
 
 #: outcome statuses.
 OK = "ok"
@@ -27,9 +28,18 @@ UNKNOWN = "unknown"    # the in-solver resource budget ran out mid-search
 #: self-check mode rejected an answer's certificate: the verdict is not
 #: trusted and deliberately never rendered as sat/unsat.
 CERTIFICATE_ERROR = "certificate_error"
+#: preflight validation rejected the input before any encoding:
+#: structurally malformed (``invalid_input``) or well-formed but
+#: analytically degenerate, e.g. an islanded topology
+#: (``degenerate_case``).  Both carry structured ``diagnostics``.
+INVALID_INPUT = "invalid_input"
+DEGENERATE_CASE = "degenerate_case"
 
 _KNOWN_STATUSES = (OK, ERROR, TIMEOUT, CRASHED, UNKNOWN,
-                   CERTIFICATE_ERROR)
+                   CERTIFICATE_ERROR, INVALID_INPUT, DEGENERATE_CASE)
+#: statuses that are deterministic verdicts about the *input* — safe to
+#: cache (unlike transient errors/timeouts) and served like OK hits.
+REJECTED_STATUSES = (INVALID_INPUT, DEGENERATE_CASE)
 
 
 @dataclass
@@ -59,6 +69,10 @@ class ScenarioOutcome:
     #: passed its independent check; False when a check failed (status is
     #: then ``certificate_error``); None when self-check was off.
     certified: Optional[bool] = None
+    #: structured preflight findings (a ``ValidationReport`` payload);
+    #: always present for rejected outcomes, may carry degraded/warning
+    #: findings on accepted ones.  Round-trips through the result cache.
+    diagnostics: Optional[Dict[str, Any]] = None
     trace: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -66,6 +80,12 @@ class ScenarioOutcome:
         if self.status != OK:
             return self.status
         return "sat" if self.satisfiable else "unsat"
+
+    def diagnostics_report(self) -> Optional[ValidationReport]:
+        """The findings as a :class:`ValidationReport` (None if absent)."""
+        if self.diagnostics is None:
+            return None
+        return ValidationReport.from_dict(self.diagnostics)
 
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
@@ -120,6 +140,7 @@ class ScenarioOutcome:
             ("error", self.error, str, True),
             ("cache_write_error", self.cache_write_error, str, True),
             ("certified", self.certified, bool, True),
+            ("diagnostics", self.diagnostics, dict, True),
             ("trace", self.trace, dict, False),
         )
         for name, value, types, optional in checks:
@@ -128,6 +149,16 @@ class ScenarioOutcome:
             if not isinstance(value, types):
                 raise ValueError(f"outcome field {name!r} has invalid "
                                  f"value {value!r}")
+        if self.diagnostics is not None:
+            # Raises ValueError on malformed entries — a corrupt cached
+            # diagnostics payload is a cache miss, not a crash.
+            ValidationReport.from_dict(self.diagnostics)
+        if self.status in REJECTED_STATUSES:
+            report = self.diagnostics_report()
+            if report is None or report.fatal_status() != self.status:
+                raise ValueError(
+                    f"{self.status} outcome must carry fatal diagnostics "
+                    f"matching its status")
 
 
 @dataclass
@@ -168,6 +199,10 @@ class SweepTrace:
                                for o in self.outcomes),
                 "certificate_errors": sum(o.status == CERTIFICATE_ERROR
                                           for o in self.outcomes),
+                "invalid_input": sum(o.status == INVALID_INPUT
+                                     for o in self.outcomes),
+                "degenerate_case": sum(o.status == DEGENERATE_CASE
+                                       for o in self.outcomes),
                 "certified": sum(o.certified is True
                                  for o in self.outcomes),
                 "cache_write_errors": sum(

@@ -9,8 +9,23 @@ entries) for certified-mode testing.  The chaos suite (``tests/chaos/``)
 drives the sweep engine through these to assert it always terminates
 with one outcome per scenario and that corrupted certificates are never
 silently accepted.
+
+:mod:`repro.testing.fuzz` complements the fault harness with seeded
+text-level *input* fuzzing: corrupted case files driven through the
+parse → preflight → analyze path to prove no malformed input escapes as
+an uncaught exception (``python -m repro fuzz``).
 """
 
+from repro.testing.fuzz import (
+    ESCAPE,
+    CaseFuzzer,
+    FuzzRecord,
+    FuzzReport,
+    Mutant,
+    analyze_text,
+    fuzz_bundled_case,
+    run_fuzz,
+)
 from repro.testing.faults import (
     CRASH_WORKER,
     CORRUPT_CASE,
@@ -31,6 +46,14 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ESCAPE",
+    "CaseFuzzer",
+    "FuzzRecord",
+    "FuzzReport",
+    "Mutant",
+    "analyze_text",
+    "fuzz_bundled_case",
+    "run_fuzz",
     "CRASH_WORKER",
     "CORRUPT_CASE",
     "EXHAUST_BUDGET",

@@ -1,0 +1,47 @@
+"""Preflight input validation with structured diagnostics.
+
+Every entry point (analyzers, sweep engine, CLI) runs
+:func:`validate_case` before an input reaches an encoder, and
+:func:`validate_post_attack_topology` on the believed topology an attack
+induces.  Fatal findings classify into the ``invalid_input`` /
+``degenerate_case`` rejection statuses via
+:meth:`ValidationReport.fatal_status`.
+"""
+
+from repro.validation.checks import (
+    check_attack_spec,
+    check_feasibility,
+    check_measurements,
+    check_structure,
+    check_topology,
+    validate_case,
+    validate_post_attack_topology,
+)
+from repro.validation.diagnostics import (
+    DEGENERATE_CASE,
+    DEGENERATE_CODES,
+    DEGRADED,
+    FATAL,
+    INVALID_INPUT,
+    WARNING,
+    Diagnostic,
+    ValidationReport,
+)
+
+__all__ = [
+    "DEGENERATE_CASE",
+    "DEGENERATE_CODES",
+    "DEGRADED",
+    "FATAL",
+    "INVALID_INPUT",
+    "WARNING",
+    "Diagnostic",
+    "ValidationReport",
+    "check_attack_spec",
+    "check_feasibility",
+    "check_measurements",
+    "check_structure",
+    "check_topology",
+    "validate_case",
+    "validate_post_attack_topology",
+]

@@ -13,6 +13,7 @@ from repro.runner import (
 from repro.runner.trace import (
     CRASHED,
     ERROR,
+    INVALID_INPUT,
     OK,
     TIMEOUT,
     UNKNOWN,
@@ -68,7 +69,9 @@ class TestSeededChaos:
         for outcome in trace.outcomes:
             assert outcome.status in _KNOWN_STATUSES
             if outcome.spec.label in faulted:
-                assert outcome.status in (ERROR, UNKNOWN)
+                # CORRUPT_CASE now lands as a preflight rejection
+                # (unparsable case text), not a bare worker error.
+                assert outcome.status in (ERROR, UNKNOWN, INVALID_INPUT)
                 assert outcome.error
             else:
                 assert outcome.status == OK

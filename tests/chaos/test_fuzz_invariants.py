@@ -1,0 +1,80 @@
+"""Property-based fuzzing of the preflight boundary.
+
+The invariant: no corrupted case text may escape the parse → preflight
+→ analyze path as an uncaught exception.  Every mutant must come back
+either analyzed (``sat``/``unsat``) or rejected with structured
+diagnostics — the whole point of the validation subsystem.
+"""
+
+import pytest
+
+from repro.grid.caseio import write_case
+from repro.grid.cases import get_case
+from repro.testing import CaseFuzzer, ESCAPE
+from repro.testing import fuzz as fuzz_module
+from repro.testing.fuzz import fuzz_bundled_case, run_fuzz
+
+#: the only statuses a mutant may produce.  ``unknown`` /
+#: ``budget_exhausted`` are included for completeness (a budgeted run
+#: may stop early); an ``escape`` is always a failure.
+ALLOWED_STATUSES = {"sat", "unsat", "unknown", "budget_exhausted",
+                    "invalid_input", "degenerate_case"}
+
+
+class TestNoEscapes:
+    # 300 + 150 + 60 = 510 seeded mutants per full run — comfortably
+    # past the 500-mutant bar, split across cases and both analyzers.
+    @pytest.mark.parametrize("case,analyzer,seed,iterations", [
+        ("5bus-study1", "fast", 0, 300),
+        ("ieee14", "fast", 1, 150),
+        ("5bus-study1", "smt", 2, 60),
+    ])
+    def test_mutants_never_escape(self, case, analyzer, seed,
+                                  iterations):
+        report = fuzz_bundled_case(case, seed=seed,
+                                   iterations=iterations,
+                                   analyzer=analyzer)
+        assert report.ok, report.render()
+        assert sum(report.counts.values()) == iterations
+        assert set(report.counts) <= ALLOWED_STATUSES
+        # the stream must actually exercise the rejection paths, not
+        # just produce analyzable near-copies.
+        assert report.counts.get("invalid_input", 0) > 0
+
+    def test_statuses_match_the_cli_exit_contract(self):
+        # every rejection status the fuzzer can tally has a dedicated
+        # CLI exit code; drift here would desynchronize CI gating.
+        from repro.cli import EXIT_DEGENERATE_CASE, EXIT_INVALID_INPUT
+        assert EXIT_INVALID_INPUT == 3
+        assert EXIT_DEGENERATE_CASE == 4
+        assert {"invalid_input", "degenerate_case"} <= ALLOWED_STATUSES
+
+
+class TestFuzzerMechanics:
+    def test_mutants_are_deterministic_and_addressable(self):
+        text = write_case(get_case("5bus-study1"))
+        one = CaseFuzzer(text, seed=9).mutant(17)
+        two = CaseFuzzer(text, seed=9).mutant(17)
+        assert one == two
+        assert one.text != text
+        assert one.mutations
+        # a different seed reaches a different mutant
+        assert CaseFuzzer(text, seed=10).mutant(17).text != one.text
+
+    def test_escapes_are_captured_not_raised(self, monkeypatch):
+        def boom(text, **kwargs):
+            raise RuntimeError("driver bug")
+        monkeypatch.setattr(fuzz_module, "analyze_text", boom)
+        text = write_case(get_case("5bus-study1"))
+        report = run_fuzz(text, iterations=3)
+        assert not report.ok
+        assert report.counts == {ESCAPE: 3}
+        assert "RuntimeError: driver bug" in report.escapes[0].detail
+        assert "ESCAPE at iteration 0" in report.render()
+
+    def test_time_limit_truncates_instead_of_overshooting(self):
+        text = write_case(get_case("5bus-study1"))
+        report = run_fuzz(text, iterations=100_000, time_limit=0.0)
+        assert report.truncated
+        assert report.iterations < 100_000
+        assert "[truncated by time limit]" in report.render()

@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.exceptions import InputFormatError, ModelError
+from repro.exceptions import CaseFieldError, InputFormatError, ModelError
 from repro.grid.caseio import parse_case, write_case
 from repro.grid.cases import case_names, get_case
 
@@ -86,9 +86,60 @@ class TestParse:
             parse_case(bad)
 
     def test_wrong_measurement_count_rejected(self):
+        # Cross-section consistency failures surface as input-format
+        # errors at the parse boundary (not bare ModelError tracebacks).
         bad = SAMPLE.replace("9 1 1 1\n", "")
-        with pytest.raises(ModelError):
+        with pytest.raises(CaseFieldError) as info:
             parse_case(bad)
+        assert info.value.path == "case"
+        assert "measurement" in str(info.value)
+
+
+class TestFieldErrors:
+    """Malformed fields carry their path instead of a raw traceback."""
+
+    def test_zero_denominator_admittance(self):
+        # Fraction("1/0") raises ZeroDivisionError, which previously
+        # escaped parse_case as an uncaught exception.
+        bad = SAMPLE.replace("16.90", "1/0", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path == "topology[0].admittance"
+
+    def test_non_numeric_capacity(self):
+        bad = SAMPLE.replace("16.90 0.15", "16.90 lots", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path == "topology[0].capacity"
+
+    def test_bad_flag_names_the_field(self):
+        bad = SAMPLE.replace("1 1 1 0 0", "1 1 1 0 2", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path.endswith(".alterable")
+
+    def test_short_row_reports_field_count(self):
+        bad = SAMPLE.replace("2 0.21 0.30 0.10", "2 0.21 0.30", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path == "load[0]"
+        assert "expected 4 fields" in str(exc.value)
+
+    def test_inconsistent_generator_limits_carry_row_path(self):
+        bad = SAMPLE.replace("1 0.80 0.10 60 1800",
+                             "1 0.10 0.80 60 1800", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path == "generator[0]"
+
+    def test_bad_resource_count_field(self):
+        bad = SAMPLE.replace("\n4 2\n", "\n4 x\n", 1)
+        with pytest.raises(CaseFieldError) as exc:
+            parse_case(bad)
+        assert exc.value.path == "resource[0].buses"
+
+    def test_field_error_is_an_input_format_error(self):
+        assert issubclass(CaseFieldError, InputFormatError)
 
 
 class TestRoundTrip:

@@ -9,6 +9,7 @@ from repro.topology import (
     StatusTelemetry,
     TopologyProcessor,
 )
+from repro.validation import validate_post_attack_topology
 
 
 @pytest.fixture
@@ -98,3 +99,60 @@ class TestProcessor:
             6, LineStatus.OPEN)
         view = processor.map_topology(telemetry)
         assert processor.validate(view) == []
+
+
+class TestPostAttackRevalidation:
+    """Edge cases of re-validating an attack-induced believed topology."""
+
+    def test_single_line_exclusion_is_clean(self, grid):
+        report = validate_post_attack_topology(grid, excluded=(6,))
+        assert report.ok
+        assert report.diagnostics == []
+
+    def test_islanding_exclusion_is_fatal_degeneracy(self, grid):
+        # opening lines 3 (2-3) and 6 (3-4) strands bus 3.
+        report = validate_post_attack_topology(grid, excluded=(3, 6))
+        assert not report.ok
+        assert report.has("topology.disconnected")
+        [finding] = report.fatal
+        assert "bus:3" in finding.components
+        # an islanding attack degrades the case — it is not malformed.
+        assert report.fatal_status() == "degenerate_case"
+
+    def test_inclusion_of_nonexistent_branch(self, grid):
+        report = validate_post_attack_topology(grid, included=(99,))
+        assert not report.ok
+        assert report.has("attack.unknown_line")
+        [finding] = report.fatal
+        assert "line:99" in finding.components
+        # a dangling reference is malformed input, not degeneracy.
+        assert report.fatal_status() == "invalid_input"
+
+    def test_double_exclusion_warns_but_passes(self, grid):
+        report = validate_post_attack_topology(grid, excluded=(6, 6))
+        assert report.ok
+        assert report.has("attack.duplicate_target")
+        [finding] = report.warnings
+        assert "line:6" in finding.components
+
+    def test_conflicting_exclusion_and_inclusion(self, grid):
+        report = validate_post_attack_topology(grid, excluded=(6,),
+                                               included=(6,))
+        assert not report.ok
+        assert report.has("attack.conflicting_target")
+
+    def test_exclusion_of_already_open_line_warns(self, grid):
+        physical = grid.with_line_statuses({5: False})
+        report = validate_post_attack_topology(physical, excluded=(5,))
+        assert report.ok
+        assert report.has("attack.exclude_open_line")
+
+    def test_inclusion_repairs_physical_islanding(self, grid):
+        # physically opening 3 and 6 islands bus 3; an inclusion attack
+        # that claims line 6 is closed makes the *believed* topology
+        # connected again — revalidation judges the believed view.
+        physical = grid.with_line_statuses({3: False, 6: False})
+        assert not validate_post_attack_topology(physical).ok
+        report = validate_post_attack_topology(physical, included=(6,))
+        assert report.ok
+        assert report.has("attack.include_closed_line") is False

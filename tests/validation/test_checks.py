@@ -1,0 +1,191 @@
+"""Tests for the preflight check functions.
+
+Corrupt cases are built by surgically editing the bundled five-bus case
+with :func:`dataclasses.replace`, so each test isolates exactly one
+defect class and asserts the stable diagnostic code it must produce.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.grid.cases import case_names, get_case
+from repro.validation import (
+    DEGENERATE_CASE,
+    INVALID_INPUT,
+    check_attack_spec,
+    check_feasibility,
+    check_measurements,
+    check_structure,
+    check_topology,
+    validate_case,
+)
+
+
+def base():
+    return get_case("5bus-study1")
+
+
+def tweak_lines(case, changes):
+    """Replace fields of the line specs named in ``changes`` (by index)."""
+    specs = [dataclasses.replace(spec, **changes.get(spec.index, {}))
+             for spec in case.line_specs]
+    return dataclasses.replace(case, line_specs=specs)
+
+
+class TestCanonicalCasesAreClean:
+    @pytest.mark.parametrize("name", case_names())
+    def test_bundled_case_has_no_findings(self, name):
+        report = validate_case(get_case(name))
+        assert report.ok, report.render()
+        assert report.diagnostics == []
+
+
+class TestStructure:
+    def test_line_with_unknown_bus(self):
+        case = tweak_lines(base(), {2: {"to_bus": 99}})
+        report = check_structure(case)
+        assert report.has("line.unknown_bus")
+        assert report.fatal_status() == INVALID_INPUT
+
+    def test_self_loop(self):
+        case = tweak_lines(base(), {2: {"to_bus": 1}})
+        assert check_structure(case).has("line.self_loop")
+
+    def test_nonpositive_admittance_and_capacity(self):
+        case = tweak_lines(base(), {1: {"admittance": 0},
+                                    2: {"capacity": -1}})
+        report = check_structure(case)
+        assert report.has("line.nonpositive_admittance")
+        assert report.has("line.nonpositive_capacity")
+
+    def test_duplicate_line_index(self):
+        case = base()
+        specs = list(case.line_specs)
+        specs[1] = dataclasses.replace(specs[1], index=1)
+        case = dataclasses.replace(case, line_specs=specs)
+        report = check_structure(case)
+        assert report.has("case.duplicate_line")
+
+    def test_unknown_reference_bus(self):
+        case = dataclasses.replace(base(), reference_bus=9)
+        assert check_structure(case).has("case.unknown_reference_bus")
+
+    def test_structural_failure_skips_downstream_checks(self):
+        # a dangling bus reference must not trigger topology/feasibility
+        # findings computed from the malformed structure.
+        case = tweak_lines(base(), {2: {"to_bus": 99}})
+        report = validate_case(case)
+        assert report.fatal_status() == INVALID_INPUT
+        assert not report.has("topology.disconnected")
+
+
+class TestTopology:
+    def test_islanded_bus_is_degenerate(self):
+        case = tweak_lines(base(), {3: {"in_true_topology": False},
+                                    6: {"in_true_topology": False}})
+        report = check_topology(case)
+        assert report.has("topology.isolated_bus")
+        assert report.has("topology.disconnected")
+        assert report.fatal_status() == DEGENERATE_CASE
+
+    def test_no_in_service_lines(self):
+        case = tweak_lines(
+            base(), {i: {"in_true_topology": False} for i in range(1, 8)})
+        report = check_topology(case)
+        assert report.has("topology.no_lines")
+        assert report.fatal_status() == DEGENERATE_CASE
+
+
+class TestFeasibility:
+    def test_load_exceeding_capacity(self):
+        case = dataclasses.replace(base(),
+                                   generators=base().generators[:1])
+        report = check_feasibility(case)
+        assert report.has("grid.load_exceeds_capacity")
+        assert report.fatal_status() == DEGENERATE_CASE
+
+    def test_no_generators(self):
+        case = dataclasses.replace(base(), generators=[])
+        report = check_feasibility(case)
+        assert report.has("grid.no_generators")
+        assert report.fatal_status() == DEGENERATE_CASE
+
+    def test_no_loads_degrades(self):
+        case = dataclasses.replace(base(), loads=[])
+        report = check_feasibility(case)
+        assert report.has("grid.no_loads")
+
+
+class TestMeasurements:
+    def test_duplicate_index(self):
+        case = base()
+        specs = list(case.measurement_specs)
+        specs[1] = dataclasses.replace(specs[1], index=1)
+        case = dataclasses.replace(case, measurement_specs=specs)
+        report = check_measurements(case, observability=False)
+        assert report.has("meas.duplicate_index")
+
+    def test_index_out_of_range(self):
+        case = base()
+        specs = list(case.measurement_specs)
+        specs[-1] = dataclasses.replace(specs[-1], index=99)
+        case = dataclasses.replace(case, measurement_specs=specs)
+        report = check_measurements(case, observability=False)
+        assert report.has("meas.index_out_of_range")
+
+    def test_none_taken_degrades(self):
+        case = base()
+        specs = [dataclasses.replace(s, taken=False)
+                 for s in case.measurement_specs]
+        case = dataclasses.replace(case, measurement_specs=specs)
+        report = check_measurements(case, observability=False)
+        assert report.has("meas.none_taken")
+        assert report.ok  # degraded, not fatal
+
+    def test_unobservable_set_flagged(self):
+        # keep only the first flow measurement: far too few for the
+        # five-bus system's four free angles.
+        case = base()
+        specs = [dataclasses.replace(s, taken=(s.index == 1))
+                 for s in case.measurement_specs]
+        case = dataclasses.replace(case, measurement_specs=specs)
+        report = check_measurements(case, observability=True)
+        assert report.has("meas.unobservable")
+        assert check_measurements(case, observability=False).has(
+            "meas.unobservable") is False
+
+
+class TestAttackSpec:
+    def test_negative_resources(self):
+        case = dataclasses.replace(base(), resource_measurements=-1)
+        report = check_attack_spec(case)
+        assert report.has("attack.resource_invalid")
+        assert report.fatal_status() == INVALID_INPUT
+
+    def test_negative_target_warns(self):
+        case = dataclasses.replace(base(), min_increase_percent=-3)
+        report = check_attack_spec(case)
+        assert report.has("attack.target_negative")
+        assert report.ok
+
+    def test_negative_base_cost_warns(self):
+        case = dataclasses.replace(base(), base_cost=-10)
+        report = check_attack_spec(case)
+        assert report.has("attack.base_cost_negative")
+        assert report.ok
+
+    def test_zero_base_cost_means_compute_it(self):
+        # the paper's convention: 0 asks the tool to use the attack-free
+        # OPF cost — it must not be flagged.
+        case = dataclasses.replace(base(), base_cost=0)
+        assert not check_attack_spec(case).has(
+            "attack.base_cost_negative")
+
+    def test_no_alterable_lines_warns(self):
+        case = tweak_lines(
+            base(), {i: {"status_alterable": False}
+                     for i in range(1, 8)})
+        report = check_attack_spec(case)
+        assert report.has("attack.no_candidates")
+        assert report.ok

@@ -1,0 +1,120 @@
+"""Tests for the structured-diagnostic primitives."""
+
+import pytest
+
+from repro.validation import (
+    DEGENERATE_CASE,
+    DEGRADED,
+    FATAL,
+    INVALID_INPUT,
+    WARNING,
+    Diagnostic,
+    ValidationReport,
+)
+
+
+class TestDiagnostic:
+    def test_components_normalized_to_strings(self):
+        diag = Diagnostic("line.self_loop", FATAL, "msg",
+                          components=("line:3", 7))
+        assert diag.components == ("line:3", "7")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("x", "catastrophic", "msg")
+
+    def test_round_trip(self):
+        diag = Diagnostic("gen.unknown_bus", FATAL, "generator at 9",
+                          components=("generator:9",), hint="fix it")
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+    def test_hint_omitted_from_payload_when_absent(self):
+        payload = Diagnostic("a.b", WARNING, "msg").to_dict()
+        assert "hint" not in payload
+        assert Diagnostic.from_dict(payload).hint is None
+
+    @pytest.mark.parametrize("mangle", [
+        lambda p: p.pop("code"),
+        lambda p: p.update(code=""),
+        lambda p: p.update(severity="nope"),
+        lambda p: p.pop("message"),
+        lambda p: p.update(components="bus:1"),
+        lambda p: p.update(components=[1, 2]),
+        lambda p: p.update(hint=42),
+    ])
+    def test_malformed_payload_rejected(self, mangle):
+        payload = Diagnostic("a.b", FATAL, "msg",
+                             components=("bus:1",), hint="h").to_dict()
+        mangle(payload)
+        with pytest.raises(ValueError):
+            Diagnostic.from_dict(payload)
+
+    def test_render_mentions_code_components_and_hint(self):
+        diag = Diagnostic("bus.bad", FATAL, "broken",
+                          components=("bus:2",), hint="repair")
+        text = diag.render()
+        assert "bus.bad" in text and "bus:2" in text
+        assert "hint: repair" in text
+
+
+class TestValidationReport:
+    def _report(self):
+        report = ValidationReport(subject="test case")
+        report.add("topology.disconnected", FATAL, "islanded",
+                   ("bus:3",))
+        report.add("meas.unobservable", DEGRADED, "underdetermined")
+        report.add("attack.core_line_open", WARNING, "odd", ("line:3",))
+        return report
+
+    def test_severity_buckets(self):
+        report = self._report()
+        assert [d.code for d in report.fatal] == ["topology.disconnected"]
+        assert [d.code for d in report.degraded] == ["meas.unobservable"]
+        assert [d.code for d in report.warnings] \
+            == ["attack.core_line_open"]
+        assert not report.ok
+        assert report.has("meas.unobservable")
+        assert not report.has("gen.unknown_bus")
+
+    def test_fatal_status_classification(self):
+        assert ValidationReport().fatal_status() is None
+        degenerate = ValidationReport()
+        degenerate.add("topology.disconnected", FATAL, "islanded")
+        assert degenerate.fatal_status() == DEGENERATE_CASE
+        invalid = ValidationReport()
+        invalid.add("line.unknown_bus", FATAL, "dangling")
+        assert invalid.fatal_status() == INVALID_INPUT
+        # structural malformation dominates a mixed report: the
+        # degeneracy may be an artifact of the malformation.
+        mixed = self._report()
+        mixed.add("line.unknown_bus", FATAL, "dangling")
+        assert mixed.fatal_status() == INVALID_INPUT
+
+    def test_round_trip(self):
+        report = self._report()
+        rebuilt = ValidationReport.from_dict(report.to_dict())
+        assert rebuilt == report
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationReport.from_dict({"subject": "x"})
+        with pytest.raises(ValueError):
+            ValidationReport.from_dict(
+                {"subject": "x", "diagnostics": [{"code": "a"}]})
+
+    def test_render_orders_by_severity(self):
+        report = ValidationReport(subject="s")
+        report.add("w", WARNING, "later")
+        report.add("f", FATAL, "first")
+        text = report.render()
+        assert text.index("f: first") < text.index("w: later")
+        assert ValidationReport(subject="s").render() \
+            == "s: no findings"
+
+    def test_extend_merges_diagnostics(self):
+        one = self._report()
+        two = ValidationReport()
+        two.add("gen.unknown_bus", FATAL, "dangling")
+        one.extend(two)
+        assert one.has("gen.unknown_bus")
+        assert len(one.diagnostics) == 4
