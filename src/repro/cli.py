@@ -219,6 +219,10 @@ def _cmd_sweep(args) -> int:
     print(f"cache          : {sweep.cache_hits}/{len(specs)} hits"
           + (f" under {sweep.cache_dir}" if sweep.cache_dir else
              " (disabled)"))
+    if totals.get("encodings_built"):
+        print(f"encodings      : {totals['encodings_built']} built "
+              f"({totals['encode_seconds']:.3f}s encode); warm "
+              f"scenarios reused them incrementally")
     if totals["certificate_errors"] or totals["certified"]:
         print(f"certificates   : {totals['certified']} verified, "
               f"{totals['certificate_errors']} rejected")

@@ -430,6 +430,21 @@ class AttackModelEncoding:
             sorted(altered), sorted(compromised), believed, shifts,
             dispatch, flows, cost)
 
+    def add_min_operating_cost(self, threshold: Fraction) -> None:
+        """Require the current operating cost to be at least ``threshold``.
+
+        The same necessary condition ``config.min_operating_cost`` bakes
+        in at construction time, but addable after the fact — typically
+        inside a solver ``push()`` scope — so a warm encoding can swap
+        cost thresholds between sweep scenarios without rebuilding the
+        whole model.
+        """
+        cost = linear_sum(gen.cost_beta * self.gen[bus]
+                          for bus, gen in self.grid.generators.items())
+        alpha = sum((gen.cost_alpha
+                     for gen in self.grid.generators.values()), Fraction(0))
+        self.solver.add(cost + alpha >= to_fraction(threshold))
+
     def block(self, solution: AttackVectorSolution,
               precision: int = 2) -> None:
         """Exclude this attack vector (and its near-identical neighbors).

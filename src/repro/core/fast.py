@@ -22,6 +22,15 @@ LODF/LCDF evaluation — and exploits problem structure:
   (worst cases of a convex function lie on the boundary) and validates
   each sample against the attacker model by reconstructing the required
   state shift and measurement alterations.
+
+Since the session refactor this module holds only the *search strategy*:
+candidate enumeration and evaluation.  Preflight, budgets, certificate
+bookkeeping, run notes and report assembly live once in
+:class:`repro.core.session.AnalysisSession`; the
+:class:`FastImpactAnalyzer` facade wires the two together.  The PTDF
+factorization is inherently per-case, so the fast strategy is "warm"
+from its second query onward — its ``encode_seconds`` is the one-time
+pipeline build.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ import random
 import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -40,20 +49,15 @@ from repro.attacks.topology_poisoning import (
     craft_topology_attack,
     validate_against_attacker,
 )
-from repro.core.results import (
-    AnalysisTrace,
-    CandidateEvaluation,
-    ImpactReport,
-)
-from repro.exceptions import CertificateError, ModelError
+from repro.core.results import CandidateEvaluation, ImpactReport
+from repro.core.session import AnalysisSession, SearchOutcome, SearchStrategy
+from repro.exceptions import CertificateError
 from repro.grid.caseio import CaseDefinition
 from repro.grid.matrices import state_order, susceptance_matrix
 from repro.opf.dcopf import solve_dc_opf
 from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
 from repro.smt.budget import SolverBudget
-from repro.smt.certificates import self_check_default
 from repro.smt.rational import to_fraction
-from repro.validation import FATAL, WARNING, ValidationReport, validate_case
 
 #: relative tolerance of the certified-mode cost recheck: the fast
 #: analyzer's PTDF pipeline and the independent B-theta re-solve travel
@@ -85,72 +89,67 @@ class FastQuery:
     self_check: Optional[bool] = None
 
 
-class FastImpactAnalyzer:
-    """Single-line topology-attack impact analysis at IEEE-118 scale."""
+class FastSearchStrategy(SearchStrategy):
+    """Single-line LODF/LCDF candidate enumeration for a session."""
 
-    def __init__(self, case: CaseDefinition,
-                 preflight: bool = True) -> None:
+    kind = "fast"
+
+    def __init__(self, case: CaseDefinition) -> None:
         self.case = case
-        #: preflight findings; fatal ones mean :meth:`analyze` returns a
-        #: rejected report instead of touching the PTDF pipeline.
-        self.preflight = validate_case(case) if preflight \
-            else ValidationReport(subject=case.name)
-        self._rejection = self.preflight.fatal_status()
-        self._run_notes = ValidationReport(subject=case.name)
-        self.grid = None
-        self.base_cost = Fraction(0)
+        self._base_cost = Fraction(0)
         self.evaluations: List[CandidateEvaluation] = []
-        if self._rejection is not None:
-            return
-        try:
-            self.grid = case.build_grid()
-            self.attacker = AttackerModel.from_case(case, self.grid)
-            self.base_topology = [l.index for l in self.grid.lines
-                                  if l.in_service]
-            self._sf_opf = ShiftFactorOpf(self.grid, self.base_topology)
-            base = self._sf_opf.solve()
-        except ModelError as exc:
-            self.preflight.add("case.model_error", FATAL, str(exc))
-            self._rejection = self.preflight.fatal_status()
-            return
+        self.attacker: Optional[AttackerModel] = None
+        self.base_topology: List[int] = []
+        self._sf_opf: Optional[ShiftFactorOpf] = None
+        self._prepare_seconds = 0.0
+        self._analyses = 0
+        self._opf_calls_before = 0
+        self._opf_seconds_before = 0.0
+
+    @property
+    def grid(self):
+        return self.session.grid
+
+    # ------------------------------------------------------------------
+    # Session surface
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Build the per-case PTDF pipeline and solve the attack-free OPF.
+
+        A :class:`~repro.exceptions.ModelError` propagates to the session
+        (→ ``case.model_error`` rejection); an infeasible base OPF is
+        reported through :meth:`AnalysisSession.note_base_infeasible`.
+        """
+        built = time.perf_counter()
+        case, grid = self.case, self.session.grid
+        self.attacker = AttackerModel.from_case(case, grid)
+        self.base_topology = [l.index for l in grid.lines if l.in_service]
+        self._sf_opf = ShiftFactorOpf(grid, self.base_topology)
+        base = self._sf_opf.solve()
+        self._prepare_seconds = time.perf_counter() - built
         if not base.feasible:
-            self.preflight.add(
-                "opf.base_infeasible", FATAL,
-                f"case {case.name}: attack-free OPF is infeasible",
-                hint="no dispatch satisfies the base case's line and "
-                     "generation limits")
-            self._rejection = self.preflight.fatal_status()
+            self.session.note_base_infeasible(
+                f"case {case.name}: attack-free OPF is infeasible")
             return
-        self.base_cost = base.cost
+        self._base_cost = base.cost
 
-    def threshold_for(self, percent) -> Fraction:
-        return self.base_cost * (1 + to_fraction(percent) / 100)
+    def base_cost(self) -> Fraction:
+        return self._base_cost
 
-    # ------------------------------------------------------------------
-    # Public API
-    # ------------------------------------------------------------------
+    def make_query(self, percent: Fraction, **attrs) -> FastQuery:
+        return FastQuery(target_increase_percent=percent, **attrs)
 
-    def analyze(self, query: Optional[FastQuery] = None) -> ImpactReport:
-        query = query or FastQuery()
-        percent = to_fraction(
-            query.target_increase_percent
-            if query.target_increase_percent is not None
-            else self.case.min_increase_percent)
-        started = time.perf_counter()
-        self._run_notes = ValidationReport(subject=self.case.name)
-        if self._rejection is not None:
-            return ImpactReport.rejected(
-                self.preflight, percent,
-                elapsed_seconds=time.perf_counter() - started)
-        threshold = self.threshold_for(percent)
+    def begin(self, query: FastQuery, threshold: Fraction) -> None:
         self.evaluations = []
-        opf_calls_before = self._sf_opf.solve_calls
-        opf_seconds_before = self._sf_opf.solve_seconds
+        self._analyses += 1
+        self._opf_calls_before = self._sf_opf.solve_calls
+        self._opf_seconds_before = self._sf_opf.solve_seconds
 
+    def search(self, query: FastQuery,
+               threshold: Fraction) -> SearchOutcome:
+        session = self.session
         budget = query.budget
-        if budget is not None:
-            budget.start()
-
         status = "complete"
         budget_reason: Optional[str] = None
         best: Optional[CandidateEvaluation] = None
@@ -166,29 +165,19 @@ class FastImpactAnalyzer:
             evaluation = self._evaluate_candidate(
                 kind, line_index, threshold, query)
             self.evaluations.append(evaluation)
+            session.record_candidate()
             if evaluation.best_increase_percent is None:
                 continue
             if best is None or (evaluation.best_increase_percent
                                 > best.best_increase_percent):
                 best = evaluation
 
-        certify = self_check_default(query.self_check)
-        cert_stats: Dict = {}
-        elapsed = time.perf_counter() - started
-        trace = AnalysisTrace(
-            stages={"total_seconds": elapsed},
-            # The fast analyzer never touches the SMT solver; report
-            # explicit zeros so sweep traces stay uniform.
-            smt={"solve_calls": 0, "decisions": 0, "conflicts": 0,
-                 "theory_conflicts": 0, "simplex_pivots": 0,
-                 "total_seconds": 0.0},
-            opf={"solves": self._sf_opf.solve_calls - opf_calls_before,
-                 "seconds": (self._sf_opf.solve_seconds
-                             - opf_seconds_before)})
-        target = float(percent)
+        # The threshold encodes the target exactly, so this float equals
+        # the query's target percentage bit-for-bit.
+        target = float((threshold / self._base_cost - 1) * 100)
         # Eq. 37 boundary semantics: reaching the target exactly counts.
         if best is not None and best.best_increase_percent >= target:
-            believed_min = self.base_cost * to_fraction(
+            believed_min = self._base_cost * to_fraction(
                 1 + best.best_increase_percent / 100)
             from repro.core.encoding import AttackVectorSolution
             solution = AttackVectorSolution(
@@ -203,37 +192,37 @@ class FastImpactAnalyzer:
                                 for b, v in best.believed_loads.items()},
                 state_shift={}, operating_dispatch={}, operating_flows={},
                 operating_cost=Fraction(0))
-            if certify:
-                try:
-                    cert_stats = self._certify_solution(
-                        solution, believed_min, threshold)
-                except CertificateError as exc:
-                    trace.certificates = {"enabled": True,
-                                          "error": str(exc)}
-                    return ImpactReport(
-                        False, self.base_cost, threshold, percent,
-                        candidates_examined=len(self.evaluations),
-                        elapsed_seconds=time.perf_counter() - started,
-                        trace=trace, status="certificate_error",
-                        certified=False, certificate_error=str(exc),
-                        diagnostics=self._diagnostics())
-                trace.certificates = cert_stats
-            return ImpactReport(True, self.base_cost, threshold, percent,
-                                solution, believed_min,
-                                len(self.evaluations),
-                                time.perf_counter() - started,
-                                trace=trace, status=status,
-                                budget_reason=budget_reason,
-                                certified=True if certify else None,
-                                diagnostics=self._diagnostics())
-        if certify:
-            trace.certificates = {"enabled": True, "models_checked": 0}
-        return ImpactReport(False, self.base_cost, threshold, percent,
-                            candidates_examined=len(self.evaluations),
-                            elapsed_seconds=elapsed, trace=trace,
-                            status=status, budget_reason=budget_reason,
-                            certified=True if certify else None,
-                            diagnostics=self._diagnostics())
+            return SearchOutcome(satisfiable=True, solution=solution,
+                                 believed_min=believed_min, status=status,
+                                 budget_reason=budget_reason)
+        return SearchOutcome(satisfiable=False, status=status,
+                             budget_reason=budget_reason)
+
+    def certify_outcome(self, outcome: SearchOutcome,
+                        threshold: Fraction) -> None:
+        stats = self._certify_solution(outcome.solution,
+                                       outcome.believed_min, threshold)
+        self.session.merge_cert_stats(stats)
+
+    # ------------------------------------------------------------------
+    # Trace hooks
+    # ------------------------------------------------------------------
+
+    def encode_info(self) -> Dict:
+        if self._analyses <= 1:
+            return {"warm": False, "encodings_built": 1,
+                    "encode_seconds": self._prepare_seconds}
+        return {"warm": True, "encodings_built": 0,
+                "encode_seconds": 0.0}
+
+    def opf_trace(self) -> Dict:
+        return {"solves": self._sf_opf.solve_calls - self._opf_calls_before,
+                "seconds": (self._sf_opf.solve_seconds
+                            - self._opf_seconds_before)}
+
+    # ------------------------------------------------------------------
+    # Certified recheck
+    # ------------------------------------------------------------------
 
     def _certify_solution(self, solution, believed_min: Fraction,
                           threshold: Fraction) -> Dict:
@@ -295,22 +284,9 @@ class FastImpactAnalyzer:
         return self.base_topology + [line_index]
 
     def _note_islanding(self, kind: str, line_index: int) -> None:
-        notes = [d for d in self._run_notes.diagnostics
-                 if d.code == "topology.attack_islands_network"]
-        if len(notes) >= 3:
-            return
-        self._run_notes.add(
-            "topology.attack_islands_network", WARNING,
-            f"single-line {kind} attack on line {line_index} islands "
-            f"the believed topology; candidate pruned",
-            [f"line:{line_index}"],
-            hint="the EMS's OPF has no solution on this view")
-
-    def _diagnostics(self) -> Optional[ValidationReport]:
-        merged = ValidationReport(subject=self.case.name)
-        merged.extend(self.preflight)
-        merged.extend(self._run_notes)
-        return merged if merged.diagnostics else None
+        excluded = [line_index] if kind == "exclude" else []
+        included = [line_index] if kind == "include" else []
+        self.session.note_islanding(excluded, included)
 
     def _evaluate_candidate(self, kind: str, line_index: int,
                             threshold: Fraction,
@@ -360,7 +336,7 @@ class FastImpactAnalyzer:
                                        "believed OPF never converges")
         best_f, best_cost, loads = best
 
-        increase = 100 * (float(best_cost) / float(self.base_cost) - 1)
+        increase = 100 * (float(best_cost) / float(self._base_cost) - 1)
         evaluation = CandidateEvaluation(
             kind, line_index, True,
             best_increase_percent=increase,
@@ -639,7 +615,64 @@ class FastImpactAnalyzer:
             if not result.feasible:
                 continue
             increase = 100 * (float(result.cost)
-                              / float(self.base_cost) - 1)
+                              / float(self._base_cost) - 1)
             if best is None or increase > best[0]:
                 best = (increase, loads, attack.altered_measurements)
         return best
+
+
+class FastImpactAnalyzer:
+    """Single-line topology-attack impact analysis at IEEE-118 scale.
+
+    A thin facade over :class:`AnalysisSession` +
+    :class:`FastSearchStrategy`; the PTDF pipeline is built once in the
+    constructor and reused across :meth:`analyze` calls.
+    """
+
+    def __init__(self, case: CaseDefinition,
+                 preflight: bool = True) -> None:
+        self._strategy = FastSearchStrategy(case)
+        self.session = AnalysisSession(case, self._strategy,
+                                       preflight=preflight)
+
+    @property
+    def case(self) -> CaseDefinition:
+        return self.session.case
+
+    @property
+    def preflight(self):
+        return self.session.preflight
+
+    @property
+    def grid(self):
+        return self.session.grid
+
+    @property
+    def base_cost(self) -> Fraction:
+        return self._strategy.base_cost()
+
+    @property
+    def evaluations(self) -> List[CandidateEvaluation]:
+        return self._strategy.evaluations
+
+    @property
+    def attacker(self) -> Optional[AttackerModel]:
+        return self._strategy.attacker
+
+    @property
+    def base_topology(self) -> List[int]:
+        return self._strategy.base_topology
+
+    @property
+    def _sf_opf(self) -> Optional[ShiftFactorOpf]:
+        return self._strategy._sf_opf
+
+    def threshold_for(self, percent) -> Fraction:
+        return self.session.threshold_for(percent)
+
+    def analyze(self, query: Optional[FastQuery] = None) -> ImpactReport:
+        return self.session.analyze(query or FastQuery())
+
+    def solve_at(self, percent, **attrs) -> ImpactReport:
+        """Analyze at a new target percentage, reusing the warm pipeline."""
+        return self.session.solve_at(percent, **attrs)

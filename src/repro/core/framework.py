@@ -1,4 +1,4 @@
-"""The verification framework of paper Fig. 2.
+"""The verification framework of paper Fig. 2 (SMT search strategy).
 
 The loop couples the two SMT models:
 
@@ -22,14 +22,31 @@ additionally *extremizes* each believed load within the found structure
 convexity of the OPF optimum in the loads puts the worst case on the
 boundary, so this finds high-impact instances orders of magnitude faster
 than blind vector enumeration.
+
+Since the session refactor this module holds only the *search strategy*:
+candidate generation (the SMT attack model), evaluation (exact believed
+OPF), blocking and extremization.  Everything cross-cutting — preflight,
+budgets, certification bookkeeping, run notes, report assembly — lives
+once in :class:`repro.core.session.AnalysisSession`; the
+:class:`ImpactAnalyzer` facade wires the two together and keeps the
+public surface unchanged.
+
+Incremental mode (``ImpactAnalyzer(case, incremental=True)``): the
+strategy builds the attack encoding *without* a baked-in cost threshold
+and re-solves consecutive queries inside guard-literal ``push()``/
+``pop()`` scopes of the same solver, so a threshold sweep retains the
+clause database, learned clauses and simplex state across scenarios.
+The default (cold) mode rebuilds per query, byte-for-byte identical to
+the pre-refactor encoding — enumeration order, and therefore the exact
+witness vectors reported for the paper's case studies, are preserved.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.encoding import (
     AttackEncodingConfig,
@@ -37,24 +54,13 @@ from repro.core.encoding import (
     AttackVectorSolution,
     OpfModelEncoding,
 )
-from repro.core.results import AnalysisTrace, ImpactReport
-from repro.exceptions import BudgetExhausted, CertificateError, ModelError
+from repro.core.results import ImpactReport
+from repro.core.session import AnalysisSession, SearchOutcome, SearchStrategy
+from repro.exceptions import ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.opf.dcopf import DcOpfResult, solve_dc_opf
 from repro.smt import Not, SolverBudget, maximize, minimize
-from repro.smt.certificates import (
-    CheckReport,
-    self_check_default,
-    verify_sat,
-    verify_unsat,
-)
 from repro.smt.rational import to_fraction
-from repro.validation import FATAL, WARNING, ValidationReport, validate_case
-
-#: cap on the per-check event list kept in the trace (counters are exact).
-_MAX_CERT_EVENTS = 200
-#: cap on the per-run "candidate islands the network" notes recorded.
-_MAX_ISLANDING_NOTES = 3
 
 
 @dataclass
@@ -89,90 +95,80 @@ class ImpactQuery:
     self_check: Optional[bool] = None
 
 
-class ImpactAnalyzer:
-    """Analyzes one case for stealthy-attack impact on OPF."""
+class SmtSearchStrategy(SearchStrategy):
+    """The full-SMT Fig.-2 candidate search, pluggable into a session."""
+
+    kind = "smt"
 
     def __init__(self, case: CaseDefinition,
-                 preflight: bool = True) -> None:
+                 incremental: bool = False) -> None:
         self.case = case
-        #: preflight findings; fatal ones mean :meth:`analyze` returns a
-        #: rejected report instead of touching an encoder.
-        self.preflight = validate_case(case) if preflight \
-            else ValidationReport(subject=case.name)
-        self._rejection = self.preflight.fatal_status()
-        self.grid = None
-        if self._rejection is None:
-            try:
-                self.grid = case.build_grid()
-            except ModelError as exc:
-                # Safety net: preflight models the Grid invariants at the
-                # spec level, but a construction failure it missed must
-                # still reject, not crash.
-                self.preflight.add("case.model_error", FATAL, str(exc))
-                self._rejection = self.preflight.fatal_status()
-        self._run_notes = ValidationReport(subject=case.name)
+        self.incremental = incremental
         self._base: Optional[DcOpfResult] = None
-        # per-analyze() work counters (reset at the top of analyze()).
-        self._evaluations = 0
+        self._encoding: Optional[AttackModelEncoding] = None
+        #: (with_state_infection, allow_topology_attack, certify) of the
+        #: warm encoding — a mismatch forces a rebuild.
+        self._encoding_key = None
+        self._scope_active = False
+        # per-run trace state (reset in begin()).
+        self._run_encodings = 0
+        self._encode_seconds = 0.0
+        self._warm = False
         self._opf_solves = 0
         self._opf_seconds = 0.0
-        self._best_seen: Optional[Tuple[AttackVectorSolution,
-                                        Fraction]] = None
-        self._certify = False
-        self._cert_stats: Dict = {}
+        self._stats_base: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Session surface
+    # ------------------------------------------------------------------
 
     @property
     def base_result(self) -> DcOpfResult:
         """The attack-free OPF solution (exact)."""
         if self._base is None:
-            self._base = solve_dc_opf(self.grid, method="exact")
+            self._base = solve_dc_opf(self.session.grid, method="exact")
             if not self._base.feasible:
                 raise ModelError(
                     f"case {self.case.name}: attack-free OPF is infeasible")
         return self._base
 
-    @property
     def base_cost(self) -> Fraction:
         return self.base_result.cost
 
-    def threshold_for(self, percent: Fraction) -> Fraction:
-        """T_OPF = base * (1 + I/100)."""
-        return self.base_cost * (1 + to_fraction(percent) / 100)
-
-    # ------------------------------------------------------------------
-    # The Fig.-2 loop
-    # ------------------------------------------------------------------
-
-    def analyze(self, query: Optional[ImpactQuery] = None) -> ImpactReport:
-        query = query or ImpactQuery()
-        percent = to_fraction(
-            query.target_increase_percent
-            if query.target_increase_percent is not None
-            else self.case.min_increase_percent)
-        started = time.perf_counter()
-        self._run_notes = ValidationReport(subject=self.case.name)
-        if self._rejection is not None:
-            return ImpactReport.rejected(
-                self.preflight, percent,
-                elapsed_seconds=time.perf_counter() - started)
-        try:
-            threshold = self.threshold_for(percent)
-        except ModelError as exc:
-            # Preflight admits the case on aggregate load/capacity, but
-            # line limits can still make the attack-free OPF infeasible.
-            self.preflight.add(
-                "opf.base_infeasible", FATAL, str(exc),
-                hint="no dispatch satisfies the base case's line and "
-                     "generation limits")
-            self._rejection = self.preflight.fatal_status()
-            return ImpactReport.rejected(
-                self.preflight, percent,
-                elapsed_seconds=time.perf_counter() - started)
-
+    def validate_query(self, query: ImpactQuery) -> None:
         if not query.allow_topology_attack \
                 and not query.with_state_infection:
             raise ModelError("a query must allow topology attacks, state "
                              "infection, or both")
+
+    def make_query(self, percent: Fraction, **attrs) -> ImpactQuery:
+        return ImpactQuery(target_increase_percent=percent, **attrs)
+
+    def begin(self, query: ImpactQuery, threshold: Fraction) -> None:
+        self._opf_solves = 0
+        self._opf_seconds = 0.0
+        if self.incremental:
+            self._begin_incremental(query, threshold)
+        else:
+            self._begin_cold(query, threshold)
+        solver = self._encoding.solver
+        solver.set_budget(query.budget)
+        stats = solver.stats
+        self._stats_base = {
+            "solve_calls": stats.solve_calls,
+            "total_seconds": stats.total_time,
+            "decisions": stats.decisions,
+            "conflicts": stats.conflicts,
+            "theory_conflicts": stats.theory_conflicts,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "simplex_pivots": stats.simplex_pivots,
+        }
+
+    def _begin_cold(self, query: ImpactQuery, threshold: Fraction) -> None:
+        """Fresh encoding per query — the pre-refactor construction,
+        preserved bit-for-bit (including the baked-in threshold bound)
+        so enumeration order and reported witnesses stay stable."""
         config = AttackEncodingConfig(
             include_state_infection=query.with_state_infection,
             require_topology_attack=query.allow_topology_attack,
@@ -186,68 +182,104 @@ class ImpactAnalyzer:
             min_operating_cost=None if query.with_state_infection
             else threshold,
         )
-        self._certify = self_check_default(query.self_check)
-        self._cert_stats = self._fresh_cert_stats()
-        encoding = AttackModelEncoding(self.case, config,
-                                       certify=self._certify)
-        encode_seconds = time.perf_counter() - started
-        self._evaluations = 0
-        self._opf_solves = 0
-        self._opf_seconds = 0.0
-        self._best_seen: Optional[Tuple[AttackVectorSolution,
-                                        Fraction]] = None
+        built = time.perf_counter()
+        self._encoding = AttackModelEncoding(
+            self.case, config, certify=self.session.certify_enabled)
+        self._encode_seconds = time.perf_counter() - built
+        self._run_encodings = 1
+        self._warm = False
+        self._scope_active = False
+
+    def _begin_incremental(self, query: ImpactQuery,
+                           threshold: Fraction) -> None:
+        """Reuse one thresholdless encoding across queries.
+
+        The threshold bound (and every per-run ``block``/
+        ``block_structure`` clause the search adds) lives in a solver
+        ``push()`` scope that the next query pops, so learned clauses
+        and simplex state carry over while per-query constraints don't.
+        """
+        certify = self.session.certify_enabled
+        key = (query.with_state_infection, query.allow_topology_attack,
+               certify)
+        if self._encoding is None or self._encoding_key != key:
+            config = AttackEncodingConfig(
+                include_state_infection=query.with_state_infection,
+                require_topology_attack=query.allow_topology_attack,
+                forbid_topology_attack=not query.allow_topology_attack,
+                require_state_infection=not query.allow_topology_attack,
+                min_operating_cost=None,
+            )
+            built = time.perf_counter()
+            self._encoding = AttackModelEncoding(self.case, config,
+                                                 certify=certify)
+            self._encode_seconds = time.perf_counter() - built
+            self._encoding_key = key
+            self._run_encodings = 1
+            self._warm = False
+            self._scope_active = False
+        else:
+            self._encode_seconds = 0.0
+            self._run_encodings = 0
+            self._warm = True
+        solver = self._encoding.solver
+        if self._scope_active:
+            solver.pop()
+        solver.push()
+        self._scope_active = True
+        if not query.with_state_infection:
+            # Same necessary condition the cold path bakes in, but
+            # scoped so the next query can swap it out.
+            self._encoding.add_min_operating_cost(threshold)
+
+    def search(self, query: ImpactQuery,
+               threshold: Fraction) -> SearchOutcome:
+        encoding = self._encoding
         budget = query.budget
-        if budget is not None:
-            budget.start()
-            encoding.solver.set_budget(budget)
+        session = self.session
+        structures = 0
+        while structures < query.max_candidates:
+            if budget is not None:
+                budget.check_wall()
+            solution = encoding.solve()
+            if solution is None:
+                session.certify_unsat(encoding.solver)
+                return SearchOutcome(satisfiable=False)
+            session.certify_model(encoding.solver)
+            structures += 1
+            success, believed_min = self._evaluate(solution, threshold,
+                                                   query.opf_method,
+                                                   budget)
+            if success:
+                return self._success(solution, believed_min, threshold,
+                                     query)
+            if query.extremize_structures:
+                best = self._extremize_structure(encoding, solution,
+                                                 threshold, query)
+                if best is not None:
+                    return self._success(best[0], best[1], threshold,
+                                         query)
+                # The structure's believed-load boundary has been
+                # searched without reaching the threshold: prune the
+                # whole structure (convexity puts the worst case on
+                # the boundary).
+                encoding.block_structure(solution)
+            else:
+                encoding.block(solution, query.precision)
+        return SearchOutcome(satisfiable=False)
 
-        try:
-            structures = 0
-            while structures < query.max_candidates:
-                if budget is not None:
-                    budget.check_wall()
-                solution = encoding.solve()
-                if solution is None:
-                    self._certify_unsat(encoding.solver)
-                    return self._unsat_report(threshold, percent, encoding,
-                                              started, encode_seconds)
-                self._certify_model(encoding.solver)
-                structures += 1
-                success, believed_min = self._evaluate(solution, threshold,
-                                                       query.opf_method,
-                                                       budget)
-                if success:
-                    return self._success_report(
-                        solution, believed_min, threshold, percent,
-                        started, query, encoding, encode_seconds)
-                if query.extremize_structures:
-                    best = self._extremize_structure(encoding, solution,
-                                                     threshold, query)
-                    if best is not None:
-                        solution2, believed_min2 = best
-                        return self._success_report(
-                            solution2, believed_min2, threshold, percent,
-                            started, query, encoding, encode_seconds)
-                    # The structure's believed-load boundary has been
-                    # searched without reaching the threshold: prune the
-                    # whole structure (convexity puts the worst case on
-                    # the boundary).
-                    encoding.block_structure(solution)
-                else:
-                    encoding.block(solution, query.precision)
-        except BudgetExhausted as exc:
-            return self._partial_report(threshold, percent, encoding,
-                                        started, encode_seconds, exc.reason)
-        except CertificateError as exc:
-            return self._certificate_error_report(
-                threshold, percent, encoding, started, encode_seconds,
-                str(exc))
-
-        return self._unsat_report(threshold, percent, encoding, started,
-                                  encode_seconds)
+    def _success(self, solution: AttackVectorSolution,
+                 believed_min: Fraction, threshold: Fraction,
+                 query: ImpactQuery) -> SearchOutcome:
+        confirmed = None
+        if query.verify_with_smt_opf:
+            confirmed = self.confirm_with_smt_opf(solution, threshold)
+        return SearchOutcome(satisfiable=True, solution=solution,
+                             believed_min=believed_min,
+                             confirmed=confirmed)
 
     # ------------------------------------------------------------------
-    # Helpers
+    # Candidate evaluation
     # ------------------------------------------------------------------
 
     def _evaluate(self, solution: AttackVectorSolution,
@@ -256,14 +288,16 @@ class ImpactAnalyzer:
                   budget: Optional[SolverBudget] = None
                   ) -> Tuple[bool, Optional[Fraction]]:
         """(impact achieved?, believed minimum cost)."""
-        self._evaluations += 1
-        topology = solution.believed_topology(self.grid)
-        if not self.grid.is_connected(topology):
-            self._note_islanding(solution)
+        session = self.session
+        session.record_candidate()
+        grid = session.grid
+        topology = solution.believed_topology(grid)
+        if not grid.is_connected(topology):
+            session.note_islanding(solution.excluded, solution.included)
             return False, None
         opf_started = time.perf_counter()
         try:
-            result = solve_dc_opf(self.grid, loads=solution.believed_loads,
+            result = solve_dc_opf(grid, loads=solution.believed_loads,
                                   line_indices=topology, method=opf_method,
                                   budget=budget)
         finally:
@@ -272,199 +306,32 @@ class ImpactAnalyzer:
         if not result.feasible:
             # Eq. 38 violated: the EMS's OPF would fail to converge.
             return False, None
-        if self._best_seen is None or result.cost > self._best_seen[1]:
-            # Remember the most expensive believed optimum examined so a
-            # budget-exhausted run can still report its best attack.
-            self._best_seen = (solution, result.cost)
+        session.record_best(solution, result.cost)
         # Eq. 37 asks for an increase of *at least* I%, so a believed
         # optimum exactly on the threshold is a successful attack.
         return result.cost >= threshold, result.cost
 
-    def _note_islanding(self, solution: AttackVectorSolution) -> None:
-        """Record that a candidate's believed topology is disconnected.
-
-        Post-attack revalidation: the candidate is pruned (the EMS's OPF
-        would not converge), and the report's diagnostics say so instead
-        of the candidate silently vanishing.
-        """
-        notes = [d for d in self._run_notes.diagnostics
-                 if d.code == "topology.attack_islands_network"]
-        if len(notes) >= _MAX_ISLANDING_NOTES:
-            return
-        components = [f"line:{i}" for i in solution.excluded] + \
-            [f"line:{i}" for i in solution.included]
-        self._run_notes.add(
-            "topology.attack_islands_network", WARNING,
-            f"candidate attack (excluded={solution.excluded}, "
-            f"included={solution.included}) islands the believed "
-            f"topology; candidate pruned", components,
-            hint="the EMS's OPF has no solution on this view")
-
-    def _diagnostics(self) -> Optional[ValidationReport]:
-        """Preflight findings + per-run notes, or None when clean."""
-        merged = ValidationReport(subject=self.case.name)
-        merged.extend(self.preflight)
-        merged.extend(self._run_notes)
-        return merged if merged.diagnostics else None
-
-    def _fresh_cert_stats(self) -> Dict:
-        return {
-            "enabled": self._certify,
-            "models_checked": 0,
-            "unsat_checked": 0,
-            "terms_checked": 0,
-            "rup_steps": 0,
-            "theory_lemmas": 0,
-            "seconds": 0.0,
-            "events": [],
-        }
-
-    def _record_check(self, report: CheckReport) -> None:
-        stats = self._cert_stats
-        if report.kind == "model":
-            stats["models_checked"] += 1
-        else:
-            stats["unsat_checked"] += 1
-        stats["terms_checked"] += report.terms_checked
-        stats["rup_steps"] += report.rup_steps
-        stats["theory_lemmas"] += report.theory_lemmas
-        stats["seconds"] += report.seconds
-        events = stats["events"]
-        if len(events) < _MAX_CERT_EVENTS:
-            events.append({"kind": report.kind,
-                           "terms": report.terms_checked,
-                           "rup_steps": report.rup_steps,
-                           "theory_lemmas": report.theory_lemmas,
-                           "seconds": report.seconds})
-
-    def _certify_model(self, solver, model=None, assumptions=None) -> None:
-        """Check a SAT answer against the original assertions (no-op
-        unless the analysis runs in certified mode)."""
-        if not self._certify:
-            return
-        self._record_check(verify_sat(solver, model=model,
-                                      assumptions=assumptions))
-
-    def _certify_unsat(self, solver) -> None:
-        """Check an UNSAT answer against its recorded proof (no-op
-        unless the analysis runs in certified mode)."""
-        if not self._certify:
-            return
-        self._record_check(verify_unsat(solver))
-
-    def _trace(self, encoding: AttackModelEncoding, started: float,
-               encode_seconds: float) -> AnalysisTrace:
-        stats = encoding.solver.stats
-        return AnalysisTrace(
-            stages={
-                "encode_seconds": encode_seconds,
-                "total_seconds": time.perf_counter() - started,
-            },
-            smt={
-                "solve_calls": stats.solve_calls,
-                "total_seconds": stats.total_time,
-                "sat_vars": stats.sat_vars,
-                "clauses": stats.clauses,
-                "theory_atoms": stats.theory_atoms,
-                "real_vars": stats.real_vars,
-                "decisions": stats.decisions,
-                "conflicts": stats.conflicts,
-                "theory_conflicts": stats.theory_conflicts,
-                "propagations": stats.propagations,
-                "restarts": stats.restarts,
-                "simplex_pivots": stats.simplex_pivots,
-            },
-            opf={
-                "solves": self._opf_solves,
-                "seconds": self._opf_seconds,
-            },
-            certificates=dict(self._cert_stats) if self._certify else {})
-
-    def _unsat_report(self, threshold, percent, encoding, started,
-                      encode_seconds) -> ImpactReport:
-        return ImpactReport(
-            False, self.base_cost, threshold, percent,
-            candidates_examined=self._evaluations,
-            elapsed_seconds=time.perf_counter() - started,
-            solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds),
-            certified=True if self._certify else None,
-            diagnostics=self._diagnostics())
-
-    def _partial_report(self, threshold, percent, encoding, started,
-                        encode_seconds, reason: str) -> ImpactReport:
-        """Budget ran out mid-search: report what was found so far.
-
-        ``satisfiable`` stays False (no candidate reached the threshold
-        before exhaustion — a success returns immediately), but the best
-        sub-threshold attack examined so far is attached so the caller
-        sees how close the search got.
-        """
-        attack = believed = None
-        if self._best_seen is not None:
-            attack, believed = self._best_seen
-        return ImpactReport(
-            False, self.base_cost, threshold, percent, attack, believed,
-            candidates_examined=self._evaluations,
-            elapsed_seconds=time.perf_counter() - started,
-            solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds),
-            status="budget_exhausted", budget_reason=reason,
-            diagnostics=self._diagnostics())
-
-    def _certificate_error_report(self, threshold, percent, encoding,
-                                  started, encode_seconds,
-                                  message: str) -> ImpactReport:
-        """An answer failed its certificate check: report *no* verdict.
-
-        ``satisfiable`` is False but ``status="certificate_error"``
-        marks the whole report as untrusted — callers must treat it like
-        an error, never like a proven unsat.
-        """
-        return ImpactReport(
-            False, self.base_cost, threshold, percent,
-            candidates_examined=self._evaluations,
-            elapsed_seconds=time.perf_counter() - started,
-            solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds),
-            status="certificate_error", certified=False,
-            certificate_error=message,
-            diagnostics=self._diagnostics())
-
-    def _success_report(self, solution, believed_min, threshold, percent,
-                        started, query, encoding,
-                        encode_seconds) -> ImpactReport:
-        confirmed = None
-        if query.verify_with_smt_opf:
-            confirmed = self.confirm_with_smt_opf(solution, threshold)
-        return ImpactReport(
-            True, self.base_cost, threshold, percent, solution,
-            believed_min, self._evaluations,
-            time.perf_counter() - started, confirmed,
-            solver_calls=encoding.solver.stats.solve_calls,
-            trace=self._trace(encoding, started, encode_seconds),
-            certified=True if self._certify else None,
-            diagnostics=self._diagnostics())
-
     def confirm_with_smt_opf(self, solution: AttackVectorSolution,
                              threshold: Fraction) -> bool:
         """The paper's original Eq. 37/38 discharge via SMT (un)sat."""
-        opf = OpfModelEncoding(self.grid,
-                               solution.believed_topology(self.grid),
+        session = self.session
+        opf = OpfModelEncoding(session.grid,
+                               solution.believed_topology(session.grid),
                                solution.believed_loads,
-                               certify=self._certify)
+                               certify=session.certify_enabled)
         no_cheap_dispatch = not self._checked_opf(opf, threshold)  # Eq. 37
         converges = self._checked_opf(opf, None)                   # Eq. 38
         return no_cheap_dispatch and converges
 
     def _checked_opf(self, opf: OpfModelEncoding,
                      threshold: Optional[Fraction]) -> bool:
+        session = self.session
         sat = opf.check(threshold)
-        if self._certify:
+        if session.certify_enabled:
             if sat:
-                self._certify_model(opf.solver)
+                session.certify_model(opf.solver)
             else:
-                self._certify_unsat(opf.solver)
+                session.certify_unsat(opf.solver)
         return sat
 
     def _extremize_structure(self, encoding: AttackModelEncoding,
@@ -480,6 +347,7 @@ class ImpactAnalyzer:
         extremization yields a *complete consistent* attack instance
         (the SMT model at the optimum), which is then evaluated exactly.
         """
+        session = self.session
         assumptions = []
         chosen_p = set(solution.excluded)
         chosen_q = set(solution.included)
@@ -501,17 +369,117 @@ class ImpactAnalyzer:
                 # (either "no model at all" or "no model better than the
                 # incumbent"); in certified mode both that proof and the
                 # incumbent model are checked.
-                self._certify_unsat(encoding.solver)
+                session.certify_unsat(encoding.solver)
                 if not result.feasible or result.model is None:
                     continue
-                self._certify_model(encoding.solver, model=result.model,
-                                    assumptions=assumptions)
+                session.certify_model(encoding.solver, model=result.model,
+                                      assumptions=assumptions)
                 candidate = encoding.decode(result.model)
                 success, believed_min = self._evaluate(
                     candidate, threshold, query.opf_method)
                 if success and (best is None or believed_min > best[1]):
                     best = (candidate, believed_min)
         return best
+
+    # ------------------------------------------------------------------
+    # Trace hooks
+    # ------------------------------------------------------------------
+
+    def encode_info(self) -> Dict:
+        return {"warm": self._warm,
+                "encodings_built": self._run_encodings,
+                "encode_seconds": self._encode_seconds}
+
+    def smt_trace(self) -> Dict:
+        """Per-run solver statistics.
+
+        Cumulative counters are reported as deltas against the
+        ``begin()`` snapshot so a warm (incremental) run describes its
+        own work, not the whole session's; model-size gauges
+        (``sat_vars`` …) stay absolute.
+        """
+        stats = self._encoding.solver.stats
+        base = self._stats_base
+        return {
+            "solve_calls": stats.solve_calls - base["solve_calls"],
+            "total_seconds": stats.total_time - base["total_seconds"],
+            "sat_vars": stats.sat_vars,
+            "clauses": stats.clauses,
+            "theory_atoms": stats.theory_atoms,
+            "real_vars": stats.real_vars,
+            "decisions": stats.decisions - base["decisions"],
+            "conflicts": stats.conflicts - base["conflicts"],
+            "theory_conflicts": (stats.theory_conflicts
+                                 - base["theory_conflicts"]),
+            "propagations": stats.propagations - base["propagations"],
+            "restarts": stats.restarts - base["restarts"],
+            "simplex_pivots": (stats.simplex_pivots
+                               - base["simplex_pivots"]),
+        }
+
+    def opf_trace(self) -> Dict:
+        return {"solves": self._opf_solves, "seconds": self._opf_seconds}
+
+    def solver_calls(self) -> int:
+        return (self._encoding.solver.stats.solve_calls
+                - self._stats_base["solve_calls"])
+
+
+class ImpactAnalyzer:
+    """Analyzes one case for stealthy-attack impact on OPF.
+
+    A thin facade over :class:`AnalysisSession` +
+    :class:`SmtSearchStrategy`; pass ``incremental=True`` to keep one
+    warm encoding across consecutive :meth:`analyze` calls (threshold
+    sweeps) at the price of witness stability between runs.
+    """
+
+    def __init__(self, case: CaseDefinition, preflight: bool = True,
+                 incremental: bool = False) -> None:
+        self._strategy = SmtSearchStrategy(case, incremental=incremental)
+        self.session = AnalysisSession(case, self._strategy,
+                                       preflight=preflight)
+
+    @property
+    def case(self) -> CaseDefinition:
+        return self.session.case
+
+    @property
+    def preflight(self):
+        return self.session.preflight
+
+    @property
+    def grid(self):
+        return self.session.grid
+
+    @property
+    def base_result(self) -> DcOpfResult:
+        return self._strategy.base_result
+
+    @property
+    def base_cost(self) -> Fraction:
+        return self._strategy.base_cost()
+
+    def threshold_for(self, percent: Fraction) -> Fraction:
+        return self.session.threshold_for(percent)
+
+    def analyze(self, query: Optional[ImpactQuery] = None) -> ImpactReport:
+        return self.session.analyze(query or ImpactQuery())
+
+    def solve_at(self, percent, **attrs) -> ImpactReport:
+        """Analyze at a new target percentage, reusing warm state."""
+        return self.session.solve_at(percent, **attrs)
+
+    def confirm_with_smt_opf(self, solution: AttackVectorSolution,
+                             threshold: Fraction) -> bool:
+        return self._strategy.confirm_with_smt_opf(solution, threshold)
+
+    def _evaluate(self, solution: AttackVectorSolution,
+                  threshold: Fraction, opf_method: str,
+                  budget: Optional[SolverBudget] = None
+                  ) -> Tuple[bool, Optional[Fraction]]:
+        return self._strategy._evaluate(solution, threshold, opf_method,
+                                        budget)
 
     # ------------------------------------------------------------------
     # Convenience queries

@@ -34,6 +34,12 @@ class AnalysisTrace:
     #: ``rup_steps``, ``theory_lemmas``, ``seconds``) plus an ``events``
     #: list with one entry per verification.  Empty when self-check off.
     certificates: Dict[str, Any] = field(default_factory=dict)
+    #: session-layer bookkeeping: which strategy ran (``strategy``),
+    #: whether the run reused a warm encoding (``warm``), how many
+    #: encodings it built (``encodings_built``), and the
+    #: ``encode_seconds`` (paid once per encoding) vs ``solve_seconds``
+    #: split that incremental sweeps optimize.
+    session: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -43,7 +49,8 @@ class AnalysisTrace:
         return cls(stages=dict(payload.get("stages", {})),
                    smt=dict(payload.get("smt", {})),
                    opf=dict(payload.get("opf", {})),
-                   certificates=dict(payload.get("certificates", {})))
+                   certificates=dict(payload.get("certificates", {})),
+                   session=dict(payload.get("session", {})))
 
 
 @dataclass

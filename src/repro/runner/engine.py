@@ -5,6 +5,15 @@ cells, each an independent impact analysis — are embarrassingly parallel,
 so :class:`SweepEngine` fans :class:`~repro.runner.spec.ScenarioSpec`
 tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 
+* scenarios that share an *encoding group* (same resolved case, analyzer
+  kind and state-infection flag — a Fig. 4-style threshold sweep) are
+  batched into warm units: one worker builds one
+  :class:`~repro.core.encoding.AttackModelEncoding` and re-solves each
+  threshold incrementally inside solver ``push()``/``pop()`` scopes,
+  paying ``encode_seconds`` once instead of per scenario.  Groups are
+  split so batching never drops below ``workers``-way parallelism, and
+  verdicts are unchanged (SAT witness *vectors* may differ — any model
+  is valid, and certified mode re-checks each independently);
 * results are served from the on-disk :class:`~repro.runner.cache.
   ResultCache` when the (case, query, code) fingerprint matches a prior
   run, so repeated sweeps and benchmark reruns short-circuit;
@@ -116,60 +125,14 @@ class SweepConfig:
     self_check: Optional[bool] = None
 
 
-def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
-                     budget: Optional[SolverBudget] = None,
-                     self_check: Optional[bool] = None
-                     ) -> ScenarioOutcome:
-    """Run one scenario in-process and record its outcome + trace."""
-    started = time.perf_counter()
-    outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
-                              worker_pid=os.getpid())
-    try:
-        if budget is not None:
-            budget.start()   # the deadline covers case build + analysis
-        try:
-            case = spec.resolve_case()
-        except InputFormatError as exc:
-            # A deterministic verdict about the input, not a runtime
-            # failure: reject with a structured diagnostic.
-            rejected = _rejected_outcome(
-                spec, fingerprint, parse_failure_report(spec.case, exc))
-            rejected.worker_pid = os.getpid()
-            rejected.task_seconds = time.perf_counter() - started
-            return rejected
-        kind = spec.resolved_analyzer(case)
-        if kind == "smt":
-            analyzer = ImpactAnalyzer(case)
-            report = analyzer.analyze(ImpactQuery(
-                target_increase_percent=spec.target_fraction(),
-                with_state_infection=spec.with_state_infection,
-                max_candidates=spec.max_candidates,
-                budget=budget,
-                self_check=self_check))
-        else:
-            fast = FastImpactAnalyzer(case)
-            report = fast.analyze(FastQuery(
-                target_increase_percent=spec.target_fraction(),
-                with_state_infection=spec.with_state_infection,
-                state_samples=spec.state_samples,
-                seed=spec.sample_seed,
-                budget=budget,
-                self_check=self_check))
-    except BudgetExhausted as exc:
-        # The analyzers convert in-loop exhaustion into partial reports;
-        # this catches exhaustion outside those loops (e.g. the base OPF
-        # during analyzer construction).
-        outcome.status = UNKNOWN
-        outcome.error = exc.reason
-        outcome.task_seconds = time.perf_counter() - started
-        return outcome
-    except Exception as exc:
-        outcome.status = ERROR
-        outcome.error = "".join(traceback.format_exception_only(
-            type(exc), exc)).strip()
-        outcome.task_seconds = time.perf_counter() - started
-        return outcome
+def _outcome_from_report(outcome: ScenarioOutcome, report,
+                         started: float) -> ScenarioOutcome:
+    """Fill a scenario outcome from a finished analyzer report.
 
+    The one place the :class:`~repro.core.results.ImpactReport` statuses
+    map onto sweep statuses — shared by the cold per-scenario path and
+    the warm group runner.
+    """
     if report.status == "budget_exhausted":
         outcome.status = UNKNOWN
         outcome.error = report.budget_reason or "resource budget exhausted"
@@ -204,6 +167,141 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
     return outcome
 
 
+def _analysis_query(spec: ScenarioSpec, kind: str,
+                    budget: Optional[SolverBudget],
+                    self_check: Optional[bool]):
+    """The analyzer query a spec's parameters describe."""
+    if kind == "smt":
+        return ImpactQuery(
+            target_increase_percent=spec.target_fraction(),
+            with_state_infection=spec.with_state_infection,
+            max_candidates=spec.max_candidates,
+            budget=budget,
+            self_check=self_check)
+    return FastQuery(
+        target_increase_percent=spec.target_fraction(),
+        with_state_infection=spec.with_state_infection,
+        state_samples=spec.state_samples,
+        seed=spec.sample_seed,
+        budget=budget,
+        self_check=self_check)
+
+
+def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
+                     budget: Optional[SolverBudget] = None,
+                     self_check: Optional[bool] = None
+                     ) -> ScenarioOutcome:
+    """Run one scenario in-process and record its outcome + trace."""
+    started = time.perf_counter()
+    outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                              worker_pid=os.getpid())
+    try:
+        if budget is not None:
+            budget.start()   # the deadline covers case build + analysis
+        try:
+            case = spec.resolve_case()
+        except InputFormatError as exc:
+            # A deterministic verdict about the input, not a runtime
+            # failure: reject with a structured diagnostic.
+            rejected = _rejected_outcome(
+                spec, fingerprint, parse_failure_report(spec.case, exc))
+            rejected.worker_pid = os.getpid()
+            rejected.task_seconds = time.perf_counter() - started
+            return rejected
+        kind = spec.resolved_analyzer(case)
+        if kind == "smt":
+            analyzer = ImpactAnalyzer(case)
+        else:
+            analyzer = FastImpactAnalyzer(case)
+        report = analyzer.analyze(
+            _analysis_query(spec, kind, budget, self_check))
+    except BudgetExhausted as exc:
+        # The analyzers convert in-loop exhaustion into partial reports;
+        # this catches exhaustion outside those loops (e.g. the base OPF
+        # during analyzer construction).
+        outcome.status = UNKNOWN
+        outcome.error = exc.reason
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+    except Exception as exc:
+        outcome.status = ERROR
+        outcome.error = "".join(traceback.format_exception_only(
+            type(exc), exc)).strip()
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+
+    return _outcome_from_report(outcome, report, started)
+
+
+def execute_scenario_group(specs: Sequence[ScenarioSpec],
+                           fingerprints: Sequence[str],
+                           budget_limits: Optional[Dict[str, Any]] = None,
+                           self_check: Optional[bool] = None
+                           ) -> List[ScenarioOutcome]:
+    """Run scenarios sharing one encoding group through a warm analyzer.
+
+    All specs must have equal :meth:`ScenarioSpec.encoding_group` keys —
+    same resolved case, analyzer kind and state-infection flag, varying
+    only per-query parameters (the target threshold, candidate caps,
+    sampling seeds).  One analyzer is built for the whole group: the SMT
+    strategy in incremental mode re-solves each threshold inside a
+    solver ``push()``/``pop()`` scope of one
+    :class:`~repro.core.encoding.AttackModelEncoding`; the fast
+    strategy's PTDF factorization is per-case anyway.  Each scenario
+    still gets a *fresh* budget built from ``budget_limits`` and its
+    own outcome with per-scenario timings.
+
+    Verdicts are deterministic either way; SAT *witness vectors* may
+    depend on the warm solver's accumulated learned clauses (any model
+    is valid, and certified mode re-checks each one independently).
+    """
+    outcomes: List[ScenarioOutcome] = []
+    analyzer = None
+    for spec, fingerprint in zip(specs, fingerprints):
+        started = time.perf_counter()
+        budget = SolverBudget.from_dict(budget_limits) \
+            if budget_limits else None
+        outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                                  worker_pid=os.getpid())
+        try:
+            if budget is not None:
+                budget.start()
+            try:
+                case = spec.resolve_case()
+            except InputFormatError as exc:
+                rejected = _rejected_outcome(
+                    spec, fingerprint,
+                    parse_failure_report(spec.case, exc))
+                rejected.worker_pid = os.getpid()
+                rejected.task_seconds = time.perf_counter() - started
+                outcomes.append(rejected)
+                continue
+            kind = spec.resolved_analyzer(case)
+            if analyzer is None:
+                analyzer = ImpactAnalyzer(case, incremental=True) \
+                    if kind == "smt" else FastImpactAnalyzer(case)
+            report = analyzer.analyze(
+                _analysis_query(spec, kind, budget, self_check))
+        except BudgetExhausted as exc:
+            outcome.status = UNKNOWN
+            outcome.error = exc.reason
+            outcome.task_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+            continue
+        except Exception as exc:
+            outcome.status = ERROR
+            outcome.error = "".join(traceback.format_exception_only(
+                type(exc), exc)).strip()
+            outcome.task_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+            # The warm solver state may be mid-scope after an arbitrary
+            # failure; rebuild for the remaining scenarios.
+            analyzer = None
+            continue
+        outcomes.append(_outcome_from_report(outcome, report, started))
+    return outcomes
+
+
 def _worker_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Top-level (picklable) process-pool entry point."""
     spec = ScenarioSpec.from_dict(payload["spec"])
@@ -211,6 +309,15 @@ def _worker_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
     budget = SolverBudget.from_dict(budget_spec) if budget_spec else None
     return execute_scenario(spec, payload["fingerprint"], budget,
                             self_check=payload.get("self_check")).to_dict()
+
+
+def _group_worker_entry(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Top-level (picklable) pool entry point for a warm scenario group."""
+    specs = [ScenarioSpec.from_dict(s) for s in payload["specs"]]
+    outcomes = execute_scenario_group(
+        specs, payload["fingerprints"], payload.get("budget"),
+        self_check=payload.get("self_check"))
+    return [outcome.to_dict() for outcome in outcomes]
 
 
 def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
@@ -357,13 +464,14 @@ class SweepEngine:
 
         mode = "serial"
         if pending:
-            if config.workers > 1 and len(pending) > 1:
-                if self._run_parallel(specs, fingerprints, pending,
+            units = self._plan_units(specs, pending)
+            if config.workers > 1 and len(units) > 1:
+                if self._run_parallel(specs, fingerprints, units,
                                       outcomes, cache):
                     mode = "parallel"
                 # else: _run_parallel already fell back to serial
             else:
-                self._run_serial(specs, fingerprints, pending, outcomes,
+                self._run_serial(specs, fingerprints, units, outcomes,
                                  cache)
 
         return SweepTrace(
@@ -373,6 +481,46 @@ class SweepEngine:
             mode=mode,
             cache_dir=str(cache.root) if cache else None,
             cache_rejected=cache_rejected)
+
+    # -- unit planning ----------------------------------------------------
+
+    def _plan_units(self, specs: Sequence[ScenarioSpec],
+                    pending: Sequence[int]) -> List[List[int]]:
+        """Group pending scenario indices into execution units.
+
+        Scenarios with equal :meth:`ScenarioSpec.encoding_group` keys
+        (same resolved case, analyzer kind and state-infection flag) are
+        batched so one warm analyzer serves them all — each group is
+        split into at most ``workers`` chunks so grouping never *reduces*
+        parallelism below the worker count.  Singleton units keep the
+        exact legacy per-scenario protocol, and an injected ``task``
+        (test seams, fault injection) only speaks that protocol, so it
+        always gets singleton units.
+        """
+        if self._task is not _worker_entry:
+            return [[idx] for idx in pending]
+        groups: Dict[str, List[int]] = {}
+        order: List[str] = []
+        for idx in pending:
+            try:
+                key = specs[idx].encoding_group()
+            except Exception:
+                # An unresolvable spec cannot be grouped; run it alone
+                # so its error surfaces through the legacy path.
+                key = f"solo:{idx}"
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(idx)
+        units: List[List[int]] = []
+        workers = max(1, self.config.workers)
+        for key in order:
+            members = groups[key]
+            chunks = max(1, min(workers, len(members)))
+            size = -(-len(members) // chunks)   # ceil division
+            for start in range(0, len(members), size):
+                units.append(members[start:start + size])
+        return units
 
     # -- task plumbing ---------------------------------------------------
 
@@ -397,14 +545,41 @@ class SweepEngine:
             payload["self_check"] = self.config.self_check
         return payload
 
-    def _pool_wait(self) -> Optional[float]:
+    def _group_payload(self, unit: Sequence[int], specs,
+                       fingerprints) -> Dict[str, Any]:
+        """Like :meth:`_task_payload`, for a multi-scenario warm unit."""
+        payload = {
+            "specs": [specs[idx].to_dict() for idx in unit],
+            "fingerprints": [fingerprints[idx] for idx in unit],
+        }
+        budget = self._task_budget()
+        if budget is not None:
+            payload["budget"] = budget
+        if self.config.self_check is not None:
+            payload["self_check"] = self.config.self_check
+        return payload
+
+    def _execute_unit(self, unit: Sequence[int], specs,
+                      fingerprints) -> List[Dict[str, Any]]:
+        """Run one unit in-process: one outcome payload per index."""
+        if len(unit) == 1:
+            idx = unit[0]
+            return [self._task(self._task_payload(
+                specs[idx], fingerprints[idx]))]
+        return _group_worker_entry(
+            self._group_payload(unit, specs, fingerprints))
+
+    def _pool_wait(self, size: int = 1) -> Optional[float]:
         """Pool-level wait: the in-solver deadline plus grace, so a
         solver-bound task reports ``unknown`` (with statistics) before
-        the blunt pool ``timeout`` backstop fires."""
+        the blunt pool ``timeout`` backstop fires.  A multi-scenario
+        warm unit runs its scenarios sequentially, each with its own
+        fresh in-solver deadline, so the unit's wait scales with its
+        size."""
         timeout = self.config.task_timeout
         if timeout is None:
             return None
-        return timeout * 1.25 + 0.25
+        return timeout * 1.25 * max(1, size) + 0.25
 
     def _record(self, idx: int, outcome: ScenarioOutcome, spec,
                 fingerprints, outcomes,
@@ -431,31 +606,48 @@ class SweepEngine:
 
     # -- execution strategies -------------------------------------------
 
-    def _run_serial(self, specs, fingerprints, indices, outcomes,
+    def _parse_unit_payloads(self, unit, payloads, specs,
+                             fingerprints) -> List[ScenarioOutcome]:
+        """Outcomes of a finished unit; ERROR outcomes on bad payloads."""
+        try:
+            if len(payloads) != len(unit):
+                raise ValueError(
+                    f"unit returned {len(payloads)} outcomes for "
+                    f"{len(unit)} scenarios")
+            return [ScenarioOutcome.from_dict(p) for p in payloads]
+        except Exception as exc:
+            message = "".join(traceback.format_exception_only(
+                type(exc), exc)).strip()
+            return [ScenarioOutcome(
+                spec=specs[idx], fingerprint=fingerprints[idx],
+                status=ERROR, error=message) for idx in unit]
+
+    def _run_serial(self, specs, fingerprints, units, outcomes,
                     cache) -> None:
-        for idx in indices:
+        for unit in units:
             try:
-                payload = self._task(self._task_payload(
-                    specs[idx], fingerprints[idx]))
-                outcome = ScenarioOutcome.from_dict(payload)
+                payloads = self._execute_unit(unit, specs, fingerprints)
+                parsed = self._parse_unit_payloads(
+                    unit, payloads, specs, fingerprints)
             except Exception as exc:
                 # KeyboardInterrupt deliberately propagates: completed
                 # outcomes are already checkpointed, so an interrupted
                 # sweep resumes from the cache.
-                outcome = ScenarioOutcome(
+                message = "".join(traceback.format_exception_only(
+                    type(exc), exc)).strip()
+                parsed = [ScenarioOutcome(
                     spec=specs[idx], fingerprint=fingerprints[idx],
-                    status=ERROR,
-                    error="".join(traceback.format_exception_only(
-                        type(exc), exc)).strip())
-            self._record(idx, outcome, specs[idx], fingerprints,
-                         outcomes, cache)
+                    status=ERROR, error=message) for idx in unit]
+            for idx, outcome in zip(unit, parsed):
+                self._record(idx, outcome, specs[idx], fingerprints,
+                             outcomes, cache)
 
-    def _run_parallel(self, specs, fingerprints, indices, outcomes,
+    def _run_parallel(self, specs, fingerprints, units, outcomes,
                       cache) -> bool:
         """Returns False when it had to degrade to serial execution."""
         config = self.config
-        attempts = {idx: 0 for idx in indices}
-        to_run = list(indices)
+        attempts = {tuple(unit): 0 for unit in units}
+        to_run = [list(unit) for unit in units]
         while to_run:
             try:
                 pool = ProcessPoolExecutor(
@@ -466,21 +658,29 @@ class SweepEngine:
                 self._run_serial(specs, fingerprints, to_run, outcomes,
                                  cache)
                 return False
-            next_round: List[int] = []
+            next_round: List[List[int]] = []
             try:
                 futures = {}
-                for idx in to_run:
-                    attempts[idx] += 1
-                    futures[idx] = pool.submit(
-                        self._task, self._task_payload(
-                            specs[idx], fingerprints[idx]))
-                # Waiting in submission order gives every task up to
+                for unit in to_run:
+                    key = tuple(unit)
+                    attempts[key] += 1
+                    if len(unit) == 1:
+                        idx = unit[0]
+                        futures[key] = pool.submit(
+                            self._task, self._task_payload(
+                                specs[idx], fingerprints[idx]))
+                    else:
+                        futures[key] = pool.submit(
+                            _group_worker_entry, self._group_payload(
+                                unit, specs, fingerprints))
+                # Waiting in submission order gives every unit up to
                 # the pool wait of dedicated time on top of whatever
                 # overlap it had with earlier waits — an approximate but
                 # cheap per-task budget.
                 timed_out = False
-                for idx in to_run:
-                    future = futures[idx]
+                for unit in to_run:
+                    key = tuple(unit)
+                    future = futures[key]
                     if timed_out and not future.done():
                         # A timeout poisoned this pool: hung workers
                         # cannot be cancelled, and tasks queued behind
@@ -492,46 +692,59 @@ class SweepEngine:
                         # double execution of a genuinely-running task
                         # is safe.
                         future.cancel()
-                        attempts[idx] -= 1
-                        next_round.append(idx)
+                        attempts[key] -= 1
+                        next_round.append(unit)
                         continue
                     try:
-                        payload = future.result(timeout=self._pool_wait())
+                        payload = future.result(
+                            timeout=self._pool_wait(len(unit)))
                     except FuturesTimeoutError:
                         timed_out = True
                         future.cancel()
-                        self._record(idx, ScenarioOutcome(
-                            spec=specs[idx],
-                            fingerprint=fingerprints[idx],
-                            status=TIMEOUT, attempts=attempts[idx],
-                            error=f"exceeded {config.task_timeout}s "
-                                  f"task budget"),
-                            specs[idx], fingerprints, outcomes, cache)
-                    except BrokenExecutor as exc:
-                        if attempts[idx] <= config.retries:
-                            next_round.append(idx)
-                        else:
+                        for idx in unit:
                             self._record(idx, ScenarioOutcome(
                                 spec=specs[idx],
                                 fingerprint=fingerprints[idx],
-                                status=CRASHED, attempts=attempts[idx],
-                                error=str(exc) or "worker process died"),
+                                status=TIMEOUT, attempts=attempts[key],
+                                error=f"exceeded {config.task_timeout}s "
+                                      f"task budget"),
                                 specs[idx], fingerprints, outcomes,
                                 cache)
+                    except BrokenExecutor as exc:
+                        if attempts[key] <= config.retries:
+                            next_round.append(unit)
+                        else:
+                            for idx in unit:
+                                self._record(idx, ScenarioOutcome(
+                                    spec=specs[idx],
+                                    fingerprint=fingerprints[idx],
+                                    status=CRASHED,
+                                    attempts=attempts[key],
+                                    error=str(exc)
+                                          or "worker process died"),
+                                    specs[idx], fingerprints, outcomes,
+                                    cache)
                     except Exception as exc:  # pickling and kin
-                        self._record(idx, ScenarioOutcome(
-                            spec=specs[idx],
-                            fingerprint=fingerprints[idx],
-                            status=ERROR, attempts=attempts[idx],
-                            error="".join(
-                                traceback.format_exception_only(
-                                    type(exc), exc)).strip()),
-                            specs[idx], fingerprints, outcomes, cache)
+                        message = "".join(
+                            traceback.format_exception_only(
+                                type(exc), exc)).strip()
+                        for idx in unit:
+                            self._record(idx, ScenarioOutcome(
+                                spec=specs[idx],
+                                fingerprint=fingerprints[idx],
+                                status=ERROR, attempts=attempts[key],
+                                error=message),
+                                specs[idx], fingerprints, outcomes,
+                                cache)
                     else:
-                        outcome = ScenarioOutcome.from_dict(payload)
-                        outcome.attempts = attempts[idx]
-                        self._record(idx, outcome, specs[idx],
-                                     fingerprints, outcomes, cache)
+                        payloads = [payload] if len(unit) == 1 \
+                            else payload
+                        parsed = self._parse_unit_payloads(
+                            unit, payloads, specs, fingerprints)
+                        for idx, outcome in zip(unit, parsed):
+                            outcome.attempts = attempts[key]
+                            self._record(idx, outcome, specs[idx],
+                                         fingerprints, outcomes, cache)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
             to_run = next_round

@@ -168,6 +168,25 @@ class ScenarioSpec:
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
         return cls(**payload)
 
+    def encoding_group(self) -> str:
+        """Identity of the *encoding* this scenario solves against.
+
+        Narrower than :meth:`fingerprint`: only the resolved case text,
+        the analyzer kind and the state-infection flag shape the attack
+        encoding — the target threshold, candidate caps and sampling
+        seeds are per-query.  Scenarios with equal groups can share one
+        warm analyzer (the engine re-solves them incrementally inside
+        solver scopes instead of re-encoding per scenario).
+        """
+        case = self.resolve_case()
+        key = {
+            "case_text": write_case(case),
+            "analyzer": self.resolved_analyzer(case),
+            "with_state_infection": self.with_state_infection,
+        }
+        blob = json.dumps(key, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
     def fingerprint(self) -> str:
         """Deterministic identity of (resolved case, query, code)."""
         import repro

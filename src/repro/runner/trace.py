@@ -215,6 +215,12 @@ class SweepTrace:
                                     for o in self.outcomes),
                 "opf_solves": sum(o.trace.get("opf", {}).get("solves", 0)
                                   for o in self.outcomes),
+                "encodings_built": sum(
+                    o.trace.get("session", {}).get("encodings_built", 0)
+                    for o in self.outcomes),
+                "encode_seconds": sum(
+                    o.trace.get("session", {}).get("encode_seconds", 0.0)
+                    for o in self.outcomes),
             },
             "scenarios": [outcome.to_dict()
                           for outcome in self.outcomes],

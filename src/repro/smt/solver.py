@@ -301,14 +301,31 @@ class SmtSolver:
             self._theory.register_atom(sat_var, atom)
 
     def push(self) -> None:
-        """Open a retractable assertion scope."""
+        """Open a retractable assertion scope.
+
+        Clauses added while a scope is open carry the scope's guard
+        literal, so :meth:`pop` retracts them by asserting the guard's
+        negation — no clause is ever physically deleted.  Learned
+        clauses derived under guard assumptions include those guards in
+        their derivation, so they stay sound after the pop.  This is
+        what makes *warm* incremental reuse safe: one encoding can be
+        re-solved under many per-scenario constraints (thresholds,
+        blocking clauses) without rebuilding, with everything learned in
+        earlier scenarios carried forward.
+        """
         self._sat._backtrack_to(0)
         guard = self._sat.new_var()
         self._guards.append(guard)
         self._assertion_scopes.append([])
 
     def pop(self) -> None:
-        """Close the innermost scope, retracting its assertions."""
+        """Close the innermost scope, retracting its assertions.
+
+        The retracting unit clause permanently falsifies the scope's
+        guard, so the scope's clauses become vacuous for every later
+        :meth:`solve` — the base (scope-0) encoding is untouched and
+        ready for the next :meth:`push`.
+        """
         if not self._guards:
             raise SolverError("pop() without matching push()")
         self._sat._backtrack_to(0)

@@ -131,7 +131,7 @@ class TestAnalyzerSurfacesCertificateErrors:
                                  extra_terms=()):
             raise CertificateError("injected model rejection")
 
-        monkeypatch.setattr("repro.core.framework.verify_sat",
+        monkeypatch.setattr("repro.core.session.verify_sat",
                             rejecting_verify_sat)
         report = analyzer.analyze(ImpactQuery(self_check=True))
         assert report.status == "certificate_error"
@@ -146,7 +146,7 @@ class TestAnalyzerSurfacesCertificateErrors:
                                  extra_terms=()):
             raise CertificateError("injected model rejection")
 
-        monkeypatch.setattr("repro.core.framework.verify_sat",
+        monkeypatch.setattr("repro.core.session.verify_sat",
                             rejecting_verify_sat)
         outcome = execute_scenario(_smt_spec(), self_check=True)
         assert outcome.status == CERTIFICATE_ERROR
@@ -160,7 +160,7 @@ class TestAnalyzerSurfacesCertificateErrors:
                                  extra_terms=()):
             raise CertificateError("injected model rejection")
 
-        monkeypatch.setattr("repro.core.framework.verify_sat",
+        monkeypatch.setattr("repro.core.session.verify_sat",
                             rejecting_verify_sat)
         cache_dir = tmp_path / "cache"
         engine = SweepEngine(SweepConfig(
