@@ -3,88 +3,63 @@
 
 The paper positions its framework as a tool for operators to "preemptively
 analyze and explore potential threats".  This example does exactly that on
-the 5-bus system: it asks, for each candidate countermeasure, whether the
-case-study attack survives —
+the 5-bus system through :mod:`repro.defense`: it asks, for each candidate
+countermeasure, whether the case-study attack survives —
 
 * securing the status channel of the vulnerable line,
 * integrity-protecting individual measurements,
 * shrinking the attacker's measurement / substation budgets,
 
-and reports the cheapest countermeasure set that makes the 3% impact goal
-unsatisfiable.
+and then lets :class:`~repro.defense.DefensePlanner` greedy-minimize the
+full candidate set down to a 1-minimal set that makes the 3% impact goal
+unsatisfiable.  All case rebuilds go through ``dataclasses.replace`` (via
+the transforms in :mod:`repro.defense.planner`), so every field — the
+reference bus included — survives the rewrite.
 
 Run:  python examples/defense_planning.py
 """
 
-from dataclasses import replace
-
-from repro.core import ImpactAnalyzer, ImpactQuery
-from repro.grid.caseio import CaseDefinition, MeasurementSpec
+from repro.defense import (
+    DefensePlanner,
+    SecureLineStatus,
+    SecureMeasurement,
+    TightenBudgets,
+)
 from repro.grid.cases import get_case
 
-
-def with_secured_line(case: CaseDefinition, line: int) -> CaseDefinition:
-    specs = [replace(s, status_secured=True) if s.index == line else s
-             for s in case.line_specs]
-    return _rebuild(case, line_specs=specs,
-                    name=f"{case.name}+secure-line-{line}")
-
-
-def with_secured_measurement(case: CaseDefinition,
-                             index: int) -> CaseDefinition:
-    specs = [MeasurementSpec(m.index, m.taken, True, m.alterable)
-             if m.index == index else m for m in case.measurement_specs]
-    return _rebuild(case, measurement_specs=specs,
-                    name=f"{case.name}+secure-m{index}")
-
-
-def with_budgets(case: CaseDefinition, measurements: int,
-                 buses: int) -> CaseDefinition:
-    return _rebuild(case, resource_measurements=measurements,
-                    resource_buses=buses,
-                    name=f"{case.name}+budget-{measurements}-{buses}")
-
-
-def _rebuild(case: CaseDefinition, **overrides) -> CaseDefinition:
-    fields = dict(
-        name=case.name, line_specs=case.line_specs,
-        measurement_specs=case.measurement_specs,
-        bus_types=case.bus_types, generators=case.generators,
-        loads=case.loads,
-        resource_measurements=case.resource_measurements,
-        resource_buses=case.resource_buses, base_cost=case.base_cost,
-        min_increase_percent=case.min_increase_percent)
-    fields.update(overrides)
-    return CaseDefinition(**fields)
-
-
-def survives(case: CaseDefinition) -> bool:
-    analyzer = ImpactAnalyzer(case)
-    return analyzer.analyze(ImpactQuery(max_candidates=20)).satisfiable
+# Re-exported here so the example keeps working as a snippet source; the
+# real implementations (dataclasses.replace-based) live in repro.defense.
+from repro.defense import (          # noqa: F401
+    with_budgets,
+    with_secured_line,
+    with_secured_measurement,
+)
 
 
 def main() -> None:
     base_case = get_case("5bus-study1")
-    print(f"undefended: attack "
-          f"{'succeeds' if survives(base_case) else 'fails'}")
+    planner = DefensePlanner(base_case, target=3, max_candidates=20)
+
+    survives = planner.attack_survives(base_case)
+    print(f"undefended: attack {'succeeds' if survives else 'fails'}")
 
     print("\ncountermeasure study (3% impact target):")
     candidates = [
-        ("secure line 6 status channel", with_secured_line(base_case, 6)),
+        ("secure line 6 status channel", SecureLineStatus(6)),
         ("secure measurement m6 (line-6 forward flow)",
-         with_secured_measurement(base_case, 6)),
+         SecureMeasurement(6)),
         ("secure measurement m17 (bus-3 consumption)",
-         with_secured_measurement(base_case, 17)),
+         SecureMeasurement(17)),
         ("secure measurement m7 (line-7 forward flow)",
-         with_secured_measurement(base_case, 7)),
+         SecureMeasurement(7)),
         ("budget: 3 measurements max",
-         with_budgets(base_case, 3, base_case.resource_buses)),
+         TightenBudgets(3, base_case.resource_buses)),
         ("budget: 1 substation max",
-         with_budgets(base_case, base_case.resource_measurements, 1)),
+         TightenBudgets(base_case.resource_measurements, 1)),
     ]
     effective = []
-    for label, defended in candidates:
-        blocked = not survives(defended)
+    for label, measure in candidates:
+        blocked = planner.attack_survives(measure.apply(base_case)) is False
         print(f"  {'BLOCKS attack' if blocked else 'ineffective  '} : "
               f"{label}")
         if blocked:
@@ -93,6 +68,12 @@ def main() -> None:
     print(f"\n{len(effective)} single countermeasures suffice; any one of:")
     for label in effective:
         print(f"  - {label}")
+
+    plan = planner.plan([measure for _, measure in candidates])
+    print(f"\ngreedy-minimal set ({plan.status}): "
+          f"{[c.label for c in plan.selected]}")
+    print(f"  {len(plan.probes)} probes, {plan.sessions_built} sessions "
+          f"built, {plan.sessions_reused} reused warm")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ format goes in, the analysis verdict and attack vector come out::
     python -m repro analyze --case 5bus-study1
     python -m repro analyze --input my_case.txt --target 5 --with-states
     python -m repro analyze --case ieee57 --fast
+    python -m repro maximize --case 5bus-study1 --tolerance 1/8
+    python -m repro defend --case 5bus-study1 --target 3
     python -m repro opf --case 5bus-study1
     python -m repro sweep --cases 5bus-study1,5bus-study2 --targets 1,2,3,4
     python -m repro cases
@@ -26,7 +28,7 @@ from repro.core import (
     ImpactQuery,
 )
 from repro.estimation import MeasurementPlan
-from repro.exceptions import InputFormatError
+from repro.exceptions import InputFormatError, ModelError
 from repro.grid import parse_case
 from repro.grid.caseio import CaseDefinition
 from repro.grid.cases import case_names, get_case
@@ -130,6 +132,181 @@ def _cmd_analyze(args) -> int:
     return 0 if report.satisfiable else 1
 
 
+def _fraction_arg(value, flag: str) -> Fraction:
+    """Exact rational parsing for CLI bounds (no float round-trip)."""
+    try:
+        return Fraction(value)
+    except (ValueError, ZeroDivisionError):
+        raise SystemExit(f"{flag}: {value!r} is not a number or fraction "
+                         f"(try e.g. 3, 2.5 or 9/2)")
+
+
+def _resolved_kind(args, case: CaseDefinition) -> str:
+    if args.analyzer != "auto":
+        return args.analyzer
+    from repro.runner.spec import AUTO_SMT_MAX_BUSES
+    return "smt" if case.num_buses <= AUTO_SMT_MAX_BUSES else "fast"
+
+
+def _cli_budget(args):
+    if args.timeout is None and args.max_conflicts is None \
+            and args.max_decisions is None:
+        return None
+    from repro.smt import SolverBudget
+    return SolverBudget(wall_seconds=args.timeout,
+                        max_conflicts=args.max_conflicts,
+                        max_decisions=args.max_decisions)
+
+
+def _cmd_maximize(args) -> int:
+    try:
+        case = _load_case(args)
+    except InputFormatError as exc:
+        return _parse_failure(args, exc)
+    from repro.search import MaxImpactSearch
+
+    kind = _resolved_kind(args, case)
+    if kind == "smt":
+        analyzer = ImpactAnalyzer(case, incremental=not args.cold)
+        attrs = {"with_state_infection": args.with_states,
+                 "max_candidates": args.max_candidates}
+    else:
+        analyzer = FastImpactAnalyzer(case)
+        attrs = {"with_state_infection": args.with_states,
+                 "seed": args.seed}
+    try:
+        search = MaxImpactSearch(
+            analyzer,
+            tolerance=_fraction_arg(args.tolerance, "--tolerance"),
+            lo=_fraction_arg(args.lo, "--lo"),
+            hi_cap=_fraction_arg(args.hi_cap, "--hi-cap"),
+            budget=_cli_budget(args),
+            self_check=True if args.self_check else None)
+    except ModelError as exc:
+        raise SystemExit(str(exc))
+    result = search.run(**attrs)
+
+    if args.json:
+        import json
+        print(json.dumps(result.to_dict(), indent=1))
+    else:
+        warmth = "fast" if kind == "fast" else \
+            ("cold" if args.cold else "warm")
+        print(f"case {case.name}: maximum-impact bisection "
+              f"({kind} analyzer, {warmth}, tolerance "
+              f"{result.tolerance}%)")
+        if result.is_rejected:
+            if result.diagnostics is not None:
+                print(result.diagnostics.render())
+        elif result.satisfiable:
+            istar = result.max_increase_percent
+            upper = "cap" if result.upper_bound is None \
+                else f"{result.upper_bound}%"
+            print(f"  I* = {istar}% (= {float(istar):.4f}%), "
+                  f"bracket [{result.lower_bound}%, {upper})")
+            if result.witness_cost is not None:
+                print(f"  witness: excluded lines "
+                      f"{list(result.witness.excluded)}, altered "
+                      f"measurements "
+                      f"{list(result.witness.altered_measurements)}, "
+                      f"believed cost {float(result.witness_cost):.2f} "
+                      f"(base {float(result.base_cost):.2f})")
+        else:
+            anchor = result.upper_bound
+            print(f"  no attack achieves the bracket anchor "
+                  f"({anchor}%): I* < {anchor}%")
+        if result.status == "budget_exhausted":
+            lo = "?" if result.lower_bound is None else result.lower_bound
+            hi = "?" if result.upper_bound is None else result.upper_bound
+            print(f"  PARTIAL: {result.budget_reason}; bracket so far "
+                  f"[{lo}%, {hi}%)")
+        if result.status == "certificate_error":
+            print(f"  CERTIFICATE ERROR: {result.certificate_error}")
+        certified = {True: "all probes certified", False: "NOT certified",
+                     None: "self-check off"}[result.certified]
+        print(f"  {result.solve_at_calls} solve_at calls "
+              f"({result.warm_solves} warm), "
+              f"{result.encodings_built} encoding(s) built, "
+              f"{result.solver_calls} solver calls, "
+              f"{result.elapsed_seconds:.3f}s; {certified}")
+    if result.status == "certificate_error":
+        return 2
+    if result.status == "invalid_input":
+        return EXIT_INVALID_INPUT
+    if result.status == "degenerate_case":
+        return EXIT_DEGENERATE_CASE
+    return 0 if result.is_definitive and result.satisfiable else 1
+
+
+def _cmd_defend(args) -> int:
+    try:
+        case = _load_case(args)
+    except InputFormatError as exc:
+        return _parse_failure(args, exc)
+    from repro.defense import (
+        DefensePlanner,
+        SecureLineStatus,
+        SecureMeasurement,
+        TightenBudgets,
+        default_candidates,
+    )
+
+    kind = _resolved_kind(args, case)
+    attrs = {"max_candidates": args.max_candidates} if kind == "smt" \
+        else {"seed": args.seed}
+    target = None if args.target is None \
+        else _fraction_arg(args.target, "--target")
+    planner = DefensePlanner(
+        case, target=target, analyzer=kind, budget=_cli_budget(args),
+        self_check=True if args.self_check else None, **attrs)
+
+    candidates = []
+    for line in args.secure_line or ():
+        candidates.append(SecureLineStatus(line))
+    for index in args.secure_measurement or ():
+        candidates.append(SecureMeasurement(index))
+    for pair in args.budget or ():
+        try:
+            measurements, buses = (int(v) for v in pair.split(",", 1))
+        except ValueError:
+            raise SystemExit(f"--budget: {pair!r} is not "
+                             f"MEASUREMENTS,BUSES")
+        candidates.append(TightenBudgets(measurements, buses))
+    if not candidates:
+        candidates = default_candidates(case)
+    plan = planner.plan(candidates)
+
+    if args.json:
+        import json
+        print(json.dumps(plan.to_dict(), indent=1))
+    else:
+        print(f"case {case.name}: defense planning at "
+              f"{plan.target_increase_percent}% target "
+              f"({plan.analyzer} analyzer, {len(candidates)} candidate "
+              f"countermeasure(s))")
+        if plan.status == "already_secure":
+            print("  already secure: no attack reaches the target "
+                  "undefended")
+        elif plan.status == "blocked":
+            print(f"  1-minimal blocking set "
+                  f"({len(plan.selected)} countermeasure(s)):")
+            for measure in plan.selected:
+                print(f"    - {measure.label}")
+        elif plan.status == "unblockable":
+            print("  UNBLOCKABLE: the attack survives all candidate "
+                  "countermeasures together")
+        else:
+            last = plan.probes[-1] if plan.probes else {}
+            print(f"  INCONCLUSIVE: probe '{last.get('defense')}' ended "
+                  f"with status {last.get('status')!r}")
+        print(f"  {len(plan.probes)} probes, {plan.sessions_built} "
+              f"session(s) built, {plan.sessions_reused} reused warm, "
+              f"{plan.elapsed_seconds:.3f}s")
+    if plan.status == "inconclusive":
+        return 2
+    return 0 if plan.blocked else 1
+
+
 def _cmd_fuzz(args) -> int:
     from repro.testing.fuzz import fuzz_bundled_case
     report = fuzz_bundled_case(
@@ -160,6 +337,12 @@ def _cmd_sweep(args) -> int:
     if args.scenarios:
         seeds = list(scenario_seeds(args.scenarios))
 
+    tolerance = None
+    if args.tolerance is not None:
+        if args.search != "maximize":
+            raise SystemExit("--tolerance requires --search maximize")
+        tolerance = str(_fraction_arg(args.tolerance, "--tolerance"))
+
     specs = []
     for name in names:
         for seed in seeds:
@@ -171,7 +354,8 @@ def _cmd_sweep(args) -> int:
                         with_state_infection=args.with_states,
                         max_candidates=args.max_candidates,
                         state_samples=args.state_samples,
-                        sample_seed=args.seed))
+                        sample_seed=args.seed,
+                        search=args.search, tolerance=tolerance))
                 except (ValueError, ZeroDivisionError):
                     raise SystemExit(
                         f"--targets: {target!r} is not a number or "
@@ -198,10 +382,15 @@ def _cmd_sweep(args) -> int:
     rows = []
     for outcome in sweep.outcomes:
         increase = outcome.achieved_increase_percent
+        shown = "-" if increase is None else f"{increase:.2f}%"
+        if outcome.max_impact is not None:
+            istar = outcome.max_impact.get("max_increase_percent")
+            if istar is not None:
+                shown = f"I*={float(Fraction(istar)):.3f}%"
         rows.append((
             outcome.spec.label,
             outcome.verdict,
-            "-" if increase is None else f"{increase:.2f}%",
+            shown,
             outcome.candidates_examined,
             outcome.solver_calls,
             f"{outcome.analysis_seconds:.3f}",
@@ -223,6 +412,10 @@ def _cmd_sweep(args) -> int:
         print(f"encodings      : {totals['encodings_built']} built "
               f"({totals['encode_seconds']:.3f}s encode); warm "
               f"scenarios reused them incrementally")
+    if totals.get("max_impact_cells"):
+        print(f"max impact     : {totals['max_impact_cells']} cell(s) "
+              f"bisected to I* (bounds in the trace's max_impact "
+              f"payloads)")
     if totals["certificate_errors"] or totals["certified"]:
         print(f"certificates   : {totals['certified']} verified, "
               f"{totals['certificate_errors']} rejected")
@@ -313,6 +506,84 @@ def build_parser() -> argparse.ArgumentParser:
                               "the same")
     analyze.set_defaults(func=_cmd_analyze)
 
+    maximize = sub.add_parser(
+        "maximize", help="bisect to the maximum achievable cost-increase "
+                         "I* (warm incremental re-solves)")
+    add_case_args(maximize)
+    maximize.add_argument("--analyzer", choices=("auto", "smt", "fast"),
+                          default="auto",
+                          help="auto picks SMT up to 14 buses, fast "
+                               "above")
+    maximize.add_argument("--cold", action="store_true",
+                          help="rebuild the encoding per probe instead "
+                               "of warm incremental re-solving (same "
+                               "I*, more work; for comparison)")
+    maximize.add_argument("--tolerance", default="1/8",
+                          help="bisection tolerance in percent points, "
+                               "as an exact fraction (default 1/8)")
+    maximize.add_argument("--lo", default="0",
+                          help="bracket anchor: the impact the search "
+                               "starts from (default 0)")
+    maximize.add_argument("--hi-cap", default="64",
+                          help="upper cap of the galloping phase "
+                               "(default 64)")
+    maximize.add_argument("--with-states", action="store_true",
+                          help="allow UFDI state infection")
+    maximize.add_argument("--max-candidates", type=int, default=60)
+    maximize.add_argument("--seed", type=int, default=0,
+                          help="seed for the fast analyzer's sampling")
+    maximize.add_argument("--timeout", type=float, default=None,
+                          help="wall-clock budget over the whole search; "
+                               "on exhaustion the partial bracket is "
+                               "reported (exit 1)")
+    maximize.add_argument("--max-conflicts", type=int, default=None,
+                          help="SAT conflict budget over the whole "
+                               "search")
+    maximize.add_argument("--max-decisions", type=int, default=None,
+                          help="SAT decision budget over the whole "
+                               "search")
+    maximize.add_argument("--self-check", action="store_true",
+                          help="certified mode: the SAT witness at I* "
+                               "and the UNSAT proof above it are both "
+                               "independently verified")
+    maximize.add_argument("--json", action="store_true",
+                          help="emit the full MaxImpactResult as JSON")
+    maximize.set_defaults(func=_cmd_maximize)
+
+    defend = sub.add_parser(
+        "defend", help="find a 1-minimal countermeasure set that makes "
+                       "the impact target unsatisfiable")
+    add_case_args(defend)
+    defend.add_argument("--target",
+                        help="impact target in percent (default: the "
+                             "case's value)")
+    defend.add_argument("--analyzer", choices=("auto", "smt", "fast"),
+                        default="auto")
+    defend.add_argument("--secure-line", type=int, action="append",
+                        help="candidate: secure this line's status "
+                             "channel (repeatable)")
+    defend.add_argument("--secure-measurement", type=int,
+                        action="append",
+                        help="candidate: integrity-protect this "
+                             "measurement (repeatable)")
+    defend.add_argument("--budget", action="append",
+                        metavar="MEASUREMENTS,BUSES",
+                        help="candidate: tighten the attacker resource "
+                             "budgets (repeatable)")
+    defend.add_argument("--max-candidates", type=int, default=60)
+    defend.add_argument("--seed", type=int, default=0,
+                        help="seed for the fast analyzer's sampling")
+    defend.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock budget per probe")
+    defend.add_argument("--max-conflicts", type=int, default=None)
+    defend.add_argument("--max-decisions", type=int, default=None)
+    defend.add_argument("--self-check", action="store_true",
+                        help="certified mode: every kill-confirmation "
+                             "UNSAT proof is independently verified")
+    defend.add_argument("--json", action="store_true",
+                        help="emit the DefensePlan as JSON")
+    defend.set_defaults(func=_cmd_defend)
+
     fuzz = sub.add_parser(
         "fuzz", help="drive seeded case mutants through the analyze "
                      "path; exit 1 if any escapes as an uncaught "
@@ -377,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace", default="sweep-trace.json",
                        help="write the per-sweep trace JSON here "
                             "('' disables)")
+    sweep.add_argument("--search", choices=("decision", "maximize"),
+                       default="decision",
+                       help="maximize bisects every cell to its maximum "
+                            "achievable I* (targets become bracket "
+                            "anchors) on the same warm sessions")
+    sweep.add_argument("--tolerance", default=None,
+                       help="bisection tolerance for --search maximize, "
+                            "as an exact fraction (default 1/8)")
     sweep.add_argument("--max-candidates", type=int, default=60)
     sweep.add_argument("--state-samples", type=int, default=24)
     sweep.add_argument("--seed", type=int, default=0,

@@ -673,6 +673,16 @@ class FastImpactAnalyzer:
     def analyze(self, query: Optional[FastQuery] = None) -> ImpactReport:
         return self.session.analyze(query or FastQuery())
 
-    def solve_at(self, percent, **attrs) -> ImpactReport:
+    def solve_at(self, percent=None, **attrs) -> ImpactReport:
         """Analyze at a new target percentage, reusing the warm pipeline."""
         return self.session.solve_at(percent, **attrs)
+
+    def max_impact(self, tolerance=None, **search_kwargs):
+        """Bisect to the maximum achievable increase I* (see
+        :class:`repro.search.MaxImpactSearch`)."""
+        from repro.search import DEFAULT_TOLERANCE, MaxImpactSearch
+        if tolerance is None:
+            tolerance = DEFAULT_TOLERANCE
+        query_attrs = search_kwargs.pop("query_attrs", {})
+        return MaxImpactSearch(self, tolerance=tolerance,
+                               **search_kwargs).run(**query_attrs)

@@ -466,9 +466,23 @@ class ImpactAnalyzer:
     def analyze(self, query: Optional[ImpactQuery] = None) -> ImpactReport:
         return self.session.analyze(query or ImpactQuery())
 
-    def solve_at(self, percent, **attrs) -> ImpactReport:
+    def solve_at(self, percent=None, **attrs) -> ImpactReport:
         """Analyze at a new target percentage, reusing warm state."""
         return self.session.solve_at(percent, **attrs)
+
+    def max_impact(self, tolerance=None, **search_kwargs):
+        """Bisect to the maximum achievable increase I* on this session.
+
+        Convenience wrapper over
+        :class:`repro.search.MaxImpactSearch`; with
+        ``incremental=True`` every probe is a warm re-solve.
+        """
+        from repro.search import DEFAULT_TOLERANCE, MaxImpactSearch
+        if tolerance is None:
+            tolerance = DEFAULT_TOLERANCE
+        query_attrs = search_kwargs.pop("query_attrs", {})
+        return MaxImpactSearch(self, tolerance=tolerance,
+                               **search_kwargs).run(**query_attrs)
 
     def confirm_with_smt_opf(self, solution: AttackVectorSolution,
                              threshold: Fraction) -> bool:

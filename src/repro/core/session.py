@@ -254,14 +254,18 @@ class AnalysisSession:
                 threshold, percent, started, str(exc))
         return self._outcome_report(outcome, threshold, percent, started)
 
-    def solve_at(self, percent, **attrs) -> ImpactReport:
+    def solve_at(self, percent=None, **attrs) -> ImpactReport:
         """Analyze at a new threshold, reusing the warm encoding.
 
         The incremental entry point for threshold sweeps: builds a
         strategy-appropriate query for ``percent`` (extra query fields
         via ``attrs``) and runs :meth:`analyze`, which re-solves against
-        the retained clause database instead of re-encoding.
+        the retained clause database instead of re-encoding.  A ``None``
+        percent falls back to ``case.min_increase_percent``, exactly as
+        the one-shot :meth:`analyze` path does — on every strategy.
         """
+        if percent is None:
+            percent = self.case.min_increase_percent
         return self.analyze(
             self.strategy.make_query(to_fraction(percent), **attrs))
 

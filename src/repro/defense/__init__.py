@@ -1,0 +1,36 @@
+"""Defense planning: minimal countermeasure sets that kill an attack.
+
+The paper positions the framework as a tool for operators to
+"preemptively analyze and explore potential threats"; arXiv:1401.3274
+frames the defender's half of that loop — find a *minimal* set of
+protections under which no stealthy attack reaches the impact target.
+:class:`DefensePlanner` runs that search using the repro analyzers'
+UNSAT answers as kill-confirmation, reusing one warm analysis session
+per distinct candidate case.
+"""
+
+from repro.defense.planner import (
+    Countermeasure,
+    DefensePlan,
+    DefensePlanner,
+    SecureLineStatus,
+    SecureMeasurement,
+    TightenBudgets,
+    default_candidates,
+    with_budgets,
+    with_secured_line,
+    with_secured_measurement,
+)
+
+__all__ = [
+    "Countermeasure",
+    "DefensePlan",
+    "DefensePlanner",
+    "SecureLineStatus",
+    "SecureMeasurement",
+    "TightenBudgets",
+    "default_candidates",
+    "with_budgets",
+    "with_secured_line",
+    "with_secured_measurement",
+]

@@ -1,0 +1,334 @@
+"""Greedy-minimal countermeasure planning over warm analysis sessions.
+
+A *countermeasure* is a case transformation that removes attacker
+capability: securing a line's status channel (its exclusion can no
+longer be spoofed), integrity-protecting a measurement (it can no
+longer be altered), or tightening the assumed attacker resource
+budgets.  A countermeasure *kills* the attack when the analyzer proves
+the defended case unsatisfiable at the impact target — only a
+definitive (``status="complete"``) UNSAT counts as kill-confirmation;
+budget-exhausted or certificate-error probes are inconclusive and never
+credited to the defender.
+
+Every case transformation goes through :func:`dataclasses.replace`, so
+*all* fields — including ``reference_bus`` and anything added later —
+survive the rebuild.  (The original ``examples/defense_planning.py``
+hand-copied the field list and silently reset a non-default slack bus
+back to bus 1; that bug is why this module exists as the single
+blessed rebuild path.)
+
+Probe economics: :class:`DefensePlanner` keeps one analyzer per
+distinct defended case (keyed by the case's serialized text plus the
+analyzer kind), so re-probing the same variant — the baseline check,
+the full-set check, and every greedy elimination step that lands on an
+already-seen subset — reuses the warm session instead of re-encoding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fast import FastImpactAnalyzer
+from repro.core.framework import ImpactAnalyzer
+from repro.core.results import ImpactReport
+from repro.exceptions import ModelError
+from repro.grid.caseio import CaseDefinition, write_case
+from repro.runner.spec import AUTO_SMT_MAX_BUSES
+from repro.smt.budget import SolverBudget
+from repro.smt.rational import to_fraction
+
+# ----------------------------------------------------------------------
+# Case transformations (the blessed rebuild path)
+# ----------------------------------------------------------------------
+
+
+def with_secured_line(case: CaseDefinition, line: int) -> CaseDefinition:
+    """The case with ``line``'s status channel integrity-protected."""
+    specs = [replace(s, status_secured=True) if s.index == line else s
+             for s in case.line_specs]
+    return replace(case, line_specs=specs,
+                   name=f"{case.name}+secure-line-{line}")
+
+
+def with_secured_measurement(case: CaseDefinition,
+                             index: int) -> CaseDefinition:
+    """The case with measurement ``index`` integrity-protected."""
+    specs = [replace(m, secured=True) if m.index == index else m
+             for m in case.measurement_specs]
+    return replace(case, measurement_specs=specs,
+                   name=f"{case.name}+secure-m{index}")
+
+
+def with_budgets(case: CaseDefinition, measurements: int,
+                 buses: int) -> CaseDefinition:
+    """The case with the attacker's resource budgets tightened."""
+    return replace(case, resource_measurements=measurements,
+                   resource_buses=buses,
+                   name=f"{case.name}+budget-{measurements}-{buses}")
+
+
+# ----------------------------------------------------------------------
+# Countermeasures
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Countermeasure:
+    """One deployable protection; ``apply`` yields the defended case."""
+
+    def apply(self, case: CaseDefinition) -> CaseDefinition:
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SecureLineStatus(Countermeasure):
+    line: int
+
+    def apply(self, case: CaseDefinition) -> CaseDefinition:
+        return with_secured_line(case, self.line)
+
+    @property
+    def label(self) -> str:
+        return f"secure-line-{self.line}"
+
+
+@dataclass(frozen=True)
+class SecureMeasurement(Countermeasure):
+    index: int
+
+    def apply(self, case: CaseDefinition) -> CaseDefinition:
+        return with_secured_measurement(case, self.index)
+
+    @property
+    def label(self) -> str:
+        return f"secure-m{self.index}"
+
+
+@dataclass(frozen=True)
+class TightenBudgets(Countermeasure):
+    measurements: int
+    buses: int
+
+    def apply(self, case: CaseDefinition) -> CaseDefinition:
+        return with_budgets(case, self.measurements, self.buses)
+
+    @property
+    def label(self) -> str:
+        return f"budget-{self.measurements}-{self.buses}"
+
+
+def default_candidates(case: CaseDefinition) -> List[Countermeasure]:
+    """Everything the operator could secure on this case.
+
+    One countermeasure per attacker-reachable channel: each line whose
+    status is alterable and not yet secured, and each taken measurement
+    that is alterable and not yet secured.  (Budget cuts model
+    *assumptions* about the attacker rather than deployable protections,
+    so they are opt-in, not defaults.)
+    """
+    candidates: List[Countermeasure] = []
+    for spec in case.line_specs:
+        if spec.status_alterable and not spec.status_secured:
+            candidates.append(SecureLineStatus(spec.index))
+    for m in case.measurement_specs:
+        if m.taken and m.alterable and not m.secured:
+            candidates.append(SecureMeasurement(m.index))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# The planner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DefensePlan:
+    """Outcome of a planning run.
+
+    ``status`` is ``"already_secure"`` (the undefended case admits no
+    attack), ``"blocked"`` (``selected`` is a 1-minimal countermeasure
+    set killing the attack: dropping any single member revives it),
+    ``"unblockable"`` (even all candidates together leave the attack
+    satisfiable), or ``"inconclusive"`` (a probe ended without a
+    definitive verdict — its status is in ``probes``).
+    """
+
+    status: str
+    target_increase_percent: Fraction
+    analyzer: str
+    selected: Tuple[Countermeasure, ...] = ()
+    #: one entry per analyzer probe, in execution order.
+    probes: List[Dict[str, Any]] = field(default_factory=list)
+    sessions_built: int = 0
+    sessions_reused: int = 0
+    elapsed_seconds: float = 0.0
+    #: the report of the probe that confirmed the final verdict.
+    report: Optional[ImpactReport] = None
+
+    @property
+    def blocked(self) -> bool:
+        return self.status in ("already_secure", "blocked")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "target_increase_percent": str(self.target_increase_percent),
+            "analyzer": self.analyzer,
+            "selected": [c.label for c in self.selected],
+            "probes": list(self.probes),
+            "sessions_built": self.sessions_built,
+            "sessions_reused": self.sessions_reused,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class DefensePlanner:
+    """Finds a 1-minimal countermeasure set that kills the attack.
+
+    The search is the classic deletion-based minimization: confirm the
+    full candidate set blocks the attack, then walk the set once,
+    tentatively dropping each member and keeping the drop whenever the
+    remainder still blocks.  Every kept member is *necessary* relative
+    to the final set, so the result is 1-minimal (though not guaranteed
+    globally minimum — that would need the full power-set search).
+    """
+
+    def __init__(self, case: CaseDefinition, target=None,
+                 analyzer: str = "auto",
+                 budget: Optional[SolverBudget] = None,
+                 self_check: Optional[bool] = None,
+                 incremental: bool = True,
+                 **query_attrs) -> None:
+        self.case = case
+        self.target = to_fraction(
+            target if target is not None else case.min_increase_percent)
+        if analyzer == "auto":
+            analyzer = "smt" if case.num_buses <= AUTO_SMT_MAX_BUSES \
+                else "fast"
+        if analyzer not in ("smt", "fast"):
+            raise ModelError(f"unknown analyzer kind: {analyzer!r}")
+        self.analyzer = analyzer
+        self.budget = budget
+        self.self_check = self_check
+        self.incremental = incremental
+        self.query_attrs = dict(query_attrs)
+        #: warm analyzers keyed by (case text, analyzer kind).
+        self._pool: Dict[Tuple[str, str], Any] = {}
+        self.sessions_built = 0
+        self.sessions_reused = 0
+
+    # -- probing -------------------------------------------------------
+
+    def _analyzer_for(self, case: CaseDefinition):
+        key = (write_case(case), self.analyzer)
+        analyzer = self._pool.get(key)
+        if analyzer is None:
+            if self.analyzer == "smt":
+                analyzer = ImpactAnalyzer(case,
+                                          incremental=self.incremental)
+            else:
+                analyzer = FastImpactAnalyzer(case)
+            self._pool[key] = analyzer
+            self.sessions_built += 1
+        else:
+            self.sessions_reused += 1
+        return analyzer
+
+    def probe(self, case: CaseDefinition) -> ImpactReport:
+        """One decision query on a (possibly defended) case variant.
+
+        Each probe gets a *fresh* budget built from the planner's
+        limits, so a long plan never starves its later probes.
+        """
+        attrs = dict(self.query_attrs)
+        if self.budget is not None:
+            attrs["budget"] = SolverBudget.from_dict(self.budget.to_dict())
+        if self.self_check is not None:
+            attrs["self_check"] = self.self_check
+        return self._analyzer_for(case).solve_at(self.target, **attrs)
+
+    def attack_survives(self, case: CaseDefinition) -> Optional[bool]:
+        """True/False on a definitive verdict, None when inconclusive."""
+        report = self.probe(case)
+        if report.status != "complete":
+            return None
+        return report.satisfiable
+
+    # -- planning ------------------------------------------------------
+
+    def plan(self,
+             candidates: Optional[Sequence[Countermeasure]] = None
+             ) -> DefensePlan:
+        started = time.perf_counter()
+        if candidates is None:
+            candidates = default_candidates(self.case)
+        candidates = list(candidates)
+        probes: List[Dict[str, Any]] = []
+
+        def checked(label: str, case: CaseDefinition
+                    ) -> Tuple[Optional[bool], ImpactReport]:
+            report = self.probe(case)
+            probes.append({
+                "defense": label,
+                "verdict": "sat" if report.satisfiable else "unsat",
+                "status": report.status,
+                "seconds": report.elapsed_seconds,
+            })
+            survives = None if report.status != "complete" \
+                else report.satisfiable
+            return survives, report
+
+        def finish(status: str, selected: Sequence[Countermeasure],
+                   report: ImpactReport) -> DefensePlan:
+            return DefensePlan(
+                status=status,
+                target_increase_percent=self.target,
+                analyzer=self.analyzer,
+                selected=tuple(selected),
+                probes=probes,
+                sessions_built=self.sessions_built,
+                sessions_reused=self.sessions_reused,
+                elapsed_seconds=time.perf_counter() - started,
+                report=report)
+
+        def apply_all(selected: Sequence[Countermeasure]) -> CaseDefinition:
+            case = self.case
+            for measure in selected:
+                case = measure.apply(case)
+            return case
+
+        survives, report = checked("(undefended)", self.case)
+        if survives is None:
+            return finish("inconclusive", (), report)
+        if not survives:
+            return finish("already_secure", (), report)
+        if not candidates:
+            return finish("unblockable", (), report)
+
+        survives, report = checked(
+            "+".join(c.label for c in candidates), apply_all(candidates))
+        if survives is None:
+            return finish("inconclusive", candidates, report)
+        if survives:
+            return finish("unblockable", candidates, report)
+
+        # Deletion-based 1-minimization of the (blocking) full set.
+        selected = list(candidates)
+        blocking_report = report
+        for measure in list(selected):
+            trial = [c for c in selected if c != measure]
+            label = "+".join(c.label for c in trial) or "(undefended)"
+            survives, report = checked(label, apply_all(trial))
+            if survives is None:
+                return finish("inconclusive", selected, blocking_report)
+            if not survives:
+                selected = trial
+                blocking_report = report
+        return finish("blocked", selected, blocking_report)

@@ -69,6 +69,8 @@ from repro.runner.trace import (
     ScenarioOutcome,
     SweepTrace,
 )
+from repro.search import DEFAULT_TOLERANCE, MaxImpactResult, \
+    MaxImpactSearch
 from repro.smt.budget import SolverBudget
 from repro.smt.certificates import self_check_default
 from repro.validation import FATAL, ValidationReport, validate_case
@@ -167,24 +169,110 @@ def _outcome_from_report(outcome: ScenarioOutcome, report,
     return outcome
 
 
+def _query_attrs(spec: ScenarioSpec, kind: str,
+                 budget: Optional[SolverBudget],
+                 self_check: Optional[bool]) -> Dict[str, Any]:
+    """A spec's per-query fields, minus the target percentage."""
+    attrs: Dict[str, Any] = {
+        "with_state_infection": spec.with_state_infection,
+        "budget": budget,
+        "self_check": self_check,
+    }
+    if kind == "smt":
+        attrs["max_candidates"] = spec.max_candidates
+    else:
+        attrs["state_samples"] = spec.state_samples
+        attrs["seed"] = spec.sample_seed
+    return attrs
+
+
 def _analysis_query(spec: ScenarioSpec, kind: str,
                     budget: Optional[SolverBudget],
                     self_check: Optional[bool]):
     """The analyzer query a spec's parameters describe."""
+    attrs = _query_attrs(spec, kind, budget, self_check)
     if kind == "smt":
         return ImpactQuery(
-            target_increase_percent=spec.target_fraction(),
-            with_state_infection=spec.with_state_infection,
-            max_candidates=spec.max_candidates,
-            budget=budget,
-            self_check=self_check)
+            target_increase_percent=spec.target_fraction(), **attrs)
     return FastQuery(
-        target_increase_percent=spec.target_fraction(),
-        with_state_infection=spec.with_state_infection,
-        state_samples=spec.state_samples,
-        seed=spec.sample_seed,
-        budget=budget,
-        self_check=self_check)
+        target_increase_percent=spec.target_fraction(), **attrs)
+
+
+def _run_max_impact(spec: ScenarioSpec, kind: str, analyzer,
+                    budget: Optional[SolverBudget],
+                    self_check: Optional[bool]) -> MaxImpactResult:
+    """Bisect the spec's case to I* on the given (warm or cold) analyzer."""
+    search = MaxImpactSearch(
+        analyzer,
+        tolerance=spec.tolerance_fraction() or DEFAULT_TOLERANCE,
+        lo=spec.target_fraction() or Fraction(0))
+    return search.run(**_query_attrs(spec, kind, budget, self_check))
+
+
+def _outcome_from_max_result(outcome: ScenarioOutcome,
+                             result: MaxImpactResult,
+                             started: float) -> ScenarioOutcome:
+    """Fill a scenario outcome from a finished maximize search.
+
+    Verdict fields mirror the decision path's shape — ``threshold`` and
+    ``believed_min_cost`` describe the *witness at I\\** — so downstream
+    consumers (cache verification, trace totals, renderers) keep their
+    arithmetic; the search-specific bracket lives in ``max_impact``.
+    """
+    source = result.witness_report or result.last_report
+    if result.status == "budget_exhausted":
+        outcome.status = UNKNOWN
+        outcome.error = result.budget_reason or "resource budget exhausted"
+    elif result.status == "certificate_error":
+        outcome.status = CERTIFICATE_ERROR
+        outcome.error = result.certificate_error or "certificate rejected"
+    elif result.is_rejected:
+        outcome.status = result.status
+        if result.diagnostics is not None:
+            outcome.error = "; ".join(
+                d.code for d in result.diagnostics.fatal)
+    if not result.is_rejected:
+        # Partial brackets are worth keeping on unknown/cert-error
+        # outcomes too (they are never cached).
+        outcome.max_impact = result.to_dict()
+    outcome.certified = result.certified
+    if result.diagnostics is not None:
+        outcome.diagnostics = result.diagnostics.to_dict()
+    outcome.satisfiable = result.satisfiable
+    if not result.is_rejected:
+        outcome.base_cost = str(result.base_cost)
+        bound = result.lower_bound if result.satisfiable \
+            else result.upper_bound
+        if bound is not None:
+            outcome.threshold = str(
+                result.base_cost * (1 + bound / 100))
+    if result.witness_cost is not None:
+        outcome.believed_min_cost = str(result.witness_cost)
+    if result.witness_report is not None and \
+            result.witness_report.achieved_increase_percent is not None:
+        outcome.achieved_increase_percent = float(
+            result.witness_report.achieved_increase_percent)
+    outcome.candidates_examined = result.candidates_examined
+    outcome.solver_calls = result.solver_calls
+    outcome.analysis_seconds = result.elapsed_seconds
+    if source is not None and source.trace is not None:
+        trace = source.trace.to_dict()
+        trace.setdefault("session", {})["search"] = {
+            "mode": "maximize",
+            "status": result.status,
+            "solve_at_calls": result.solve_at_calls,
+            "solver_calls": result.solver_calls,
+            "encodings_built": result.encodings_built,
+            "warm_solves": result.warm_solves,
+            "lower_bound": None if result.lower_bound is None
+            else str(result.lower_bound),
+            "upper_bound": None if result.upper_bound is None
+            else str(result.upper_bound),
+            "tolerance": str(result.tolerance),
+        }
+        outcome.trace = trace
+    outcome.task_seconds = time.perf_counter() - started
+    return outcome
 
 
 def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
@@ -210,9 +298,18 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
             return rejected
         kind = spec.resolved_analyzer(case)
         if kind == "smt":
-            analyzer = ImpactAnalyzer(case)
+            # Maximize mode re-solves the same encoding at many
+            # thresholds, so warm incremental mode pays off even within
+            # one scenario; decision mode keeps the cold single-shot
+            # path (bit-identical witnesses).
+            analyzer = ImpactAnalyzer(
+                case, incremental=spec.search == "maximize")
         else:
             analyzer = FastImpactAnalyzer(case)
+        if spec.search == "maximize":
+            result = _run_max_impact(spec, kind, analyzer, budget,
+                                     self_check)
+            return _outcome_from_max_result(outcome, result, started)
         report = analyzer.analyze(
             _analysis_query(spec, kind, budget, self_check))
     except BudgetExhausted as exc:
@@ -280,6 +377,12 @@ def execute_scenario_group(specs: Sequence[ScenarioSpec],
             if analyzer is None:
                 analyzer = ImpactAnalyzer(case, incremental=True) \
                     if kind == "smt" else FastImpactAnalyzer(case)
+            if spec.search == "maximize":
+                result = _run_max_impact(spec, kind, analyzer, budget,
+                                         self_check)
+                outcomes.append(_outcome_from_max_result(
+                    outcome, result, started))
+                continue
             report = analyzer.analyze(
                 _analysis_query(spec, kind, budget, self_check))
         except BudgetExhausted as exc:
@@ -318,6 +421,84 @@ def _group_worker_entry(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         specs, payload["fingerprints"], payload.get("budget"),
         self_check=payload.get("self_check"))
     return [outcome.to_dict() for outcome in outcomes]
+
+
+def _verify_cached_max_impact(outcome: ScenarioOutcome,
+                              spec: ScenarioSpec, base: Fraction,
+                              threshold: Fraction) -> None:
+    """Semantic re-verification of a cached maximize outcome.
+
+    The bracket must parse, respect the spec's anchor and tolerance, and
+    agree with the verdict fields mirrored onto the outcome; any
+    inconsistency raises :class:`ValueError` (a cache miss upstream).
+    """
+    payload = outcome.max_impact
+    if not isinstance(payload, dict):
+        raise ValueError(
+            "cached maximize outcome has no max_impact payload")
+    status = payload.get("status")
+    if status not in ("complete", "capped"):
+        raise ValueError(
+            f"cached maximize outcome has non-definitive search "
+            f"status {status!r}")
+    try:
+        tolerance = Fraction(payload["tolerance"])
+        lower = None if payload.get("lower_bound") is None \
+            else Fraction(payload["lower_bound"])
+        upper = None if payload.get("upper_bound") is None \
+            else Fraction(payload["upper_bound"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"cached max_impact bounds unparsable: {exc}")
+    if tolerance != (spec.tolerance_fraction() or DEFAULT_TOLERANCE):
+        raise ValueError(
+            "cached max_impact tolerance disagrees with the spec")
+    anchor = spec.target_fraction() or Fraction(0)
+    if bool(outcome.satisfiable) != (lower is not None):
+        raise ValueError(
+            "cached maximize verdict disagrees with its bounds")
+    if lower is not None:
+        if lower < anchor:
+            raise ValueError(
+                "cached max_impact lower bound is below the spec anchor")
+        if threshold != base * (1 + lower / 100):
+            raise ValueError(
+                "cached maximize threshold is inconsistent with I*")
+        if outcome.believed_min_cost is None:
+            raise ValueError("cached sat maximize outcome has no "
+                             "believed cost")
+        try:
+            believed = Fraction(outcome.believed_min_cost)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"cached believed cost is unparsable: {exc}")
+        if float(believed) < float(threshold) * (1 - 1e-6) - 1e-9:
+            raise ValueError(
+                "cached maximize witness cost is below its threshold")
+        if outcome.achieved_increase_percent is not None:
+            expected = float((believed / base - 1) * 100)
+            if abs(outcome.achieved_increase_percent - expected) > 1e-6:
+                raise ValueError(
+                    "cached achieved-increase disagrees with its costs")
+        if status == "complete" and (upper is None
+                                     or upper - lower > tolerance):
+            raise ValueError(
+                "cached complete maximize bracket is wider than its "
+                "tolerance")
+        if status == "capped" and upper is not None:
+            raise ValueError(
+                "cached capped maximize outcome carries an upper bound")
+    else:
+        if status != "complete" or upper is None or upper != anchor:
+            raise ValueError(
+                "cached unsat maximize outcome must close the bracket "
+                "at its anchor")
+        if threshold != base * (1 + upper / 100):
+            raise ValueError(
+                "cached maximize threshold is inconsistent with the "
+                "anchor bound")
+        if outcome.believed_min_cost is not None:
+            raise ValueError(
+                "cached unsat maximize outcome carries a believed cost")
 
 
 def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
@@ -360,6 +541,13 @@ def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
         raise ValueError(f"cached outcome has unparsable costs: {exc}")
     if base <= 0:
         raise ValueError(f"cached base cost {base} is not positive")
+    if spec.search == "maximize":
+        _verify_cached_max_impact(outcome, spec, base, threshold)
+        if require_certified and outcome.certified is not True:
+            raise ValueError(
+                "certified sweep: cached outcome was not produced with "
+                "certificates verified")
+        return
     target = spec.target_fraction()
     if target is not None and threshold != base * (1 + target / 100):
         raise ValueError(

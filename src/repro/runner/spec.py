@@ -35,7 +35,10 @@ from repro.smt.rational import to_fraction
 #: preflight rejections (``invalid_input``/``degenerate_case``) are
 #: cached alongside ``ok`` — pre-v4 entries must not be served as "no
 #: diagnostics recorded".
-CACHE_FORMAT_VERSION = 4
+#: v5: specs grow a ``search`` mode (``decision`` | ``maximize``) and a
+#: bisection ``tolerance``; maximize outcomes carry a ``max_impact``
+#: payload — pre-v5 entries must not alias either mode's results.
+CACHE_FORMAT_VERSION = 5
 
 #: bus count at and below which ``analyzer="auto"`` picks the full SMT
 #: framework (mirrors the paper's Section IV-A hybrid).
@@ -102,12 +105,19 @@ class ScenarioSpec:
     case_text: Optional[str] = None      # inline case (paper input format)
     attacker_seed: Optional[int] = None  # randomize_attacker() seed
     #: target increase as ``str(Fraction)`` (keeps the spec hashable and
-    #: JSON-clean); None uses the case's own value.
+    #: JSON-clean); None uses the case's own value.  In ``maximize`` mode
+    #: this is the bisection bracket's *anchor* ``lo`` (None: 0).
     target: Optional[str] = None
     with_state_infection: bool = False
     max_candidates: int = 60
     state_samples: int = 24
     sample_seed: int = 0                 # fast-analyzer sampling seed
+    #: "decision" answers the spec's threshold query; "maximize" bisects
+    #: to the maximum achievable increase I* on the same warm session.
+    search: str = "decision"
+    #: maximize-mode bisection tolerance as ``str(Fraction)`` (None uses
+    #: :data:`repro.search.DEFAULT_TOLERANCE`).
+    tolerance: Optional[str] = None
     label: str = ""
 
     @classmethod
@@ -116,11 +126,22 @@ class ScenarioSpec:
               attacker_seed: Optional[int] = None,
               target=None, with_state_infection: bool = False,
               max_candidates: int = 60, state_samples: int = 24,
-              sample_seed: int = 0, label: str = "") -> "ScenarioSpec":
+              sample_seed: int = 0, search: str = "decision",
+              tolerance=None, label: str = "") -> "ScenarioSpec":
         """Constructor accepting any rational-ish ``target``."""
         if analyzer not in ("smt", "fast", "auto"):
             raise ModelError(f"unknown analyzer kind {analyzer!r}")
+        if search not in ("decision", "maximize"):
+            raise ModelError(f"unknown search mode {search!r}")
+        if tolerance is not None:
+            if search != "maximize":
+                raise ModelError(
+                    "tolerance only applies to search='maximize'")
+            if to_fraction(tolerance) <= 0:
+                raise ModelError("bisection tolerance must be positive")
         target_str = None if target is None else str(to_fraction(target))
+        tolerance_str = None if tolerance is None \
+            else str(to_fraction(tolerance))
         if not label:
             parts = [case]
             if attacker_seed is not None:
@@ -129,13 +150,15 @@ class ScenarioSpec:
                 parts.append(f"t{target_str}")
             if with_state_infection:
                 parts.append("states")
+            if search == "maximize":
+                parts.append("max")
             label = "/".join(parts)
         return cls(case=case, analyzer=analyzer, case_text=case_text,
                    attacker_seed=attacker_seed, target=target_str,
                    with_state_infection=with_state_infection,
                    max_candidates=max_candidates,
                    state_samples=state_samples, sample_seed=sample_seed,
-                   label=label)
+                   search=search, tolerance=tolerance_str, label=label)
 
     # -- resolution -----------------------------------------------------
 
@@ -158,6 +181,9 @@ class ScenarioSpec:
 
     def target_fraction(self) -> Optional[Fraction]:
         return None if self.target is None else Fraction(self.target)
+
+    def tolerance_fraction(self) -> Optional[Fraction]:
+        return None if self.tolerance is None else Fraction(self.tolerance)
 
     # -- serialization and fingerprinting -------------------------------
 
@@ -203,6 +229,8 @@ class ScenarioSpec:
             "max_candidates": self.max_candidates,
             "state_samples": self.state_samples,
             "sample_seed": self.sample_seed,
+            "search": self.search,
+            "tolerance": self.tolerance,
         }
         blob = json.dumps(key, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()

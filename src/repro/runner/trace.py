@@ -73,6 +73,10 @@ class ScenarioOutcome:
     #: always present for rejected outcomes, may carry degraded/warning
     #: findings on accepted ones.  Round-trips through the result cache.
     diagnostics: Optional[Dict[str, Any]] = None
+    #: maximize-mode payload (a ``MaxImpactResult.to_dict()``): the I*
+    #: bracket, witness vector and per-probe log.  Present exactly when
+    #: the spec's ``search`` is ``"maximize"`` and the run was accepted.
+    max_impact: Optional[Dict[str, Any]] = None
     trace: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -141,6 +145,7 @@ class ScenarioOutcome:
             ("cache_write_error", self.cache_write_error, str, True),
             ("certified", self.certified, bool, True),
             ("diagnostics", self.diagnostics, dict, True),
+            ("max_impact", self.max_impact, dict, True),
             ("trace", self.trace, dict, False),
         )
         for name, value, types, optional in checks:
@@ -159,6 +164,14 @@ class ScenarioOutcome:
                 raise ValueError(
                     f"{self.status} outcome must carry fatal diagnostics "
                     f"matching its status")
+        search = getattr(self.spec, "search", "decision")
+        if self.status == OK:
+            if search == "maximize" and self.max_impact is None:
+                raise ValueError(
+                    "ok maximize outcome must carry a max_impact payload")
+            if search != "maximize" and self.max_impact is not None:
+                raise ValueError(
+                    "decision outcome must not carry a max_impact payload")
 
 
 @dataclass
@@ -205,6 +218,8 @@ class SweepTrace:
                                        for o in self.outcomes),
                 "certified": sum(o.certified is True
                                  for o in self.outcomes),
+                "max_impact_cells": sum(o.max_impact is not None
+                                        for o in self.outcomes),
                 "cache_write_errors": sum(
                     o.cache_write_error is not None
                     for o in self.outcomes),

@@ -1,0 +1,21 @@
+"""Optimization-layer searches on top of warm analysis sessions.
+
+* :mod:`repro.search.max_impact` — :class:`MaxImpactSearch`: exact
+  bisection over the cost-increase percentage that turns the repo's
+  decision queries ("is a >= k% attack possible?") into the attacker's
+  optimization answer ("what is the maximum achievable impact I*?"),
+  in O(log((hi-lo)/tolerance)) warm re-solves instead of a linear
+  threshold sweep.
+"""
+
+from repro.search.max_impact import (
+    DEFAULT_TOLERANCE,
+    MaxImpactResult,
+    MaxImpactSearch,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "MaxImpactResult",
+    "MaxImpactSearch",
+]

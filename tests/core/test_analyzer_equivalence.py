@@ -175,3 +175,37 @@ class TestWarmColdEquivalence:
         assert first.trace.session["encodings_built"] == 1
         assert second.trace.session["warm"] is True
         assert second.trace.session["encodings_built"] == 0
+
+
+class TestSolveAtDefaultTarget:
+    """Satellite: ``solve_at(percent=None)`` must fall back to
+    ``case.min_increase_percent`` on *both* strategies, exactly like the
+    one-shot ``analyze`` path does."""
+
+    @pytest.mark.parametrize("name", ["5bus-study1", "5bus-study2"])
+    def test_none_means_case_default_on_both_paths(self, name):
+        case = get_case(name)
+        expected = Fraction(case.min_increase_percent)
+        smt = ImpactAnalyzer(case, incremental=True).solve_at(None)
+        fast = FastImpactAnalyzer(case).solve_at(None)
+        for report in (smt, fast):
+            assert report.status == "complete"
+            assert report.target_increase_percent == expected
+            # the fallback threshold is derived from the default, on
+            # each strategy's own exact base cost
+            assert report.threshold == \
+                report.base_cost * (1 + expected / 100)
+        assert smt.satisfiable == fast.satisfiable
+
+    def test_none_equals_explicit_default_and_oneshot(self):
+        case = get_case("5bus-study1")
+        expected = Fraction(case.min_increase_percent)
+        implicit = FastImpactAnalyzer(case).solve_at()
+        explicit = FastImpactAnalyzer(case).solve_at(expected)
+        oneshot = FastImpactAnalyzer(case).analyze(FastQuery())
+        assert implicit.satisfiable == explicit.satisfiable \
+            == oneshot.satisfiable
+        assert implicit.threshold == explicit.threshold \
+            == oneshot.threshold
+        assert implicit.target_increase_percent == expected
+        assert oneshot.target_increase_percent == expected
