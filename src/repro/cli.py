@@ -10,6 +10,7 @@ format goes in, the analysis verdict and attack vector come out::
     python -m repro defend --case 5bus-study1 --target 3
     python -m repro opf --case 5bus-study1
     python -m repro sweep --cases 5bus-study1,5bus-study2 --targets 1,2,3,4
+    python -m repro serve --port 8734 --workers 2
     python -m repro cases
 """
 
@@ -38,6 +39,9 @@ from repro.opf import solve_dc_opf
 #: structurally malformed input vs. well-formed but degenerate case.
 EXIT_INVALID_INPUT = 3
 EXIT_DEGENERATE_CASE = 4
+#: ``sweep`` was interrupted (SIGINT/SIGTERM) after checkpointing the
+#: completed cells; re-running the same sweep resumes from the cache.
+EXIT_INTERRUPTED = 5
 
 
 def _load_case(args) -> CaseDefinition:
@@ -377,7 +381,35 @@ def _cmd_sweep(args) -> int:
         retries=args.retries, cache_dir=cache_dir,
         use_cache=cache_dir is not None, budget=budget,
         self_check=True if args.self_check else None))
-    sweep = engine.run(specs)
+
+    # SIGTERM behaves like SIGINT: the engine checkpoints every
+    # completed cell (including cells salvaged out of an interrupted
+    # warm group) and we exit with the dedicated resumable code.
+    import signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass    # not the main thread (embedded use): no handler swap
+    print(f"sweep: {len(specs)} scenario(s) queued "
+          f"({'serial' if workers == 1 else f'{workers} workers'})",
+          flush=True)
+    try:
+        sweep = engine.run(specs)
+    except KeyboardInterrupt:
+        where = f" under {cache_dir}" if cache_dir else \
+            " (cache disabled: nothing persisted)"
+        print(f"sweep interrupted: completed cells are "
+              f"checkpointed{where}; re-run the same command to "
+              f"resume from the cache", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
     rows = []
     for outcome in sweep.outcomes:
@@ -453,6 +485,58 @@ def _cmd_sweep(args) -> int:
                   f"outcome(s)")
             return 2
     return 1 if failures else 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        retry_limit=args.retry_limit,
+        session_limit=args.session_limit,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        self_check=True if args.self_check else None,
+        fault_plan=args.fault_plan,
+        drain_timeout=args.drain_timeout)
+    server = ServiceServer(host=args.host, port=args.port,
+                           config=config, verbose=args.verbose)
+    server.supervisor.start()
+
+    def _graceful(signum, frame):
+        # Runs on the serve_forever thread: flip to draining (new
+        # submissions shed with 503) and stop the accept loop from a
+        # side thread — BaseServer.shutdown() would deadlock here.
+        server.request_stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _graceful)
+        except ValueError:
+            pass
+    host, port = server.address
+    print(f"repro serve listening on http://{host}:{port} "
+          f"({config.workers} worker(s), queue limit "
+          f"{config.queue_limit})")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()     # returns after request_stop()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    drained = server.supervisor.drain(config.drain_timeout)
+    server.shutdown()
+    if drained:
+        print("drained cleanly: all accepted requests completed")
+        return 0
+    print("drain timed out: some in-flight work was abandoned",
+          file=sys.stderr)
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -672,6 +756,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "degenerate_case, or a failed cache "
                             "write)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve", help="run the fault-tolerant analysis service "
+                      "(supervised warm-session workers behind an "
+                      "HTTP/JSON acceptor)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="listen port (0 picks a free one; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="supervised worker processes (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max queued+in-flight requests before "
+                            "shedding with 429 (default 16)")
+    serve.add_argument("--request-timeout", type=float, default=60.0,
+                       help="default per-request deadline in seconds; "
+                            "requests may set a tighter "
+                            "deadline_seconds (default 60)")
+    serve.add_argument("--retry-limit", type=int, default=1,
+                       help="re-dispatches after a worker failure "
+                            "before the request fails with 503 "
+                            "(default 1)")
+    serve.add_argument("--session-limit", type=int, default=8,
+                       help="warm sessions kept per worker (LRU; "
+                            "default 8)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="shared result-cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the shared result cache")
+    serve.add_argument("--self-check", action="store_true",
+                       help="certified mode for every request")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds SIGTERM waits for in-flight work "
+                            "before giving up (exit 1)")
+    serve.add_argument("--fault-plan", default=None,
+                       help=argparse.SUPPRESS)   # chaos testing only
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

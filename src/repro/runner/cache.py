@@ -21,13 +21,22 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.runner.spec import CACHE_FORMAT_VERSION
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: bounded-retry policy for degradable cache writes: a transient disk
+#: hiccup (NFS blip, momentary ENOSPC while another sweep compacts) gets
+#: ``WRITE_RETRIES`` more attempts with exponentially growing, jittered
+#: pauses before the write degrades to ``cache_write_error``.
+WRITE_RETRIES = 2
+WRITE_BACKOFF_SECONDS = 0.05
 
 
 class ResultCache:
@@ -75,19 +84,33 @@ class ResultCache:
                 pass
             raise
 
-    def try_put(self, fingerprint: str,
-                outcome: Dict[str, Any]) -> Optional[str]:
+    def try_put(self, fingerprint: str, outcome: Dict[str, Any],
+                retries: int = WRITE_RETRIES,
+                backoff_seconds: float = WRITE_BACKOFF_SECONDS,
+                sleep: Callable[[float], None] = time.sleep
+                ) -> Optional[str]:
         """Like :meth:`put` but degrades I/O failure to an error string.
 
-        The sweep engine checkpoints every finished outcome through this:
-        a full disk or permission problem must not abort a long sweep,
-        only cost it the checkpoint (reported per-outcome in the trace).
+        The sweep engine and the analysis-service workers checkpoint
+        every finished outcome through this: a full disk or permission
+        problem must not abort a long sweep, only cost it the checkpoint
+        (reported per-outcome in the trace).  Transient failures get
+        ``retries`` further attempts first, spaced by exponential backoff
+        with deterministic jitter (seeded from the fingerprint, so runs
+        are reproducible); only then does the write degrade.
         """
-        try:
-            self.put(fingerprint, outcome)
-        except OSError as exc:
-            return f"{type(exc).__name__}: {exc}"
-        return None
+        jitter = random.Random(fingerprint or None)
+        last: Optional[OSError] = None
+        for attempt in range(retries + 1):
+            try:
+                self.put(fingerprint, outcome)
+                return None
+            except OSError as exc:
+                last = exc
+                if attempt < retries:
+                    delay = backoff_seconds * (2 ** attempt)
+                    sleep(delay * (0.5 + jitter.random()))
+        return f"{type(last).__name__}: {last}"
 
     def clear(self) -> int:
         """Remove all cached results; returns the number removed."""

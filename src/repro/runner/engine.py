@@ -76,6 +76,22 @@ from repro.smt.certificates import self_check_default
 from repro.validation import FATAL, ValidationReport, validate_case
 
 
+class GroupInterrupted(BaseException):
+    """A warm unit was interrupted (SIGINT/SIGTERM) mid-run.
+
+    Carries the outcomes completed *before* the interrupt so the engine
+    can checkpoint them to the cache before re-raising
+    :class:`KeyboardInterrupt` — a supervised sweep stays resumable at
+    per-cell granularity even when cells are batched into warm units.
+    Derives from ``BaseException`` so generic worker error handling
+    cannot swallow it.
+    """
+
+    def __init__(self, outcomes: Sequence) -> None:
+        super().__init__(f"{len(outcomes)} outcome(s) salvaged")
+        self.outcomes = list(outcomes)
+
+
 def parse_failure_report(subject: str,
                          exc: Exception) -> ValidationReport:
     """A one-finding report for a case text that failed to parse."""
@@ -275,37 +291,36 @@ def _outcome_from_max_result(outcome: ScenarioOutcome,
     return outcome
 
 
-def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
-                     budget: Optional[SolverBudget] = None,
-                     self_check: Optional[bool] = None
-                     ) -> ScenarioOutcome:
-    """Run one scenario in-process and record its outcome + trace."""
-    started = time.perf_counter()
-    outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
-                              worker_pid=os.getpid())
+def build_analyzer(case, kind: str, warm: bool = False):
+    """The analyzer a resolved case runs on (warm = incremental SMT)."""
+    if kind == "smt":
+        return ImpactAnalyzer(case, incremental=warm)
+    return FastImpactAnalyzer(case)
+
+
+def execute_with_analyzer(spec: ScenarioSpec, fingerprint: str,
+                          analyzer, kind: str,
+                          budget: Optional[SolverBudget] = None,
+                          self_check: Optional[bool] = None,
+                          started: Optional[float] = None,
+                          outcome: Optional[ScenarioOutcome] = None
+                          ) -> ScenarioOutcome:
+    """Run one scenario on an already-built (possibly warm) analyzer.
+
+    The shared execution core behind the cold per-scenario path, the
+    warm group runner and the analysis-service workers: runs the spec's
+    decision or maximize query, maps analyzer statuses onto sweep
+    statuses, and converts stray :class:`BudgetExhausted`/exceptions
+    into ``unknown``/``error`` outcomes instead of letting them escape.
+    """
+    if started is None:
+        started = time.perf_counter()
+    if outcome is None:
+        outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                                  worker_pid=os.getpid())
     try:
         if budget is not None:
-            budget.start()   # the deadline covers case build + analysis
-        try:
-            case = spec.resolve_case()
-        except InputFormatError as exc:
-            # A deterministic verdict about the input, not a runtime
-            # failure: reject with a structured diagnostic.
-            rejected = _rejected_outcome(
-                spec, fingerprint, parse_failure_report(spec.case, exc))
-            rejected.worker_pid = os.getpid()
-            rejected.task_seconds = time.perf_counter() - started
-            return rejected
-        kind = spec.resolved_analyzer(case)
-        if kind == "smt":
-            # Maximize mode re-solves the same encoding at many
-            # thresholds, so warm incremental mode pays off even within
-            # one scenario; decision mode keeps the cold single-shot
-            # path (bit-identical witnesses).
-            analyzer = ImpactAnalyzer(
-                case, incremental=spec.search == "maximize")
-        else:
-            analyzer = FastImpactAnalyzer(case)
+            budget.start()
         if spec.search == "maximize":
             result = _run_max_impact(spec, kind, analyzer, budget,
                                      self_check)
@@ -328,6 +343,51 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
         return outcome
 
     return _outcome_from_report(outcome, report, started)
+
+
+def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
+                     budget: Optional[SolverBudget] = None,
+                     self_check: Optional[bool] = None
+                     ) -> ScenarioOutcome:
+    """Run one scenario in-process and record its outcome + trace."""
+    started = time.perf_counter()
+    outcome = ScenarioOutcome(spec=spec, fingerprint=fingerprint,
+                              worker_pid=os.getpid())
+    try:
+        if budget is not None:
+            budget.start()   # the deadline covers case build + analysis
+        try:
+            case = spec.resolve_case()
+        except InputFormatError as exc:
+            # A deterministic verdict about the input, not a runtime
+            # failure: reject with a structured diagnostic.
+            rejected = _rejected_outcome(
+                spec, fingerprint, parse_failure_report(spec.case, exc))
+            rejected.worker_pid = os.getpid()
+            rejected.task_seconds = time.perf_counter() - started
+            return rejected
+        kind = spec.resolved_analyzer(case)
+        # Maximize mode re-solves the same encoding at many thresholds,
+        # so warm incremental mode pays off even within one scenario;
+        # decision mode keeps the cold single-shot path (bit-identical
+        # witnesses).
+        analyzer = build_analyzer(case, kind,
+                                  warm=spec.search == "maximize")
+    except BudgetExhausted as exc:
+        outcome.status = UNKNOWN
+        outcome.error = exc.reason
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+    except Exception as exc:
+        outcome.status = ERROR
+        outcome.error = "".join(traceback.format_exception_only(
+            type(exc), exc)).strip()
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+
+    return execute_with_analyzer(spec, fingerprint, analyzer, kind,
+                                 budget, self_check, started=started,
+                                 outcome=outcome)
 
 
 def execute_scenario_group(specs: Sequence[ScenarioSpec],
@@ -375,16 +435,12 @@ def execute_scenario_group(specs: Sequence[ScenarioSpec],
                 continue
             kind = spec.resolved_analyzer(case)
             if analyzer is None:
-                analyzer = ImpactAnalyzer(case, incremental=True) \
-                    if kind == "smt" else FastImpactAnalyzer(case)
-            if spec.search == "maximize":
-                result = _run_max_impact(spec, kind, analyzer, budget,
-                                         self_check)
-                outcomes.append(_outcome_from_max_result(
-                    outcome, result, started))
-                continue
-            report = analyzer.analyze(
-                _analysis_query(spec, kind, budget, self_check))
+                analyzer = build_analyzer(case, kind, warm=True)
+        except KeyboardInterrupt:
+            # A SIGINT/SIGTERM mid-unit: hand the completed outcomes
+            # back so the engine checkpoints them before re-raising —
+            # per-cell resumability must not depend on unit boundaries.
+            raise GroupInterrupted(outcomes)
         except BudgetExhausted as exc:
             outcome.status = UNKNOWN
             outcome.error = exc.reason
@@ -401,7 +457,15 @@ def execute_scenario_group(specs: Sequence[ScenarioSpec],
             # failure; rebuild for the remaining scenarios.
             analyzer = None
             continue
-        outcomes.append(_outcome_from_report(outcome, report, started))
+        try:
+            finished = execute_with_analyzer(
+                spec, fingerprint, analyzer, kind, budget, self_check,
+                started=started, outcome=outcome)
+        except KeyboardInterrupt:
+            raise GroupInterrupted(outcomes)
+        outcomes.append(finished)
+        if finished.status == ERROR:
+            analyzer = None
     return outcomes
 
 
@@ -817,6 +881,14 @@ class SweepEngine:
                 payloads = self._execute_unit(unit, specs, fingerprints)
                 parsed = self._parse_unit_payloads(
                     unit, payloads, specs, fingerprints)
+            except GroupInterrupted as exc:
+                # Checkpoint what the interrupted warm unit completed,
+                # then propagate as the interrupt it is: the sweep stays
+                # resumable at per-cell granularity.
+                for idx, outcome in zip(unit, exc.outcomes):
+                    self._record(idx, outcome, specs[idx], fingerprints,
+                                 outcomes, cache)
+                raise KeyboardInterrupt from None
             except Exception as exc:
                 # KeyboardInterrupt deliberately propagates: completed
                 # outcomes are already checkpointed, so an interrupted
@@ -886,6 +958,14 @@ class SweepEngine:
                     try:
                         payload = future.result(
                             timeout=self._pool_wait(len(unit)))
+                    except GroupInterrupted as exc:
+                        # A signal reached the worker (e.g. Ctrl-C to
+                        # the process group): checkpoint what the unit
+                        # completed and surface the interrupt.
+                        for idx, outcome in zip(unit, exc.outcomes):
+                            self._record(idx, outcome, specs[idx],
+                                         fingerprints, outcomes, cache)
+                        raise KeyboardInterrupt from None
                     except FuturesTimeoutError:
                         timed_out = True
                         future.cancel()

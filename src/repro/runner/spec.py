@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from fractions import Fraction
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -192,7 +193,24 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
-        return cls(**payload)
+        """Rebuild a spec, rejecting unknown fields.
+
+        Raises :class:`ValueError` (never a bare ``TypeError`` stack
+        trace) so boundary layers — the result cache and the analysis
+        service's request protocol — can turn a malformed or
+        version-skewed spec payload into a structured diagnostic.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("scenario spec payload is not a JSON object")
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario spec field(s): {', '.join(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ValueError(f"malformed scenario spec: {exc}") from exc
 
     def encoding_group(self) -> str:
         """Identity of the *encoding* this scenario solves against.

@@ -1,0 +1,219 @@
+"""Retrying HTTP client for the analysis service.
+
+:class:`ServiceClient` wraps ``http.client`` (stdlib only) with the
+retry discipline the service's load-shedding contract expects:
+
+* **retryable**: connection refused/reset/dropped, HTTP 429 (shed),
+  503 (draining / worker failure) and other 5xx — retried up to
+  ``retries`` times with exponential backoff, full jitter
+  (``delay = min(cap, base * 2**attempt) * (0.5 + rng())``), and the
+  server's ``Retry-After`` hint honoured (capped, so a confused server
+  cannot park the client);
+* **terminal**: HTTP 400 protocol rejections raise
+  :class:`ProtocolRejected` carrying the server's structured
+  ``diagnostics`` — retrying a malformed request is never useful —
+  and 404/405 raise plain :class:`ServiceError`.
+
+Pass a seeded ``random.Random`` as *rng* for deterministic backoff in
+tests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.service.protocol import PROTOCOL_VERSION
+
+__all__ = ["ProtocolRejected", "ServiceClient", "ServiceError",
+           "ServiceUnavailable"]
+
+
+class ServiceError(Exception):
+    """Base class for client-visible service failures."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 body: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body or {}
+
+
+class ProtocolRejected(ServiceError):
+    """HTTP 400: the server refused the request shape; never retried."""
+
+    @property
+    def diagnostics(self) -> List[Dict[str, Any]]:
+        report = self.body.get("diagnostics") or {}
+        return list(report.get("diagnostics", []))
+
+    @property
+    def codes(self) -> List[str]:
+        return [d.get("code") for d in self.diagnostics]
+
+
+class ServiceUnavailable(ServiceError):
+    """Retries exhausted against shed/drain/failure responses."""
+
+
+class ServiceClient:
+    """A small blocking client with exponential backoff + jitter."""
+
+    def __init__(self, base_url: str, retries: int = 5,
+                 backoff_seconds: float = 0.1,
+                 backoff_cap: float = 2.0,
+                 retry_after_cap: float = 5.0,
+                 timeout: float = 120.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme: {parts.scheme!r}")
+        netloc = parts.netloc or parts.path
+        self.host = netloc.rsplit(":", 1)[0] or "127.0.0.1"
+        self.port = int(netloc.rsplit(":", 1)[1]) if ":" in netloc \
+            else 80
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap = backoff_cap
+        self.retry_after_cap = retry_after_cap
+        self.timeout = timeout
+        self.rng = rng or random.Random()
+        self.sleep = sleep
+        self.attempts_made = 0      # across the client's lifetime
+
+    # -- transport -----------------------------------------------------
+
+    def _once(self, method: str, path: str,
+              payload: Optional[Dict[str, Any]] = None
+              ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers = {"Content-Type": "application/json",
+                           "Content-Length": str(len(body))}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                decoded = {"message": raw[:200].decode("utf-8",
+                                                       "replace")}
+            decoded["_status"] = response.status
+            retry_after = response.headers.get("Retry-After")
+            if retry_after is not None:
+                decoded["_retry_after"] = retry_after
+            return decoded
+        finally:
+            conn.close()
+
+    def _delay(self, attempt: int,
+               hint: Optional[str] = None) -> float:
+        delay = min(self.backoff_cap,
+                    self.backoff_seconds * (2 ** attempt))
+        delay *= 0.5 + self.rng.random()
+        if hint is not None:
+            try:
+                delay = max(delay, min(float(hint),
+                                       self.retry_after_cap))
+            except ValueError:
+                pass
+        return delay
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """One logical request; retries transport + shed failures."""
+        last_error: Optional[str] = None
+        last_body: Optional[Dict[str, Any]] = None
+        for attempt in range(self.retries + 1):
+            self.attempts_made += 1
+            hint = None
+            try:
+                body = self._once(method, path, payload)
+            except (ConnectionError, socket.timeout, socket.error,
+                    http.client.HTTPException, OSError) as exc:
+                # Includes injected drop_connection faults: the server
+                # severed the socket without a response.
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                status = body.pop("_status")
+                hint = body.pop("_retry_after", None)
+                if status < 400:
+                    return body
+                if status == 400:
+                    raise ProtocolRejected(
+                        body.get("message", "rejected"),
+                        status=status, body=body)
+                if status in (404, 405, 413):
+                    raise ServiceError(
+                        body.get("message", f"HTTP {status}"),
+                        status=status, body=body)
+                # 429 / 503 / other 5xx: retryable
+                last_error = f"HTTP {status}: " \
+                             f"{body.get('error', 'unavailable')}"
+                last_body = body
+            if attempt < self.retries:
+                self.sleep(self._delay(attempt, hint))
+        raise ServiceUnavailable(
+            f"{method} {path} failed after "
+            f"{self.retries + 1} attempt(s): {last_error}",
+            body=last_body)
+
+    # -- endpoints -----------------------------------------------------
+
+    def analyze(self, spec: Dict[str, Any],
+                **options: Any) -> Dict[str, Any]:
+        return self.request("POST", "/v1/analyze",
+                            dict(options, spec=spec))
+
+    def maximize(self, spec: Dict[str, Any],
+                 **options: Any) -> Dict[str, Any]:
+        return self.request("POST", "/v1/maximize",
+                            dict(options, spec=spec))
+
+    def sweep(self, specs: List[Dict[str, Any]],
+              **options: Any) -> Dict[str, Any]:
+        return self.request("POST", "/v1/sweep",
+                            dict(options, specs=specs))
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        return self.request("GET", "/readyz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll /readyz until ready (startup handshake for tests/CI)."""
+        deadline = time.monotonic() + timeout
+        last: Dict[str, Any] = {}
+        while time.monotonic() < deadline:
+            try:
+                last = self._once("GET", "/readyz")
+                if last.pop("_status", None) == 200 \
+                        and last.get("ready"):
+                    return last
+            except (ConnectionError, socket.error, OSError,
+                    http.client.HTTPException):
+                pass
+            self.sleep(0.1)
+        raise ServiceUnavailable(
+            f"service not ready within {timeout:.1f}s: {last}")
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(http://{self.host}:{self.port}, " \
+               f"retries={self.retries}, " \
+               f"protocol={PROTOCOL_VERSION})"

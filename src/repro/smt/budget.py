@@ -78,6 +78,23 @@ class SolverBudget:
             return None
         return self._deadline - time.perf_counter()
 
+    def clamped(self, wall_seconds: Optional[float]) -> "SolverBudget":
+        """A fresh, unstarted budget with the wall limit tightened.
+
+        The analysis service propagates each request's deadline this way:
+        the worker builds the request's counter limits, then clamps the
+        wall budget to the seconds the request has left, so a slow probe
+        degrades to a ``budget_exhausted`` partial answer *inside* the
+        deadline instead of wedging the connection.  ``None`` keeps the
+        existing limits (still returning a fresh budget).
+        """
+        limits = self.to_dict()
+        if wall_seconds is not None:
+            wall = limits.get("wall_seconds")
+            limits["wall_seconds"] = wall_seconds if wall is None \
+                else min(wall, wall_seconds)
+        return SolverBudget(**limits)
+
     # ------------------------------------------------------------------
     # Event hooks (called by the solvers)
     # ------------------------------------------------------------------

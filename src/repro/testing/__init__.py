@@ -29,14 +29,19 @@ from repro.testing.fuzz import (
 from repro.testing.faults import (
     CRASH_WORKER,
     CORRUPT_CASE,
+    DROP_CONNECTION,
     EXHAUST_BUDGET,
     FAIL_CACHE_WRITE,
     HANG_WORKER,
     RAISE_ERROR,
+    SERVICE_KINDS,
+    SLOW_RESPONSE,
     Fault,
     FaultPlan,
     FlakyResultCache,
     InjectedFault,
+    PlannedFlakyCache,
+    ServiceFaultPlan,
     corrupt_cached_outcome,
     corrupt_proof,
     interrupt_after,
@@ -56,14 +61,19 @@ __all__ = [
     "run_fuzz",
     "CRASH_WORKER",
     "CORRUPT_CASE",
+    "DROP_CONNECTION",
     "EXHAUST_BUDGET",
     "FAIL_CACHE_WRITE",
     "HANG_WORKER",
     "RAISE_ERROR",
+    "SERVICE_KINDS",
+    "SLOW_RESPONSE",
     "Fault",
     "FaultPlan",
     "FlakyResultCache",
     "InjectedFault",
+    "PlannedFlakyCache",
+    "ServiceFaultPlan",
     "corrupt_cached_outcome",
     "corrupt_proof",
     "interrupt_after",

@@ -50,11 +50,22 @@ HANG_WORKER = "hang_worker"         # sleep past the task timeout
 RAISE_ERROR = "raise_error"         # deterministic in-task exception
 CORRUPT_CASE = "corrupt_case"       # unparsable case text reaches the task
 EXHAUST_BUDGET = "exhaust_budget"   # instantly-exhausted solver budget
-FAIL_CACHE_WRITE = "fail_cache_write"  # via FlakyResultCache, not workers
+FAIL_CACHE_WRITE = "fail_cache_write"  # injected ENOSPC on cache writes
+#: service-level kinds (the analysis daemon's chaos suite):
+SLOW_RESPONSE = "slow_response"     # worker answers late but correctly
+DROP_CONNECTION = "drop_connection"  # acceptor closes mid-response
 
 #: kinds a worker-side plan can apply.  CRASH_WORKER is excluded from
 #: seeded defaults: in serial mode it would kill the host process.
 WORKER_KINDS = (HANG_WORKER, RAISE_ERROR, CORRUPT_CASE, EXHAUST_BUDGET)
+
+#: kinds a :class:`ServiceFaultPlan` can apply — crash/hang target the
+#: service's worker processes, slow-response delays an answer without
+#: corrupting it, drop-connection severs the client's socket (the
+#: client must retry), and fail-cache-write injects ENOSPC into the
+#: worker's checkpoint writes (the bounded retry must absorb it).
+SERVICE_KINDS = (CRASH_WORKER, HANG_WORKER, SLOW_RESPONSE,
+                 DROP_CONNECTION, FAIL_CACHE_WRITE)
 
 _EXHAUSTED_BUDGET = {"wall_seconds": 0.0, "max_conflicts": 1,
                      "max_decisions": 1, "max_pivots": 1,
@@ -67,6 +78,33 @@ class InjectedFault(RuntimeError):
     """Raised by RAISE_ERROR faults (distinguishable from real bugs)."""
 
 
+def _attempt_marker(state_dir: str, label: str) -> Path:
+    digest = hashlib.sha256(label.encode()).hexdigest()[:16]
+    return Path(state_dir) / f"{digest}.attempts"
+
+
+def _record_attempt(state_dir: str, label: str) -> int:
+    """Count an attempt cross-process; returns the 1-based number.
+
+    One byte appended per attempt; ``O_APPEND`` keeps concurrent workers
+    (and restarted ones — the whole point for the service plans)
+    consistent.
+    """
+    marker = _attempt_marker(state_dir, label)
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+    try:
+        os.write(fd, b".")
+    finally:
+        os.close(fd)
+    return marker.stat().st_size
+
+
+def _count_attempts(state_dir: str, label: str) -> int:
+    marker = _attempt_marker(state_dir, label)
+    return marker.stat().st_size if marker.exists() else 0
+
+
 @dataclass(frozen=True)
 class Fault:
     """One fault action, applied on the first ``times`` attempts."""
@@ -77,9 +115,20 @@ class Fault:
 
     def __post_init__(self) -> None:
         known = (CRASH_WORKER, HANG_WORKER, RAISE_ERROR, CORRUPT_CASE,
-                 EXHAUST_BUDGET)
+                 EXHAUST_BUDGET, SLOW_RESPONSE, DROP_CONNECTION,
+                 FAIL_CACHE_WRITE)
         if self.kind not in known:
-            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "times": self.times,
+                "sleep_seconds": self.sleep_seconds}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Fault":
+        return cls(kind=payload["kind"],
+                   times=int(payload.get("times", 1)),
+                   sleep_seconds=float(payload.get("sleep_seconds", 0.5)))
 
 
 @dataclass(frozen=True)
@@ -118,23 +167,14 @@ class FaultPlan:
         return None
 
     def _marker(self, label: str) -> Path:
-        digest = hashlib.sha256(label.encode()).hexdigest()[:16]
-        return Path(self.state_dir) / f"{digest}.attempts"
+        return _attempt_marker(self.state_dir, label)
 
     def record_attempt(self, label: str) -> int:
         """Count this attempt; returns the 1-based attempt number."""
-        marker = self._marker(label)
-        marker.parent.mkdir(parents=True, exist_ok=True)
-        fd = os.open(marker, os.O_WRONLY | os.O_CREAT | os.O_APPEND)
-        try:
-            os.write(fd, b".")
-        finally:
-            os.close(fd)
-        return marker.stat().st_size
+        return _record_attempt(self.state_dir, label)
 
     def attempts(self, label: str) -> int:
-        marker = self._marker(label)
-        return marker.stat().st_size if marker.exists() else 0
+        return _count_attempts(self.state_dir, label)
 
     # -- engine integration ----------------------------------------------
 
@@ -171,6 +211,141 @@ def faulty_worker(plan: FaultPlan,
     if fault is not None and attempt <= fault.times:
         apply_fault(fault, payload)
     return _worker_entry(payload)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Frozen fault plan for the analysis service's chaos suite.
+
+    Unlike :class:`FaultPlan` (which wraps the sweep engine's picklable
+    task), a service plan crosses *process* boundaries by file: tests
+    write it with :meth:`to_file` and hand the path to the server via
+    ``ServiceConfig.fault_plan`` (or the ``REPRO_SERVICE_FAULTS``
+    environment variable); workers and the acceptor re-read it per
+    request.  Attempt counting shares the sweep harness's marker-file
+    ledger, so a fault scheduled for the first N attempts of a label
+    stays exhausted across worker restarts — exactly what "crash once,
+    then succeed on retry" scenarios need.
+
+    Worker-side kinds: ``crash_worker`` (``os._exit`` mid-request),
+    ``hang_worker`` (sleep past the supervisor's hang deadline),
+    ``slow_response`` (sleep, then answer correctly) and
+    ``fail_cache_write`` (ENOSPC injected into checkpoint writes).
+    Acceptor-side: ``drop_connection`` (the response socket is severed,
+    so the client's retry loop must recover).
+    """
+
+    state_dir: str
+    faults: Tuple[Tuple[str, Fault], ...] = ()
+
+    @classmethod
+    def build(cls, state_dir,
+              faults: Dict[str, Fault]) -> "ServiceFaultPlan":
+        for fault in faults.values():
+            if fault.kind not in SERVICE_KINDS:
+                raise ValueError(
+                    f"{fault.kind!r} is not a service fault kind")
+        return cls(state_dir=str(state_dir),
+                   faults=tuple(sorted(faults.items())))
+
+    @classmethod
+    def single(cls, state_dir, label: str,
+               fault: Fault) -> "ServiceFaultPlan":
+        return cls.build(state_dir, {label: fault})
+
+    # -- file round-trip (crosses the daemon's process boundaries) -----
+
+    def to_file(self, path) -> str:
+        payload = {
+            "state_dir": self.state_dir,
+            "faults": [[label, fault.to_dict()]
+                       for label, fault in self.faults],
+        }
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=1))
+        return str(target)
+
+    @classmethod
+    def from_file(cls, path) -> "ServiceFaultPlan":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            state_dir=payload["state_dir"],
+            faults=tuple((label, Fault.from_dict(fault))
+                         for label, fault in payload["faults"]))
+
+    @classmethod
+    def load(cls, path: Optional[str]) -> Optional["ServiceFaultPlan"]:
+        """``from_file`` with env-var fallback; None when unconfigured."""
+        path = path or os.environ.get("REPRO_SERVICE_FAULTS")
+        if not path:
+            return None
+        return cls.from_file(path)
+
+    # -- queries and application ---------------------------------------
+
+    def fault_for(self, label: str,
+                  kinds: Optional[Sequence[str]] = None
+                  ) -> Optional[Fault]:
+        for name, fault in self.faults:
+            if name == label and (kinds is None or fault.kind in kinds):
+                return fault
+        return None
+
+    def attempts(self, label: str) -> int:
+        return _count_attempts(self.state_dir, label)
+
+    def should_fire(self, label: str, fault: Fault,
+                    channel: str = "") -> bool:
+        """Record one attempt on *label* (per channel) and decide."""
+        attempt = _record_attempt(self.state_dir, label + channel)
+        return attempt <= fault.times
+
+    def apply_worker_fault(self, label: str) -> None:
+        """Crash/hang/slow this worker per the plan (called per job)."""
+        fault = self.fault_for(
+            label, (CRASH_WORKER, HANG_WORKER, SLOW_RESPONSE))
+        if fault is None or not self.should_fire(label, fault):
+            return
+        if fault.kind == CRASH_WORKER:
+            os._exit(23)
+        time.sleep(fault.sleep_seconds)     # hang or slow-response
+
+    def wrap_cache(self, label: str, cache):
+        """The job's cache, flaky per the plan (or unchanged)."""
+        fault = self.fault_for(label, (FAIL_CACHE_WRITE,))
+        if fault is None or cache is None:
+            return cache
+        return PlannedFlakyCache(cache.root, self, label, fault.times)
+
+    def should_drop_connection(self, label: str) -> bool:
+        """Acceptor-side: sever this response's socket?"""
+        fault = self.fault_for(label, (DROP_CONNECTION,))
+        return fault is not None \
+            and self.should_fire(label, fault, channel="#drop")
+
+
+class PlannedFlakyCache(ResultCache):
+    """A cache whose first N writes for a label fail with ENOSPC.
+
+    Attempt counting lives in the plan's marker-file ledger, so the
+    injected failures stay deterministic across worker restarts and
+    across the retry loop inside :meth:`ResultCache.try_put`.
+    """
+
+    def __init__(self, root, plan: ServiceFaultPlan, label: str,
+                 fail_writes: int) -> None:
+        super().__init__(root)
+        self._plan = plan
+        self._label = label
+        self._fail_writes = fail_writes
+
+    def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        attempt = _record_attempt(self._plan.state_dir,
+                                  self._label + "#cachewrite")
+        if attempt <= self._fail_writes:
+            raise OSError(28, "No space left on device (injected)")
+        super().put(fingerprint, outcome)
 
 
 def interrupting_worker(state_dir: str, limit: int,

@@ -1,0 +1,145 @@
+"""Client retry discipline: what retries, what doesn't, how it waits."""
+
+import random
+
+import pytest
+
+from repro.service.client import (
+    ProtocolRejected,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+
+
+class ScriptedClient(ServiceClient):
+    """A client whose transport replays a scripted response sequence."""
+
+    def __init__(self, script, **kwargs):
+        kwargs.setdefault("rng", random.Random(7))
+        kwargs.setdefault("sleep", self._record_sleep)
+        self.delays = []
+        super().__init__("http://127.0.0.1:1", **kwargs)
+        self._script = list(script)
+        self.calls = 0
+
+    def _record_sleep(self, seconds):
+        self.delays.append(seconds)
+
+    def _once(self, method, path, payload=None):
+        self.calls += 1
+        step = self._script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return dict(step)
+
+
+def ok(payload=None):
+    body = {"_status": 200}
+    body.update(payload or {"outcome": {"status": "ok"}})
+    return body
+
+
+def test_success_needs_one_attempt():
+    client = ScriptedClient([ok()])
+    assert client.request("GET", "/stats")["outcome"]["status"] == "ok"
+    assert client.calls == 1
+    assert client.delays == []
+
+
+def test_retries_connection_errors_then_succeeds():
+    client = ScriptedClient(
+        [ConnectionResetError("boom"), ConnectionRefusedError("no"),
+         ok()], retries=5)
+    assert client.request("POST", "/v1/analyze", {}) \
+        == {"outcome": {"status": "ok"}}
+    assert client.calls == 3
+    assert len(client.delays) == 2
+
+
+def test_retries_shed_and_drain_responses():
+    client = ScriptedClient(
+        [{"_status": 429, "error": "queue_full"},
+         {"_status": 503, "error": "draining"},
+         ok()], retries=5)
+    client.request("POST", "/v1/analyze", {})
+    assert client.calls == 3
+
+
+def test_never_retries_protocol_rejections():
+    client = ScriptedClient(
+        [{"_status": 400, "error": "bad_request", "message": "nope",
+          "diagnostics": {"subject": "x", "diagnostics": [
+              {"code": "protocol.unknown_field", "severity": "fatal",
+               "message": "m", "components": ["field:bogus"]}]}}],
+        retries=5)
+    with pytest.raises(ProtocolRejected) as err:
+        client.request("POST", "/v1/analyze", {})
+    assert client.calls == 1
+    assert err.value.codes == ["protocol.unknown_field"]
+
+
+def test_never_retries_not_found():
+    client = ScriptedClient([{"_status": 404, "message": "no"}],
+                            retries=5)
+    with pytest.raises(ServiceError) as err:
+        client.request("GET", "/nope")
+    assert not isinstance(err.value, ServiceUnavailable)
+    assert client.calls == 1
+
+
+def test_exhausted_retries_raise_unavailable():
+    client = ScriptedClient(
+        [{"_status": 503, "error": "draining"}] * 3, retries=2)
+    with pytest.raises(ServiceUnavailable) as err:
+        client.request("POST", "/v1/analyze", {})
+    assert client.calls == 3
+    assert "3 attempt(s)" in str(err.value)
+
+
+def test_backoff_grows_exponentially_with_jitter():
+    client = ScriptedClient(
+        [ConnectionError()] * 4 + [ok()], retries=4,
+        backoff_seconds=0.1, backoff_cap=10.0)
+    client.request("GET", "/stats")
+    # delay_i = 0.1 * 2**i * jitter with jitter in [0.5, 1.5)
+    for i, delay in enumerate(client.delays):
+        base = 0.1 * (2 ** i)
+        assert base * 0.5 <= delay < base * 1.5
+
+
+def test_backoff_deterministic_under_seeded_rng():
+    first = ScriptedClient([ConnectionError()] * 2 + [ok()], retries=3)
+    first.request("GET", "/stats")
+    second = ScriptedClient([ConnectionError()] * 2 + [ok()], retries=3)
+    second.request("GET", "/stats")
+    assert first.delays == second.delays
+
+
+def test_backoff_capped():
+    client = ScriptedClient(
+        [ConnectionError()] * 6 + [ok()], retries=6,
+        backoff_seconds=0.1, backoff_cap=0.4)
+    client.request("GET", "/stats")
+    assert all(delay < 0.4 * 1.5 for delay in client.delays)
+
+
+def test_retry_after_hint_honoured_but_capped():
+    client = ScriptedClient(
+        [{"_status": 429, "error": "queue_full", "_retry_after": "2"},
+         {"_status": 429, "error": "queue_full",
+          "_retry_after": "9999"},
+         ok()],
+        retries=5, backoff_seconds=0.01, retry_after_cap=3.0)
+    client.request("POST", "/v1/analyze", {})
+    assert client.delays[0] >= 2.0          # hint dominates tiny backoff
+    assert client.delays[1] <= 3.0 * 1.0 + 0.02   # capped, not 9999
+
+
+def test_base_url_parsing():
+    client = ServiceClient("http://10.1.2.3:8080")
+    assert (client.host, client.port) == ("10.1.2.3", 8080)
+    client = ServiceClient("127.0.0.1:9")
+    assert (client.host, client.port) == ("127.0.0.1", 9)
+    with pytest.raises(ValueError):
+        ServiceClient("ftp://x")
