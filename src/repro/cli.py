@@ -321,22 +321,25 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_sweep(args) -> int:
-    from repro.benchlib import format_table
-    from repro.benchlib.scenarios import scenario_seeds
-    from repro.runner import (
-        ResultCache,
-        ScenarioSpec,
-        SweepConfig,
-        SweepEngine,
-    )
+def _grid_specs(args) -> List:
+    """The (case × scenario × target) grid a sweep/coordinate run names.
 
-    names = [name.strip() for name in args.cases.split(",") if name.strip()]
+    Shared by ``sweep`` and ``coordinate`` so the distributed fabric
+    and the single-machine engine plan byte-identical grids from the
+    same command-line arguments (the differential chaos tests depend
+    on this).
+    """
+    from repro.benchlib.scenarios import scenario_seeds
+    from repro.runner import ScenarioSpec
+
+    names = [name.strip() for name in args.cases.split(",")
+             if name.strip()]
     if not names:
         raise SystemExit("--cases must name at least one bundled case")
     targets: List[Optional[str]] = [None]
     if args.targets:
-        targets = [t.strip() for t in args.targets.split(",") if t.strip()]
+        targets = [t.strip() for t in args.targets.split(",")
+                   if t.strip()]
     seeds: List[Optional[int]] = [None]
     if args.scenarios:
         seeds = list(scenario_seeds(args.scenarios))
@@ -364,7 +367,88 @@ def _cmd_sweep(args) -> int:
                     raise SystemExit(
                         f"--targets: {target!r} is not a number or "
                         f"fraction (try e.g. 3, 2.5 or 9/2)")
+    return specs
 
+
+def _print_sweep_results(sweep, cell_count: int,
+                         trace_path: Optional[str]) -> None:
+    """Render a finished sweep/fabric run (table, totals, failures)."""
+    from repro.benchlib import format_table
+
+    rows = []
+    for outcome in sweep.outcomes:
+        increase = outcome.achieved_increase_percent
+        shown = "-" if increase is None else f"{increase:.2f}%"
+        if outcome.max_impact is not None:
+            istar = outcome.max_impact.get("max_increase_percent")
+            if istar is not None:
+                shown = f"I*={float(Fraction(istar)):.3f}%"
+        rows.append((
+            outcome.spec.label,
+            outcome.verdict,
+            shown,
+            outcome.candidates_examined,
+            outcome.solver_calls,
+            f"{outcome.analysis_seconds:.3f}",
+            "hit" if outcome.cache_hit else "miss",
+        ))
+    workers = sweep.workers
+    print(format_table(
+        f"sweep — {cell_count} scenarios, {sweep.mode} "
+        f"({workers} worker{'s' if workers != 1 else ''})",
+        ("scenario", "verdict", "increase", "candidates", "smt calls",
+         "time (s)", "cache"),
+        rows))
+    totals = sweep.to_dict()["totals"]
+    print(f"wall time      : {sweep.wall_seconds:.3f}s "
+          f"(sum of analyses: {totals['analysis_seconds']:.3f}s)")
+    print(f"cache          : {sweep.cache_hits}/{cell_count} hits"
+          + (f" under {sweep.cache_dir}" if sweep.cache_dir else
+             " (disabled)"))
+    if totals.get("encodings_built"):
+        print(f"encodings      : {totals['encodings_built']} built "
+              f"({totals['encode_seconds']:.3f}s encode); warm "
+              f"scenarios reused them incrementally")
+    if totals.get("max_impact_cells"):
+        print(f"max impact     : {totals['max_impact_cells']} cell(s) "
+              f"bisected to I* (bounds in the trace's max_impact "
+              f"payloads)")
+    if totals["certificate_errors"] or totals["certified"]:
+        print(f"certificates   : {totals['certified']} verified, "
+              f"{totals['certificate_errors']} rejected")
+    if sweep.cache_rejected:
+        print(f"cache rejected : {sweep.cache_rejected} stale/corrupt "
+              f"entr{'y' if sweep.cache_rejected == 1 else 'ies'} "
+              f"recomputed")
+    if totals["invalid_input"] or totals["degenerate_case"]:
+        print(f"preflight      : {totals['invalid_input']} invalid "
+              f"input(s), {totals['degenerate_case']} degenerate "
+              f"case(s) rejected before analysis")
+    if trace_path:
+        path = sweep.write(trace_path)
+        print(f"trace written  : {path}")
+    for outcome in sweep.failures:
+        print(f"FAILED {outcome.spec.label}: {outcome.status} "
+              f"({outcome.error})")
+
+
+def _strict_failures(sweep, self_check: bool) -> int:
+    """Count the non-definitive outcomes ``--strict`` refuses."""
+    return len([
+        o for o in sweep.outcomes
+        if o.status in ("error", "unknown", "timeout", "crashed",
+                        "certificate_error", "invalid_input",
+                        "degenerate_case")
+        or o.cache_write_error is not None
+        or (self_check and o.certified is not True
+            and o.status not in ("invalid_input",
+                                 "degenerate_case"))])
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runner import ResultCache, SweepConfig, SweepEngine
+
+    specs = _grid_specs(args)
     cache_dir = None if args.no_cache else args.cache_dir
     if args.clear_cache and cache_dir:
         removed = ResultCache(cache_dir).clear()
@@ -411,80 +495,160 @@ def _cmd_sweep(args) -> int:
         if previous_term is not None:
             signal.signal(signal.SIGTERM, previous_term)
 
-    rows = []
-    for outcome in sweep.outcomes:
-        increase = outcome.achieved_increase_percent
-        shown = "-" if increase is None else f"{increase:.2f}%"
-        if outcome.max_impact is not None:
-            istar = outcome.max_impact.get("max_increase_percent")
-            if istar is not None:
-                shown = f"I*={float(Fraction(istar)):.3f}%"
-        rows.append((
-            outcome.spec.label,
-            outcome.verdict,
-            shown,
-            outcome.candidates_examined,
-            outcome.solver_calls,
-            f"{outcome.analysis_seconds:.3f}",
-            "hit" if outcome.cache_hit else "miss",
-        ))
-    print(format_table(
-        f"sweep — {len(specs)} scenarios, {sweep.mode} "
-        f"({sweep.workers} worker{'s' if sweep.workers != 1 else ''})",
-        ("scenario", "verdict", "increase", "candidates", "smt calls",
-         "time (s)", "cache"),
-        rows))
-    totals = sweep.to_dict()["totals"]
-    print(f"wall time      : {sweep.wall_seconds:.3f}s "
-          f"(sum of analyses: {totals['analysis_seconds']:.3f}s)")
-    print(f"cache          : {sweep.cache_hits}/{len(specs)} hits"
-          + (f" under {sweep.cache_dir}" if sweep.cache_dir else
-             " (disabled)"))
-    if totals.get("encodings_built"):
-        print(f"encodings      : {totals['encodings_built']} built "
-              f"({totals['encode_seconds']:.3f}s encode); warm "
-              f"scenarios reused them incrementally")
-    if totals.get("max_impact_cells"):
-        print(f"max impact     : {totals['max_impact_cells']} cell(s) "
-              f"bisected to I* (bounds in the trace's max_impact "
-              f"payloads)")
-    if totals["certificate_errors"] or totals["certified"]:
-        print(f"certificates   : {totals['certified']} verified, "
-              f"{totals['certificate_errors']} rejected")
-    if sweep.cache_rejected:
-        print(f"cache rejected : {sweep.cache_rejected} stale/corrupt "
-              f"entr{'y' if sweep.cache_rejected == 1 else 'ies'} "
-              f"recomputed")
-    if totals["invalid_input"] or totals["degenerate_case"]:
-        print(f"preflight      : {totals['invalid_input']} invalid "
-              f"input(s), {totals['degenerate_case']} degenerate "
-              f"case(s) rejected before analysis")
-    if args.trace:
-        path = sweep.write(args.trace)
-        print(f"trace written  : {path}")
-    failures = sweep.failures
-    for outcome in failures:
-        print(f"FAILED {outcome.spec.label}: {outcome.status} "
-              f"({outcome.error})")
+    _print_sweep_results(sweep, len(specs), args.trace)
     if args.strict:
         # --strict: any non-definitive cell — error, unknown, a rejected
         # certificate, a rejected *input* (invalid/degenerate), a failed
         # cache write, or (under --self-check) a cell that somehow
         # skipped certification — fails the sweep hard.
-        strict_bad = [
-            o for o in sweep.outcomes
-            if o.status in ("error", "unknown", "timeout", "crashed",
-                            "certificate_error", "invalid_input",
-                            "degenerate_case")
-            or o.cache_write_error is not None
-            or (args.self_check and o.certified is not True
-                and o.status not in ("invalid_input",
-                                     "degenerate_case"))]
+        strict_bad = _strict_failures(sweep, args.self_check)
         if strict_bad:
-            print(f"STRICT: {len(strict_bad)} non-definitive "
-                  f"outcome(s)")
+            print(f"STRICT: {strict_bad} non-definitive outcome(s)")
             return 2
-    return 1 if failures else 0
+    return 1 if sweep.failures else 0
+
+
+def _cmd_coordinate(args) -> int:
+    import signal
+    import subprocess
+    import time
+
+    from repro.fabric import Coordinator, CoordinatorConfig, FabricError
+
+    specs = _grid_specs(args)
+    cache_dir = None if args.no_cache else args.cache_dir
+    budget_limits = {}
+    if args.timeout is not None:
+        budget_limits["wall_seconds"] = args.timeout
+    if args.max_conflicts is not None:
+        budget_limits["max_conflicts"] = args.max_conflicts
+    if args.max_decisions is not None:
+        budget_limits["max_decisions"] = args.max_decisions
+    if args.max_pivots is not None:
+        budget_limits["max_pivots"] = args.max_pivots
+    config = CoordinatorConfig(
+        host=args.host, port=args.port, journal_path=args.journal,
+        lease_ttl=args.lease_ttl, steal_after=args.steal_after,
+        retry_budget=args.retry_budget, unit_cells=args.unit_cells,
+        cache_dir=cache_dir, use_cache=cache_dir is not None,
+        budget_limits=budget_limits or None,
+        self_check=True if args.self_check else None,
+        fault_plan=args.fault_plan)
+    coordinator = Coordinator(specs, config, verbose=args.verbose)
+    started = time.monotonic()
+    try:
+        coordinator.start()
+    except FabricError as exc:
+        print(f"coordinate: {exc}", file=sys.stderr)
+        return 2
+    status = coordinator.status()
+    resumed = " (resumed from journal)" if status["resumed"] else ""
+    print(f"repro coordinate listening on {coordinator.url}{resumed}")
+    print(f"grid: {status['cells_total']} cell(s), "
+          f"{status['cells_resolved_at_plan']} already resolved "
+          f"({status['cache_hits']} cache, "
+          f"{status['journal_recovered']} journal), "
+          f"{status['units']} unit(s) to lease; journal {args.journal}",
+          flush=True)
+
+    procs = []
+    for _ in range(args.spawn):
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--connect", f"{coordinator.address[0]}:"
+                                f"{coordinator.address[1]}"]
+        if cache_dir:
+            command += ["--cache-dir", cache_dir]
+        else:
+            command += ["--no-cache"]
+        if args.fault_plan:
+            command += ["--fault-plan", args.fault_plan]
+        procs.append(subprocess.Popen(command))
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:
+        pass    # not the main thread (embedded use): no handler swap
+    try:
+        coordinator.wait()
+    except KeyboardInterrupt:
+        coordinator.shutdown()
+        for proc in procs:
+            proc.terminate()
+        print(f"coordinate interrupted: committed cells are journaled "
+              f"in {args.journal}; re-run the same command to resume "
+              f"the fleet", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
+
+    # Grid done: give spawned workers a moment to observe done=true and
+    # exit 0 before the lease endpoint disappears.
+    for proc in procs:
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+    sweep = coordinator.trace(time.monotonic() - started,
+                              workers=args.spawn)
+    coordinator.shutdown()
+    _print_sweep_results(sweep, len(specs), args.trace)
+    if args.strict:
+        strict_bad = _strict_failures(sweep, args.self_check)
+        if strict_bad:
+            print(f"STRICT: {strict_bad} non-definitive outcome(s)")
+            return 2
+    return 1 if sweep.failures else 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.fabric import FabricWorker, WorkerConfig
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit("--connect must be HOST:PORT")
+    base_url = f"http://{host}:{port}"
+    try:
+        ServiceClient(base_url, retries=0).wait_ready(
+            timeout=args.connect_timeout)
+    except ServiceUnavailable:
+        print(f"worker: no coordinator ready at {base_url} within "
+              f"{args.connect_timeout:.0f}s", file=sys.stderr)
+        return 2
+    config = WorkerConfig(
+        worker_id=args.id or "",
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        fault_plan=args.fault_plan)
+    worker = FabricWorker(base_url, config)
+    code = worker.run()
+    stats = worker.stats()
+    reason = "grid done" if code == 0 else "coordinator gone"
+    print(f"worker {stats['worker']}: {reason} — {stats['units']} "
+          f"unit(s), {stats['cells']} cell(s), {stats['duplicates']} "
+          f"duplicate commit(s), {stats['cache_hits']} cache hit(s)")
+    return code
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "prune":
+        report = cache.prune()
+        print(f"cache prune under {args.cache_dir}: "
+              f"{report['scanned']} scanned, {report['kept']} kept, "
+              f"{report['removed']} stale/corrupt removed, "
+              f"{report['reclaimed_bytes']} bytes reclaimed")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} cached result(s) from {args.cache_dir}")
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -689,73 +853,147 @@ def build_parser() -> argparse.ArgumentParser:
                            "seconds")
     fuzz.set_defaults(func=_cmd_fuzz)
 
-    sweep = sub.add_parser(
-        "sweep", help="run a (case × target × scenario) grid on the "
-                      "parallel sweep engine with result caching")
-    sweep.add_argument("--cases", required=True,
+    def add_grid_args(p, trace_default):
+        """Grid + budget + cache options shared by sweep/coordinate."""
+        p.add_argument("--cases", required=True,
                        help="comma-separated bundled case names")
-    sweep.add_argument("--targets",
+        p.add_argument("--targets",
                        help="comma-separated impact targets in percent "
                             "(default: each case's own value)")
-    sweep.add_argument("--scenarios", type=int, default=0,
-                       help="number of randomized attacker scenarios per "
-                            "cell (0: the case as-is)")
-    sweep.add_argument("--with-states", action="store_true",
+        p.add_argument("--scenarios", type=int, default=0,
+                       help="number of randomized attacker scenarios "
+                            "per cell (0: the case as-is)")
+        p.add_argument("--with-states", action="store_true",
                        help="allow UFDI state infection")
-    sweep.add_argument("--analyzer",
+        p.add_argument("--analyzer",
                        choices=("auto", "smt", "fast"), default="auto",
                        help="auto picks SMT up to 14 buses, fast above")
-    sweep.add_argument("--workers", type=int,
-                       default=min(4, os.cpu_count() or 1),
-                       help="worker processes (default: min(4, cpus))")
-    sweep.add_argument("--serial", action="store_true",
-                       help="force in-process serial execution")
-    sweep.add_argument("--timeout", type=float, default=None,
+        p.add_argument("--timeout", type=float, default=None,
                        help="per-task wall-clock budget in seconds, "
-                            "enforced inside the solvers (works in "
-                            "serial mode too); exhausted tasks are "
-                            "recorded as 'unknown'")
-    sweep.add_argument("--max-conflicts", type=int, default=None,
+                            "enforced inside the solvers; exhausted "
+                            "tasks are recorded as 'unknown'")
+        p.add_argument("--max-conflicts", type=int, default=None,
                        help="per-task SAT conflict budget")
-    sweep.add_argument("--max-decisions", type=int, default=None,
+        p.add_argument("--max-decisions", type=int, default=None,
                        help="per-task SAT decision budget")
-    sweep.add_argument("--max-pivots", type=int, default=None,
+        p.add_argument("--max-pivots", type=int, default=None,
                        help="per-task simplex pivot budget")
-    sweep.add_argument("--retries", type=int, default=1,
-                       help="resubmissions after a worker crash")
-    sweep.add_argument("--cache-dir", default=".repro-cache",
+        p.add_argument("--cache-dir", default=".repro-cache",
                        help="result-cache directory")
-    sweep.add_argument("--no-cache", action="store_true",
+        p.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache entirely")
-    sweep.add_argument("--clear-cache", action="store_true",
-                       help="drop cached results before running")
-    sweep.add_argument("--trace", default="sweep-trace.json",
+        p.add_argument("--trace", default=trace_default,
                        help="write the per-sweep trace JSON here "
                             "('' disables)")
-    sweep.add_argument("--search", choices=("decision", "maximize"),
+        p.add_argument("--search", choices=("decision", "maximize"),
                        default="decision",
-                       help="maximize bisects every cell to its maximum "
-                            "achievable I* (targets become bracket "
-                            "anchors) on the same warm sessions")
-    sweep.add_argument("--tolerance", default=None,
-                       help="bisection tolerance for --search maximize, "
-                            "as an exact fraction (default 1/8)")
-    sweep.add_argument("--max-candidates", type=int, default=60)
-    sweep.add_argument("--state-samples", type=int, default=24)
-    sweep.add_argument("--seed", type=int, default=0,
+                       help="maximize bisects every cell to its "
+                            "maximum achievable I* (targets become "
+                            "bracket anchors) on the same warm "
+                            "sessions")
+        p.add_argument("--tolerance", default=None,
+                       help="bisection tolerance for --search "
+                            "maximize, as an exact fraction "
+                            "(default 1/8)")
+        p.add_argument("--max-candidates", type=int, default=60)
+        p.add_argument("--state-samples", type=int, default=24)
+        p.add_argument("--seed", type=int, default=0,
                        help="fast-analyzer sampling seed")
-    sweep.add_argument("--self-check", action="store_true",
-                       help="certified mode for every cell: answers are "
-                            "verified against independent certificates "
-                            "and cache hits must be certified; "
-                            "REPRO_SELF_CHECK=1 does the same")
-    sweep.add_argument("--strict", action="store_true",
+        p.add_argument("--self-check", action="store_true",
+                       help="certified mode for every cell: answers "
+                            "are verified against independent "
+                            "certificates and cache hits must be "
+                            "certified; REPRO_SELF_CHECK=1 does the "
+                            "same")
+        p.add_argument("--strict", action="store_true",
                        help="exit 2 when any cell is non-definitive "
                             "(error/unknown/timeout/crashed/"
                             "certificate_error/invalid_input/"
                             "degenerate_case, or a failed cache "
                             "write)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (case × target × scenario) grid on the "
+                      "parallel sweep engine with result caching")
+    add_grid_args(sweep, trace_default="sweep-trace.json")
+    sweep.add_argument("--workers", type=int,
+                       default=min(4, os.cpu_count() or 1),
+                       help="worker processes (default: min(4, cpus))")
+    sweep.add_argument("--serial", action="store_true",
+                       help="force in-process serial execution")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="resubmissions after a worker crash")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="drop cached results before running")
     sweep.set_defaults(func=_cmd_sweep)
+
+    coordinate = sub.add_parser(
+        "coordinate", help="serve the same grid to a fleet of "
+                           "`repro worker` processes over a durable, "
+                           "crash-recoverable work queue")
+    add_grid_args(coordinate, trace_default="")
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument("--port", type=int, default=0,
+                            help="listen port (default 0 picks a free "
+                                 "one; the bound address is printed on "
+                                 "startup)")
+    coordinate.add_argument("--journal",
+                            default="fabric-journal.jsonl",
+                            help="append-only lease/commit journal; if "
+                                 "it already exists the run resumes "
+                                 "from it (same grid required)")
+    coordinate.add_argument("--spawn", type=int, default=0,
+                            help="also launch this many local worker "
+                                 "subprocesses")
+    coordinate.add_argument("--lease-ttl", type=float, default=15.0,
+                            help="seconds a lease survives without a "
+                                 "heartbeat before its unit is "
+                                 "re-dispatched (default 15)")
+    coordinate.add_argument("--steal-after", type=float, default=30.0,
+                            help="seconds a heartbeating unit may run "
+                                 "before an idle worker gets a "
+                                 "speculative copy (default 30)")
+    coordinate.add_argument("--retry-budget", type=int, default=3,
+                            help="lease expiries tolerated per unit "
+                                 "before it is marked failed "
+                                 "(default 3)")
+    coordinate.add_argument("--unit-cells", type=int, default=8,
+                            help="max grid cells per leased unit "
+                                 "(bounds lease duration; default 8)")
+    coordinate.add_argument("--fault-plan", default=None,
+                            help=argparse.SUPPRESS)  # chaos tests only
+    coordinate.add_argument("--verbose", action="store_true",
+                            help="log every HTTP request to stderr")
+    coordinate.set_defaults(func=_cmd_coordinate)
+
+    worker = sub.add_parser(
+        "worker", help="lease, compute and commit sweep units from a "
+                       "`repro coordinate` endpoint until the grid is "
+                       "done (exit 0) or the coordinator dies (exit 2)")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address")
+    worker.add_argument("--id", default=None,
+                        help="worker id (default: hostname-pid)")
+    worker.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to wait for the coordinator's "
+                             "readiness probe (default 10)")
+    worker.add_argument("--cache-dir", default=".repro-cache",
+                        help="shared result-cache directory")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="work without the shared result cache")
+    worker.add_argument("--fault-plan", default=None,
+                        help=argparse.SUPPRESS)     # chaos tests only
+    worker.set_defaults(func=_cmd_worker)
+
+    cache = sub.add_parser(
+        "cache", help="maintain the on-disk result cache")
+    cache.add_argument("action", choices=("prune", "clear"),
+                       help="prune drops stale-format and corrupt "
+                            "entries and reports reclaimed bytes; "
+                            "clear drops everything")
+    cache.add_argument("--cache-dir", default=".repro-cache",
+                       help="result-cache directory")
+    cache.set_defaults(func=_cmd_cache)
 
     serve = sub.add_parser(
         "serve", help="run the fault-tolerant analysis service "

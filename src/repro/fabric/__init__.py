@@ -1,0 +1,69 @@
+"""Distributed sweep fabric: durable queue, leased workers, recovery.
+
+Scales the single-machine :class:`~repro.runner.engine.SweepEngine` out
+to a fleet: a :class:`~repro.fabric.coordinator.Coordinator`
+(``python -m repro coordinate``) shards a scenario grid into warm
+encoding-group units and serves them over HTTP/JSON to headless
+:class:`~repro.fabric.worker.FabricWorker` processes
+(``python -m repro worker --connect HOST:PORT``).
+
+The robustness contract, held under ``tests/chaos``:
+
+* units are *leases with heartbeats* — crashed, hung or partitioned
+  workers lose them after a deadline and the unit is re-dispatched
+  with exponential backoff under a per-unit retry budget;
+* stragglers trigger *speculative re-dispatch* (work-stealing),
+  first-commit-wins;
+* execution is at-least-once but commit is *exactly-once*, idempotent
+  through deterministic scenario fingerprints and the shared
+  ``.repro-cache`` as a read-through/write-behind layer;
+* the coordinator journals every plan and commit durably
+  (:mod:`repro.fabric.journal`), so a killed coordinator resumes the
+  whole fleet from journal + cache, and workers detect a dead
+  coordinator and exit cleanly (code 2) instead of spinning.
+"""
+
+from repro.fabric.coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    FabricError,
+    grid_fingerprint,
+)
+from repro.fabric.journal import Journal, read_events
+from repro.fabric.protocol import FABRIC_PROTOCOL_VERSION
+from repro.fabric.queue import (
+    COMMITTED,
+    FAILED,
+    LEASED,
+    PENDING,
+    LeaseGrant,
+    LeaseQueue,
+    WorkUnit,
+)
+from repro.fabric.worker import (
+    EXIT_COORDINATOR_GONE,
+    EXIT_DONE,
+    FabricWorker,
+    WorkerConfig,
+)
+
+__all__ = [
+    "COMMITTED",
+    "Coordinator",
+    "CoordinatorConfig",
+    "EXIT_COORDINATOR_GONE",
+    "EXIT_DONE",
+    "FABRIC_PROTOCOL_VERSION",
+    "FAILED",
+    "FabricError",
+    "FabricWorker",
+    "Journal",
+    "LEASED",
+    "LeaseGrant",
+    "LeaseQueue",
+    "PENDING",
+    "WorkUnit",
+    "WorkerConfig",
+    "grid_fingerprint",
+    "read_events",
+]

@@ -1,0 +1,96 @@
+"""Append-only on-disk journal for the sweep fabric's coordinator.
+
+One JSON object per line, flushed and fsync'd per append, so every
+event the coordinator acts on is durable *before* the action's effects
+become externally visible (a lease is journaled before the unit is
+handed out; a commit is journaled before it is acknowledged).  A
+coordinator killed at any instant — even mid-write — can therefore be
+restarted from the journal alone: :func:`read_events` replays every
+complete line and silently drops a torn trailing one (the only line
+that can ever be incomplete, by the append-only discipline).
+
+Event kinds (the coordinator's vocabulary, recorded for reference):
+
+* ``plan`` — the full grid: spec payloads, fingerprints, the unit
+  partition, and every cell already resolved at plan time (cache hits,
+  preflight rejections).  Always the first event of a generation.
+* ``lease`` / ``expire`` / ``steal`` — lease lifecycle per unit.
+* ``commit`` — a unit's outcome payloads, exactly once per unit.
+* ``duplicate`` — a late commit for an already-committed unit,
+  acknowledged and discarded (first-commit-wins).
+* ``fail`` — a unit whose retry budget is exhausted.
+
+Only ``plan`` and ``commit`` carry recovery state; the lifecycle events
+make the journal a readable audit log of what the fleet did (the chaos
+suite asserts on them).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Journal", "read_events"]
+
+
+class Journal:
+    """A durable append-only JSONL event log."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably append one event (flush + fsync before returning)."""
+        line = json.dumps(event, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path, kinds: Optional[tuple] = None
+                ) -> List[Dict[str, Any]]:
+    """Replay a journal's complete events, oldest first.
+
+    A torn trailing line (the coordinator died mid-append) is dropped;
+    a torn or non-object line *before* the last one means the file is
+    not an append-only journal and raises :class:`ValueError` rather
+    than silently resuming from corrupt state.  ``kinds`` filters by
+    the ``event`` field when given.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    raw = target.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines):
+        try:
+            event = json.loads(line)
+            if not isinstance(event, dict) or "event" not in event:
+                raise ValueError("journal line is not an event object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            if number == len(lines) - 1:
+                break       # torn trailing write: the only legal tear
+            raise ValueError(
+                f"{target}: corrupt journal line {number + 1}: "
+                f"{exc}") from exc
+        if kinds is None or event.get("event") in kinds:
+            events.append(event)
+    return events

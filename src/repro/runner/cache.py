@@ -27,7 +27,8 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
-from repro.runner.spec import CACHE_FORMAT_VERSION
+from repro.runner.spec import CACHE_FORMAT_VERSION, code_fingerprint, \
+    encoding_fingerprint
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -67,9 +68,15 @@ class ResultCache:
     def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
         path = self._path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # The code/encoding fingerprints are *prunability* metadata, not
+        # lookup keys: the fingerprint key already embeds them, so stale
+        # entries are simply unreachable — but only these fields let
+        # ``prune()`` tell a dead version's entry from a live one.
         envelope = {
             "version": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
+            "code": code_fingerprint(),
+            "encoding": encoding_fingerprint(),
             "outcome": outcome,
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -111,6 +118,57 @@ class ResultCache:
                     delay = backoff_seconds * (2 ** attempt)
                     sleep(delay * (0.5 + jitter.random()))
         return f"{type(last).__name__}: {last}"
+
+    def prune(self) -> Dict[str, int]:
+        """Drop entries no current fingerprint can ever reference.
+
+        Long-lived fleets sharing one ``.repro-cache`` accumulate dead
+        versions: every code or format change rewrites the fingerprint
+        keys, stranding the old files forever.  An entry is stale when
+        its envelope pins a different cache-format version, a different
+        ``repro`` code fingerprint or a different encoding fingerprint
+        than the running install — or when it is unreadable/foreign.
+        Entries written before the fingerprints joined the envelope are
+        stale by construction (their keys embed an older code hash).
+
+        Returns ``{"scanned", "removed", "kept", "reclaimed_bytes"}``.
+        Concurrently-vanishing files are skipped, so live sweeps sharing
+        the cache are safe.
+        """
+        results = self.root / "results"
+        stats = {"scanned": 0, "removed": 0, "kept": 0,
+                 "reclaimed_bytes": 0}
+        if not results.is_dir():
+            return stats
+        code = code_fingerprint()
+        encoding = encoding_fingerprint()
+        for path in sorted(results.rglob("*.json")):
+            stats["scanned"] += 1
+            stale = False
+            try:
+                size = path.stat().st_size
+                with open(path) as handle:
+                    envelope = json.load(handle)
+            except OSError:
+                continue                    # vanished mid-scan: skip
+            except json.JSONDecodeError:
+                stale = True                # unreadable: reclaim
+                envelope = {}
+            if not stale:
+                stale = not isinstance(envelope, dict) \
+                    or envelope.get("version") != CACHE_FORMAT_VERSION \
+                    or envelope.get("code") != code \
+                    or envelope.get("encoding") != encoding
+            if not stale:
+                stats["kept"] += 1
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            stats["removed"] += 1
+            stats["reclaimed_bytes"] += size
+        return stats
 
     def clear(self) -> int:
         """Remove all cached results; returns the number removed."""

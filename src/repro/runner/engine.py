@@ -29,7 +29,10 @@ tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
   hung workers cannot starve the rest of the sweep;
 * a worker-process crash (OOM kill, segfault in a native library) breaks
   the pool — the engine rebuilds it and retries the affected scenarios up
-  to ``retries`` times before recording them as ``crashed``;
+  to ``retries`` times; a unit whose budget runs out gets one *isolated*
+  dispatch (own single-worker pool) before being recorded as ``crashed``,
+  because a shared-pool breakage fails every in-flight future and the
+  victim may never have crashed itself;
 * when process pools are unavailable (restricted environments) or
   ``workers <= 1``, the engine degrades gracefully to in-process serial
   execution with identical results (including budget enforcement — the
@@ -47,7 +50,7 @@ import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from fractions import Fraction
 
@@ -289,6 +292,45 @@ def _outcome_from_max_result(outcome: ScenarioOutcome,
         outcome.trace = trace
     outcome.task_seconds = time.perf_counter() - started
     return outcome
+
+
+def plan_units(specs: Sequence[ScenarioSpec], pending: Sequence[int],
+               chunks: int = 1,
+               max_cells: Optional[int] = None) -> List[List[int]]:
+    """Group pending scenario indices into warm execution units.
+
+    Scenarios with equal :meth:`ScenarioSpec.encoding_group` keys (same
+    resolved case, analyzer kind and state-infection flag) are batched so
+    one warm analyzer serves them all.  Each group is split into at most
+    ``chunks`` pieces (the sweep engine passes its worker count so
+    grouping never *reduces* parallelism), and ``max_cells`` additionally
+    caps the unit size — the distributed fabric uses that to keep lease
+    durations bounded.  Shared by :class:`SweepEngine` and the fabric
+    coordinator so both plan byte-identical units for one grid.
+    """
+    groups: Dict[str, List[int]] = {}
+    order: List[str] = []
+    for idx in pending:
+        try:
+            key = specs[idx].encoding_group()
+        except Exception:
+            # An unresolvable spec cannot be grouped; run it alone so
+            # its error surfaces through the legacy path.
+            key = f"solo:{idx}"
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(idx)
+    units: List[List[int]] = []
+    for key in order:
+        members = groups[key]
+        pieces = max(1, min(max(1, chunks), len(members)))
+        size = -(-len(members) // pieces)   # ceil division
+        if max_cells is not None:
+            size = max(1, min(size, max_cells))
+        for start in range(0, len(members), size):
+            units.append(members[start:start + size])
+    return units
 
 
 def build_analyzer(case, kind: str, warm: bool = False):
@@ -738,41 +780,16 @@ class SweepEngine:
 
     def _plan_units(self, specs: Sequence[ScenarioSpec],
                     pending: Sequence[int]) -> List[List[int]]:
-        """Group pending scenario indices into execution units.
+        """Execution units for this engine (see :func:`plan_units`).
 
-        Scenarios with equal :meth:`ScenarioSpec.encoding_group` keys
-        (same resolved case, analyzer kind and state-infection flag) are
-        batched so one warm analyzer serves them all — each group is
-        split into at most ``workers`` chunks so grouping never *reduces*
-        parallelism below the worker count.  Singleton units keep the
-        exact legacy per-scenario protocol, and an injected ``task``
-        (test seams, fault injection) only speaks that protocol, so it
-        always gets singleton units.
+        Singleton units keep the exact legacy per-scenario protocol, and
+        an injected ``task`` (test seams, fault injection) only speaks
+        that protocol, so it always gets singleton units.
         """
         if self._task is not _worker_entry:
             return [[idx] for idx in pending]
-        groups: Dict[str, List[int]] = {}
-        order: List[str] = []
-        for idx in pending:
-            try:
-                key = specs[idx].encoding_group()
-            except Exception:
-                # An unresolvable spec cannot be grouped; run it alone
-                # so its error surfaces through the legacy path.
-                key = f"solo:{idx}"
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(idx)
-        units: List[List[int]] = []
-        workers = max(1, self.config.workers)
-        for key in order:
-            members = groups[key]
-            chunks = max(1, min(workers, len(members)))
-            size = -(-len(members) // chunks)   # ceil division
-            for start in range(0, len(members), size):
-                units.append(members[start:start + size])
-        return units
+        return plan_units(specs, pending,
+                          chunks=max(1, self.config.workers))
 
     # -- task plumbing ---------------------------------------------------
 
@@ -919,6 +936,7 @@ class SweepEngine:
                                  cache)
                 return False
             next_round: List[List[int]] = []
+            suspects: List[Tuple[List[int], BaseException]] = []
             try:
                 futures = {}
                 for unit in to_run:
@@ -982,16 +1000,13 @@ class SweepEngine:
                         if attempts[key] <= config.retries:
                             next_round.append(unit)
                         else:
-                            for idx in unit:
-                                self._record(idx, ScenarioOutcome(
-                                    spec=specs[idx],
-                                    fingerprint=fingerprints[idx],
-                                    status=CRASHED,
-                                    attempts=attempts[key],
-                                    error=str(exc)
-                                          or "worker process died"),
-                                    specs[idx], fingerprints, outcomes,
-                                    cache)
+                            # One worker death fails every in-flight
+                            # future of the shared pool, so this unit
+                            # may have exhausted its budget as
+                            # collateral without ever crashing itself.
+                            # Decide with one isolated dispatch below
+                            # (own pool: breakage is unambiguous).
+                            suspects.append((unit, exc))
                     except Exception as exc:  # pickling and kin
                         message = "".join(
                             traceback.format_exception_only(
@@ -1015,5 +1030,86 @@ class SweepEngine:
                                          fingerprints, outcomes, cache)
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
+            for unit, exc in suspects:
+                self._isolated_attempt(unit, exc, attempts, specs,
+                                       fingerprints, outcomes, cache)
             to_run = next_round
         return True
+
+    def _isolated_attempt(self, unit, exc, attempts, specs,
+                          fingerprints, outcomes, cache) -> None:
+        """Last-chance dispatch for a unit whose pool broke with its
+        retry budget already spent.
+
+        A single worker death fails every in-flight future of the
+        shared pool, so a unit can exhaust its budget without ever
+        having crashed itself.  Re-running it alone in a fresh
+        single-worker pool makes breakage unambiguous: success clears
+        the unit, a second breakage convicts it as ``crashed``.
+        """
+        key = tuple(unit)
+
+        def convict(error: str) -> None:
+            for idx in unit:
+                self._record(idx, ScenarioOutcome(
+                    spec=specs[idx], fingerprint=fingerprints[idx],
+                    status=CRASHED, attempts=attempts[key],
+                    error=error or "worker process died"),
+                    specs[idx], fingerprints, outcomes, cache)
+
+        try:
+            pool = ProcessPoolExecutor(max_workers=1)
+        except (OSError, ValueError, ImportError):
+            # No pool, no safe way to re-run a suspected crasher
+            # in-process: keep the conviction.
+            convict(str(exc))
+            return
+        try:
+            if len(unit) == 1:
+                idx = unit[0]
+                future = pool.submit(self._task, self._task_payload(
+                    specs[idx], fingerprints[idx]))
+            else:
+                future = pool.submit(
+                    _group_worker_entry,
+                    self._group_payload(unit, specs, fingerprints))
+            try:
+                payload = future.result(
+                    timeout=self._pool_wait(len(unit)))
+            except GroupInterrupted as interrupted:
+                for idx, outcome in zip(unit, interrupted.outcomes):
+                    self._record(idx, outcome, specs[idx],
+                                 fingerprints, outcomes, cache)
+                raise KeyboardInterrupt from None
+            except FuturesTimeoutError:
+                future.cancel()
+                for idx in unit:
+                    self._record(idx, ScenarioOutcome(
+                        spec=specs[idx],
+                        fingerprint=fingerprints[idx],
+                        status=TIMEOUT, attempts=attempts[key],
+                        error=f"exceeded {self.config.task_timeout}s "
+                              f"task budget"),
+                        specs[idx], fingerprints, outcomes, cache)
+            except BrokenExecutor as broken:
+                convict(str(broken))
+            except Exception as error:  # pickling and kin
+                message = "".join(traceback.format_exception_only(
+                    type(error), error)).strip()
+                for idx in unit:
+                    self._record(idx, ScenarioOutcome(
+                        spec=specs[idx],
+                        fingerprint=fingerprints[idx],
+                        status=ERROR, attempts=attempts[key],
+                        error=message),
+                        specs[idx], fingerprints, outcomes, cache)
+            else:
+                payloads = [payload] if len(unit) == 1 else payload
+                parsed = self._parse_unit_payloads(
+                    unit, payloads, specs, fingerprints)
+                for idx, outcome in zip(unit, parsed):
+                    outcome.attempts = attempts[key]
+                    self._record(idx, outcome, specs[idx],
+                                 fingerprints, outcomes, cache)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)

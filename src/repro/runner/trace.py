@@ -174,6 +174,46 @@ class ScenarioOutcome:
                     "decision outcome must not carry a max_impact payload")
 
 
+#: outcome fields that legitimately differ between two correct runs of
+#: the same scenario: timings, process identity, retry counts, cache
+#: luck and the per-run trace counters.  Everything else — the verdict,
+#: the exact costs, the diagnostics — must be bit-identical.
+VOLATILE_OUTCOME_FIELDS = ("analysis_seconds", "task_seconds",
+                           "cache_hit", "worker_pid", "attempts",
+                           "cache_write_error", "trace")
+
+
+def deterministic_outcome_view(payload: Dict[str, Any]
+                               ) -> Dict[str, Any]:
+    """The outcome payload minus its run-volatile fields.
+
+    Differential checks (fabric vs. serial sweep, resume vs. fresh run)
+    compare outcomes through this view: two executions of the same
+    scenario must agree on it exactly, even though their timings, worker
+    pids and cache histories differ.  ``max_impact`` probe logs carry
+    per-probe timings too, so those are stripped from the nested payload
+    the same way.
+    """
+    view = {key: value for key, value in payload.items()
+            if key not in VOLATILE_OUTCOME_FIELDS}
+    max_impact = view.get("max_impact")
+    if isinstance(max_impact, dict):
+        # Per-probe timings and session-warmth counters (how many
+        # encodings a probe built depends on which unit it shared a
+        # session with) are volatile too.
+        max_impact = {k: v for k, v in max_impact.items()
+                      if k not in ("elapsed_seconds", "warm_solves",
+                                   "encodings_built")}
+        probes = max_impact.get("probes")
+        if isinstance(probes, list):
+            max_impact["probes"] = [
+                {k: v for k, v in probe.items() if k != "seconds"}
+                if isinstance(probe, dict) else probe
+                for probe in probes]
+        view["max_impact"] = max_impact
+    return view
+
+
 @dataclass
 class SweepTrace:
     """The sweep-level trace: engine metadata plus all outcomes."""

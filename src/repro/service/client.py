@@ -117,17 +117,41 @@ class ServiceClient:
         finally:
             conn.close()
 
+    def _retry_after_seconds(self, hint: str) -> Optional[float]:
+        """Seconds a ``Retry-After`` header asks for, or None.
+
+        RFC 7231 allows both delta-seconds and HTTP-date forms.  A
+        header in neither form (or a date that fails to parse) yields
+        None — the caller falls back to its computed backoff instead of
+        raising, so a creative server can never crash the retry loop.
+        """
+        try:
+            return float(hint)
+        except (TypeError, ValueError):
+            pass
+        try:
+            from email.utils import parsedate_to_datetime
+            when = parsedate_to_datetime(hint)
+        except (TypeError, ValueError, IndexError):
+            return None
+        if when is None:
+            return None
+        from datetime import timezone
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=timezone.utc)
+        from datetime import datetime
+        return max(0.0,
+                   (when - datetime.now(timezone.utc)).total_seconds())
+
     def _delay(self, attempt: int,
                hint: Optional[str] = None) -> float:
         delay = min(self.backoff_cap,
                     self.backoff_seconds * (2 ** attempt))
         delay *= 0.5 + self.rng.random()
         if hint is not None:
-            try:
-                delay = max(delay, min(float(hint),
-                                       self.retry_after_cap))
-            except ValueError:
-                pass
+            hinted = self._retry_after_seconds(hint)
+            if hinted is not None:
+                delay = max(delay, min(hinted, self.retry_after_cap))
         return delay
 
     def request(self, method: str, path: str,

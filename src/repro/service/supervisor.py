@@ -81,6 +81,12 @@ class ServiceConfig:
     self_check: Optional[bool] = None
     restart_backoff: float = 0.05
     restart_backoff_cap: float = 2.0
+    #: seconds a restarted worker must stay alive before its restart
+    #: *backoff* resets to the base value (the lifetime ``restarts``
+    #: counter is untouched).  Without this, backoff grows monotonically
+    #: over a worker's whole life and a transient crash burst months ago
+    #: would permanently slow recovery from the next one.
+    healthy_reset: float = 30.0
     #: path to a ServiceFaultPlan JSON file (chaos testing only).
     fault_plan: Optional[str] = None
     start_method: Optional[str] = None
@@ -137,6 +143,12 @@ class WorkerHandle:
         self.process = None
         self.thread = None
         self.restarts = 0
+        #: consecutive-failure level the next restart backoff derives
+        #: from; reset to 0 once the worker stays healthy for
+        #: ``ServiceConfig.healthy_reset`` seconds (unlike ``restarts``,
+        #: which counts for the worker's whole lifetime).
+        self.backoff_level = 0
+        self.spawned_at: Optional[float] = None
         self.busy: Optional[ServiceJob] = None
         self.dispatched_at: Optional[float] = None
         self.respawn_at: Optional[float] = None
@@ -168,6 +180,7 @@ class WorkerHandle:
         self.busy = None
         self.dispatched_at = None
         self.respawn_at = None
+        self.spawned_at = time.monotonic()
         self.last_stats = {}
 
     def alive(self) -> bool:
@@ -377,6 +390,7 @@ class Supervisor:
                 self._dispatch_pending()
                 self._collect_replies()
                 self._reap_dead_and_hung()
+                self._reset_recovered_backoff()
                 self._ping_idle()
             except Exception:
                 # The loop must never die: a wedged dispatcher is the
@@ -448,6 +462,25 @@ class Supervisor:
                     > job.kill_after(self.config.hang_grace):
                 self._worker_failed(handle, requeue=True, hung=True)
 
+    def _reset_recovered_backoff(self) -> None:
+        """Forget the failure burst once a worker proves healthy.
+
+        A worker that has stayed alive for ``healthy_reset`` seconds
+        since its last (re)spawn gets its backoff level zeroed — the
+        next crash restarts at the base backoff instead of wherever the
+        last burst left off.  The lifetime ``restarts`` counter is
+        deliberately untouched (it is an observability total, not a
+        policy input).
+        """
+        now = time.monotonic()
+        for handle in self._workers:
+            if handle.backoff_level == 0 or handle.conn is None:
+                continue
+            if handle.spawned_at is not None and handle.alive() \
+                    and now - handle.spawned_at \
+                    >= self.config.healthy_reset:
+                handle.backoff_level = 0
+
     def _ping_idle(self) -> None:
         now = time.monotonic()
         for handle in self._workers:
@@ -464,9 +497,13 @@ class Supervisor:
         handle.last_stats = {}      # don't report a dead worker's gauges
         handle.kill()
         handle.restarts += 1
+        # Exponential backoff over the *recent* failure burst only: the
+        # level resets after a healthy interval, so a worker that
+        # crashed repeatedly last week still restarts promptly today.
         backoff = min(self.config.restart_backoff_cap,
                       self.config.restart_backoff
-                      * (2 ** min(handle.restarts - 1, 10)))
+                      * (2 ** min(handle.backoff_level, 10)))
+        handle.backoff_level += 1
         handle.respawn_at = time.monotonic() + backoff
         if job is None or not requeue:
             return

@@ -27,15 +27,21 @@ from repro.testing.fuzz import (
     run_fuzz,
 )
 from repro.testing.faults import (
+    COORDINATOR_KILL,
     CRASH_WORKER,
     CORRUPT_CASE,
     DROP_CONNECTION,
     EXHAUST_BUDGET,
+    FABRIC_KINDS,
     FAIL_CACHE_WRITE,
     HANG_WORKER,
+    LEASE_LOSS,
+    PARTITION,
     RAISE_ERROR,
     SERVICE_KINDS,
     SLOW_RESPONSE,
+    STRAGGLER,
+    FabricFaultPlan,
     Fault,
     FaultPlan,
     FlakyResultCache,
@@ -59,15 +65,21 @@ __all__ = [
     "analyze_text",
     "fuzz_bundled_case",
     "run_fuzz",
+    "COORDINATOR_KILL",
     "CRASH_WORKER",
     "CORRUPT_CASE",
     "DROP_CONNECTION",
     "EXHAUST_BUDGET",
+    "FABRIC_KINDS",
     "FAIL_CACHE_WRITE",
     "HANG_WORKER",
+    "LEASE_LOSS",
+    "PARTITION",
     "RAISE_ERROR",
     "SERVICE_KINDS",
     "SLOW_RESPONSE",
+    "STRAGGLER",
+    "FabricFaultPlan",
     "Fault",
     "FaultPlan",
     "FlakyResultCache",

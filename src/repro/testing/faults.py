@@ -54,6 +54,11 @@ FAIL_CACHE_WRITE = "fail_cache_write"  # injected ENOSPC on cache writes
 #: service-level kinds (the analysis daemon's chaos suite):
 SLOW_RESPONSE = "slow_response"     # worker answers late but correctly
 DROP_CONNECTION = "drop_connection"  # acceptor closes mid-response
+#: fabric-level kinds (the distributed sweep's chaos suite):
+STRAGGLER = "straggler"             # unit held idle: speculation target
+PARTITION = "partition"             # heartbeats suppressed; work goes on
+LEASE_LOSS = "lease_loss"           # unit silently abandoned, no commit
+COORDINATOR_KILL = "coordinator_kill"  # coordinator dies post-commit
 
 #: kinds a worker-side plan can apply.  CRASH_WORKER is excluded from
 #: seeded defaults: in serial mode it would kill the host process.
@@ -66,6 +71,16 @@ WORKER_KINDS = (HANG_WORKER, RAISE_ERROR, CORRUPT_CASE, EXHAUST_BUDGET)
 #: worker's checkpoint writes (the bounded retry must absorb it).
 SERVICE_KINDS = (CRASH_WORKER, HANG_WORKER, SLOW_RESPONSE,
                  DROP_CONNECTION, FAIL_CACHE_WRITE)
+
+#: kinds a :class:`FabricFaultPlan` can apply — crash/hang target a
+#: fabric worker mid-unit, ``straggler`` holds a leased unit idle long
+#: enough to trigger speculative re-dispatch, ``partition`` suppresses
+#: heartbeats (the lease expires while the work continues),
+#: ``lease_loss`` abandons the unit without committing, and
+#: ``coordinator_kill`` makes the *coordinator* die right after
+#: journaling a commit (the resume path's worst case).
+FABRIC_KINDS = (CRASH_WORKER, HANG_WORKER, STRAGGLER, PARTITION,
+                LEASE_LOSS, COORDINATOR_KILL)
 
 _EXHAUSTED_BUDGET = {"wall_seconds": 0.0, "max_conflicts": 1,
                      "max_decisions": 1, "max_pivots": 1,
@@ -116,7 +131,8 @@ class Fault:
     def __post_init__(self) -> None:
         known = (CRASH_WORKER, HANG_WORKER, RAISE_ERROR, CORRUPT_CASE,
                  EXHAUST_BUDGET, SLOW_RESPONSE, DROP_CONNECTION,
-                 FAIL_CACHE_WRITE)
+                 FAIL_CACHE_WRITE, STRAGGLER, PARTITION, LEASE_LOSS,
+                 COORDINATOR_KILL)
         if self.kind not in known:
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
@@ -238,13 +254,18 @@ class ServiceFaultPlan:
     state_dir: str
     faults: Tuple[Tuple[str, Fault], ...] = ()
 
+    #: kinds this plan class accepts; subclasses override.
+    KINDS: Tuple[str, ...] = SERVICE_KINDS
+    #: env var ``load`` falls back to; subclasses override.
+    ENV_VAR: str = "REPRO_SERVICE_FAULTS"
+
     @classmethod
     def build(cls, state_dir,
               faults: Dict[str, Fault]) -> "ServiceFaultPlan":
         for fault in faults.values():
-            if fault.kind not in SERVICE_KINDS:
+            if fault.kind not in cls.KINDS:
                 raise ValueError(
-                    f"{fault.kind!r} is not a service fault kind")
+                    f"{fault.kind!r} is not a {cls.__name__} kind")
         return cls(state_dir=str(state_dir),
                    faults=tuple(sorted(faults.items())))
 
@@ -277,7 +298,7 @@ class ServiceFaultPlan:
     @classmethod
     def load(cls, path: Optional[str]) -> Optional["ServiceFaultPlan"]:
         """``from_file`` with env-var fallback; None when unconfigured."""
-        path = path or os.environ.get("REPRO_SERVICE_FAULTS")
+        path = path or os.environ.get(cls.ENV_VAR)
         if not path:
             return None
         return cls.from_file(path)
@@ -346,6 +367,69 @@ class PlannedFlakyCache(ResultCache):
         if attempt <= self._fail_writes:
             raise OSError(28, "No space left on device (injected)")
         super().put(fingerprint, outcome)
+
+
+@dataclass(frozen=True)
+class FabricFaultPlan(ServiceFaultPlan):
+    """Frozen fault plan for the distributed sweep fabric's chaos suite.
+
+    Crosses process boundaries the same way :class:`ServiceFaultPlan`
+    does (``to_file`` + the ``REPRO_FABRIC_FAULTS`` environment
+    variable), but its kinds target the *fabric* failure model: a fault
+    is keyed by scenario label and fires when a worker leases a unit
+    containing that label (or, for ``coordinator_kill``, when the
+    coordinator journals a commit for such a unit).
+
+    Worker-side kinds — the worker loop interprets them:
+
+    * ``crash_worker`` — ``os._exit`` mid-unit, before any commit;
+    * ``hang_worker`` — sleep past the lease TTL with heartbeats
+      stopped, then resume (the late commit must be a duplicate);
+    * ``straggler`` — keep heartbeating but stall the computation, so
+      only *speculative re-dispatch* can finish the unit on time;
+    * ``partition`` — suppress heartbeats while computing normally (the
+      coordinator expires the lease; the eventual commit races the
+      re-dispatched copy — first one wins);
+    * ``lease_loss`` — silently abandon the unit: no commit, no error,
+      recovery rides entirely on lease expiry.
+
+    Coordinator-side: ``coordinator_kill`` — ``os._exit(5)`` right
+    after journaling the commit of a unit containing the label, the
+    resume path's worst case (the commit is durable, the in-memory
+    queue is gone).
+    """
+
+    KINDS: Tuple[str, ...] = FABRIC_KINDS
+    ENV_VAR: str = "REPRO_FABRIC_FAULTS"
+
+    #: kinds the worker loop applies when it leases a unit.
+    WORKER_SIDE = (CRASH_WORKER, HANG_WORKER, STRAGGLER, PARTITION,
+                   LEASE_LOSS)
+
+    def unit_fault(self, labels: Sequence[str]
+                   ) -> Optional[Tuple[str, Fault]]:
+        """The worker-side fault to apply to a unit, if any fires.
+
+        Checks each scenario label in the unit against the plan; the
+        first matching worker-side fault whose attempt budget is not
+        yet exhausted is recorded (marker-file ledger, so re-dispatched
+        copies of the unit see it already spent) and returned.
+        """
+        for label in labels:
+            fault = self.fault_for(label, self.WORKER_SIDE)
+            if fault is not None \
+                    and self.should_fire(label, fault, channel="#unit"):
+                return label, fault
+        return None
+
+    def should_kill_coordinator(self, labels: Sequence[str]) -> bool:
+        """Coordinator-side: die right after journaling this commit?"""
+        for label in labels:
+            fault = self.fault_for(label, (COORDINATOR_KILL,))
+            if fault is not None \
+                    and self.should_fire(label, fault, channel="#ckill"):
+                return True
+        return False
 
 
 def interrupting_worker(state_dir: str, limit: int,

@@ -1,0 +1,74 @@
+"""The append-only journal: durability and torn-write tolerance."""
+
+import json
+
+import pytest
+
+from repro.fabric import Journal, read_events
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        journal.append({"event": "plan", "cells": 3})
+        journal.append({"event": "commit", "unit": 0,
+                        "outcomes": [{"status": "ok"}]})
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["plan", "commit"]
+    assert events[1]["outcomes"] == [{"status": "ok"}]
+
+
+def test_missing_file_reads_empty(tmp_path):
+    assert read_events(tmp_path / "nope.jsonl") == []
+
+
+def test_appends_survive_across_opens(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        journal.append({"event": "plan"})
+    with Journal(path) as journal:
+        journal.append({"event": "lease", "unit": 1})
+    assert [e["event"] for e in read_events(path)] == ["plan", "lease"]
+
+
+def test_torn_trailing_line_is_dropped(tmp_path):
+    # A crash mid-append leaves a truncated final line; everything
+    # acknowledged before it must still replay.
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        journal.append({"event": "plan"})
+        journal.append({"event": "lease", "unit": 0})
+    with open(path, "a") as handle:
+        handle.write('{"event": "commit", "unit": 0, "outc')
+    events = read_events(path)
+    assert [e["event"] for e in events] == ["plan", "lease"]
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    # Corruption *before* the last line is not a torn write — it means
+    # the file is damaged and silently resuming from it would lose
+    # acknowledged state.
+    path = tmp_path / "j.jsonl"
+    lines = [json.dumps({"event": "plan"}), "garbage {{{",
+             json.dumps({"event": "lease", "unit": 0})]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError):
+        read_events(path)
+
+
+def test_non_object_line_raises(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text('["not", "an", "event"]\n{"event": "plan"}\n')
+    with pytest.raises(ValueError):
+        read_events(path)
+
+
+def test_kind_filter(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        for event in ({"event": "plan"}, {"event": "lease", "unit": 0},
+                      {"event": "commit", "unit": 0, "outcomes": []},
+                      {"event": "lease", "unit": 1}):
+            journal.append(event)
+    leases = read_events(path, kinds=("lease",))
+    assert [e["unit"] for e in leases] == [0, 1]

@@ -1,0 +1,88 @@
+"""Strict fabric wire-protocol parsing: stable codes, no surprises."""
+
+import pytest
+
+from repro.fabric.protocol import (
+    FABRIC_PROTOCOL_VERSION,
+    ProtocolError,
+    parse_commit_request,
+    parse_heartbeat_request,
+    parse_lease_request,
+)
+
+
+def codes(err):
+    return [d["code"] for d in err.value.report.to_dict()["diagnostics"]]
+
+
+def test_lease_happy_path():
+    assert parse_lease_request(
+        {"worker": "w1",
+         "protocol_version": FABRIC_PROTOCOL_VERSION}) == "w1"
+    assert parse_lease_request({"worker": "w1"}) == "w1"   # pin optional
+
+
+def test_lease_rejects_non_object():
+    with pytest.raises(ProtocolError) as err:
+        parse_lease_request(["worker"])
+    assert codes(err) == ["protocol.malformed"]
+
+
+def test_lease_rejects_unknown_fields():
+    with pytest.raises(ProtocolError) as err:
+        parse_lease_request({"worker": "w1", "wrokre": "oops"})
+    assert "protocol.unknown_field" in codes(err)
+
+
+def test_lease_rejects_version_mismatch():
+    with pytest.raises(ProtocolError) as err:
+        parse_lease_request({"worker": "w1", "protocol_version": 99})
+    assert "protocol.version_mismatch" in codes(err)
+
+
+@pytest.mark.parametrize("worker", [None, "", 7, ["w1"]])
+def test_lease_rejects_bad_worker(worker):
+    with pytest.raises(ProtocolError) as err:
+        parse_lease_request({"worker": worker})
+    assert "protocol.bad_field" in codes(err)
+
+
+def test_heartbeat_happy_path():
+    assert parse_heartbeat_request({"worker": "w1", "unit": 2},
+                                   unit_count=3) == ("w1", 2)
+
+
+@pytest.mark.parametrize("unit", [-1, 3, "1", 1.0, True, None])
+def test_heartbeat_rejects_bad_unit(unit):
+    with pytest.raises(ProtocolError) as err:
+        parse_heartbeat_request({"worker": "w1", "unit": unit},
+                                unit_count=3)
+    assert "protocol.bad_field" in codes(err)
+
+
+def test_commit_happy_path():
+    worker, unit, outcomes = parse_commit_request(
+        {"worker": "w1", "unit": 0, "outcomes": [{"status": "ok"}]},
+        unit_count=1)
+    assert (worker, unit) == ("w1", 0)
+    assert outcomes == [{"status": "ok"}]
+
+
+@pytest.mark.parametrize("outcomes", [None, [], {"status": "ok"},
+                                      [{"status": "ok"}, "not-a-dict"]])
+def test_commit_rejects_bad_outcomes(outcomes):
+    with pytest.raises(ProtocolError) as err:
+        parse_commit_request(
+            {"worker": "w1", "unit": 0, "outcomes": outcomes},
+            unit_count=1)
+    assert "protocol.bad_field" in codes(err)
+
+
+def test_commit_reports_every_problem_at_once():
+    with pytest.raises(ProtocolError) as err:
+        parse_commit_request(
+            {"worker": "", "unit": 9, "outcomes": [], "extra": 1},
+            unit_count=1)
+    found = codes(err)
+    assert "protocol.unknown_field" in found
+    assert found.count("protocol.bad_field") == 3

@@ -74,3 +74,68 @@ class TestResultCache:
         assert cache.clear() == 2
         assert cache.get("11" * 32) is None
         assert cache.clear() == 0
+
+
+class TestPrune:
+    def test_empty_cache(self, tmp_path):
+        report = ResultCache(tmp_path / "cache").prune()
+        assert report == {"scanned": 0, "removed": 0, "kept": 0,
+                          "reclaimed_bytes": 0}
+
+    def test_keeps_live_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        for fingerprint in ("11" * 32, "22" * 32):
+            cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        report = cache.prune()
+        assert report["scanned"] == 2
+        assert report["kept"] == 2
+        assert report["removed"] == 0
+        assert report["reclaimed_bytes"] == 0
+        assert cache.get("11" * 32) is not None
+
+    def test_removes_stale_format_version(self, tmp_path):
+        # A planted previous-format entry (version N-1 envelopes had no
+        # code/encoding fingerprints at all) is reclaimed; the live
+        # entry survives and keeps serving.
+        cache = ResultCache(tmp_path / "cache")
+        live, stale = "11" * 32, "44" * 32
+        cache.put(live, _outcome(live).to_dict())
+        path = cache._path(stale)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        planted = {"version": CACHE_FORMAT_VERSION - 1,
+                   "fingerprint": stale,
+                   "outcome": _outcome(stale).to_dict()}
+        path.write_text(json.dumps(planted))
+        size = path.stat().st_size
+
+        report = cache.prune()
+        assert report["scanned"] == 2
+        assert report["kept"] == 1
+        assert report["removed"] == 1
+        assert report["reclaimed_bytes"] == size
+        assert not path.exists()
+        assert cache.get(live) is not None
+
+    def test_removes_corrupt_and_foreign_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        results = tmp_path / "cache" / "results" / "zz"
+        results.mkdir(parents=True)
+        (results / "corrupt.json").write_text("{ not json")
+        (results / "foreign.json").write_text(json.dumps(["not", "an",
+                                                          "envelope"]))
+        report = cache.prune()
+        assert report["removed"] == 2
+        assert report["reclaimed_bytes"] > 0
+        assert list(results.glob("*.json")) == []
+
+    def test_removes_wrong_code_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        fingerprint = "55" * 32
+        cache.put(fingerprint, _outcome(fingerprint).to_dict())
+        path = cache._path(fingerprint)
+        envelope = json.loads(path.read_text())
+        envelope["code"] = "0" * 64      # a different install wrote it
+        path.write_text(json.dumps(envelope))
+        report = cache.prune()
+        assert report["removed"] == 1
+        assert not path.exists()

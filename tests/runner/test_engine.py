@@ -57,6 +57,14 @@ def _always_crash(payload):
     os._exit(1)
 
 
+def _study2_crashes(payload):
+    """Crash 5bus-study2's worker; the other unit is slow but fine."""
+    if payload["spec"]["case"].endswith("study2"):
+        os._exit(1)
+    time.sleep(1.0)
+    return _stub_outcome(payload)
+
+
 def _sleep_forever(payload):
     time.sleep(2.0)
     return _stub_outcome(payload)
@@ -185,6 +193,21 @@ class TestParallel:
         trace = engine.run(_fast_specs())
         assert [o.status for o in trace.outcomes] == [OK, OK]
         assert all(o.attempts == 2 for o in trace.outcomes)
+
+    def test_collateral_pool_breakage_is_not_a_conviction(self,
+                                                          tmp_path):
+        # One crashing worker breaks the shared pool and fails every
+        # in-flight future; with the retry budget exhausted (retries=0)
+        # the innocent unit — mid-sleep when the pool broke — must be
+        # cleared by its isolated dispatch, not recorded as crashed.
+        engine = SweepEngine(
+            SweepConfig(workers=2, retries=0, use_cache=False),
+            task=_study2_crashes)
+        trace = engine.run(_fast_specs())
+        by_case = {o.spec.label.split("/")[0]: o
+                   for o in trace.outcomes}
+        assert by_case["5bus-study1"].status == OK
+        assert by_case["5bus-study2"].status == CRASHED
 
     def test_crash_after_retries_is_recorded(self, tmp_path):
         engine = SweepEngine(

@@ -136,6 +136,48 @@ def test_retry_after_hint_honoured_but_capped():
     assert client.delays[1] <= 3.0 * 1.0 + 0.02   # capped, not 9999
 
 
+def test_retry_after_http_date_form_honoured():
+    # RFC 7231 allows an HTTP-date; ~4 seconds in the future should
+    # dominate a tiny computed backoff (and still respect the cap).
+    from datetime import datetime, timedelta, timezone
+    from email.utils import format_datetime
+    when = format_datetime(datetime.now(timezone.utc)
+                           + timedelta(seconds=4))
+    client = ScriptedClient(
+        [{"_status": 503, "error": "draining", "_retry_after": when},
+         ok()],
+        retries=2, backoff_seconds=0.001, retry_after_cap=10.0)
+    client.request("POST", "/v1/analyze", {})
+    assert 2.0 <= client.delays[0] <= 4.5
+
+
+def test_retry_after_garbage_falls_back_to_backoff():
+    # Neither delta-seconds nor a parseable HTTP-date: the hint is
+    # ignored and the computed backoff applies — never an exception.
+    client = ScriptedClient(
+        [{"_status": 429, "error": "queue_full",
+          "_retry_after": "soonish, promise"},
+         {"_status": 429, "error": "queue_full",
+          "_retry_after": "Wed, 99 Nonsense 10101"},
+         ok()],
+        retries=5, backoff_seconds=0.1, backoff_cap=10.0)
+    client.request("POST", "/v1/analyze", {})
+    for i, delay in enumerate(client.delays):
+        base = 0.1 * (2 ** i)
+        assert base * 0.5 <= delay < base * 1.5
+
+
+def test_retry_after_http_date_in_the_past_is_zero():
+    client = ScriptedClient(
+        [{"_status": 503, "error": "draining",
+          "_retry_after": "Mon, 01 Jan 2001 00:00:00 GMT"},
+         ok()],
+        retries=2, backoff_seconds=0.1)
+    client.request("POST", "/v1/analyze", {})
+    # A past date hints 0 seconds; computed backoff still applies.
+    assert 0.05 <= client.delays[0] < 0.15
+
+
 def test_base_url_parsing():
     client = ServiceClient("http://10.1.2.3:8080")
     assert (client.host, client.port) == ("10.1.2.3", 8080)

@@ -191,6 +191,46 @@ def test_stop_fails_pending_jobs_cleanly(supervisor_factory):
         assert job.failure is not None or job.result is not None
 
 
+def test_backoff_resets_after_healthy_interval(tmp_path,
+                                               supervisor_factory):
+    path = plan_file(tmp_path, {
+        "boom": Fault(kind=CRASH_WORKER, times=1)})
+    supervisor = supervisor_factory(workers=1, fault_plan=path,
+                                    healthy_reset=0.3)
+    job = supervisor.wait(supervisor.submit(request_for("boom")))
+    assert job.failure is None
+    handle = supervisor._workers[0]
+    assert handle.restarts == 1
+    assert handle.backoff_level == 1
+
+    # Prove the replacement healthy, then outlive healthy_reset: the
+    # backoff *level* is forgiven while the lifetime restarts counter
+    # (an observability total, not a policy input) is untouched.
+    steady = supervisor.wait(supervisor.submit(request_for("steady")))
+    assert steady.failure is None
+    deadline = time.monotonic() + 10.0
+    while handle.backoff_level != 0 and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert handle.backoff_level == 0
+    assert handle.restarts == 1
+    assert supervisor.healthz()["restarts"] == 1
+
+
+def test_backoff_level_untouched_before_healthy_interval(
+        tmp_path, supervisor_factory):
+    path = plan_file(tmp_path, {
+        "boom": Fault(kind=CRASH_WORKER, times=1)})
+    supervisor = supervisor_factory(workers=1, fault_plan=path,
+                                    healthy_reset=3600.0)
+    job = supervisor.wait(supervisor.submit(request_for("boom")))
+    assert job.failure is None
+    handle = supervisor._workers[0]
+    steady = supervisor.wait(supervisor.submit(request_for("steady")))
+    assert steady.failure is None
+    time.sleep(0.3)     # several supervisor loop ticks
+    assert handle.backoff_level == 1
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         Supervisor(ServiceConfig(workers=0))
