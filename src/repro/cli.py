@@ -42,6 +42,11 @@ EXIT_DEGENERATE_CASE = 4
 #: ``sweep`` was interrupted (SIGINT/SIGTERM) after checkpointing the
 #: completed cells; re-running the same sweep resumes from the cache.
 EXIT_INTERRUPTED = 5
+#: the guarded linear-algebra layer refused to return an unverified
+#: result (``analyze``/``maximize``): the verdict is *withheld*, not
+#: unsat — distinct from exit 1 so scripts never read a numeric refusal
+#: as a proven absence of attacks.
+EXIT_NUMERICAL_UNSTABLE = 6
 
 
 def _load_case(args) -> CaseDefinition:
@@ -133,6 +138,8 @@ def _cmd_analyze(args) -> int:
         return EXIT_INVALID_INPUT
     if report.status == "degenerate_case":
         return EXIT_DEGENERATE_CASE
+    if report.status == "numerical_unstable":
+        return EXIT_NUMERICAL_UNSTABLE
     return 0 if report.satisfiable else 1
 
 
@@ -239,6 +246,8 @@ def _cmd_maximize(args) -> int:
         return EXIT_INVALID_INPUT
     if result.status == "degenerate_case":
         return EXIT_DEGENERATE_CASE
+    if result.status == "numerical_unstable":
+        return EXIT_NUMERICAL_UNSTABLE
     return 0 if result.is_definitive and result.satisfiable else 1
 
 
@@ -312,11 +321,18 @@ def _cmd_defend(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    from repro.testing.fuzz import fuzz_bundled_case
-    report = fuzz_bundled_case(
-        args.case, seed=args.seed, iterations=args.iterations,
-        analyzer=args.analyzer, max_mutations=args.max_mutations,
-        time_limit=args.time_limit)
+    if args.degenerate:
+        from repro.testing.degenerate import fuzz_degenerate_case
+        report = fuzz_degenerate_case(
+            args.case, seed=args.seed, iterations=args.iterations,
+            max_mutations=args.max_mutations,
+            time_limit=args.time_limit)
+    else:
+        from repro.testing.fuzz import fuzz_bundled_case
+        report = fuzz_bundled_case(
+            args.case, seed=args.seed, iterations=args.iterations,
+            analyzer=args.analyzer, max_mutations=args.max_mutations,
+            time_limit=args.time_limit)
     print(report.render())
     return 0 if report.ok else 1
 
@@ -424,6 +440,10 @@ def _print_sweep_results(sweep, cell_count: int,
         print(f"preflight      : {totals['invalid_input']} invalid "
               f"input(s), {totals['degenerate_case']} degenerate "
               f"case(s) rejected before analysis")
+    if totals.get("numerical_unstable"):
+        print(f"numerics       : {totals['numerical_unstable']} cell(s) "
+              f"degraded to numerical_unstable (verdict withheld; see "
+              f"the trace diagnostics)")
     if trace_path:
         path = sweep.write(trace_path)
         print(f"trace written  : {path}")
@@ -438,11 +458,12 @@ def _strict_failures(sweep, self_check: bool) -> int:
         o for o in sweep.outcomes
         if o.status in ("error", "unknown", "timeout", "crashed",
                         "certificate_error", "invalid_input",
-                        "degenerate_case")
+                        "degenerate_case", "numerical_unstable")
         or o.cache_write_error is not None
         or (self_check and o.certified is not True
             and o.status not in ("invalid_input",
-                                 "degenerate_case"))])
+                                 "degenerate_case",
+                                 "numerical_unstable"))])
 
 
 def _cmd_sweep(args) -> int:
@@ -851,6 +872,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--time-limit", type=float, default=None,
                       help="abort (exit 1) if the run exceeds this many "
                            "seconds")
+    fuzz.add_argument("--degenerate", action="store_true",
+                      help="fuzz case numerics instead of case text: "
+                           "seeded ill-conditioned mutants (near-"
+                           "singular B, extreme admittance ratios, "
+                           "near-redundant measurements) checked for "
+                           "silent float/exact disagreements")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     def add_grid_args(p, trace_default):
@@ -909,8 +936,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 2 when any cell is non-definitive "
                             "(error/unknown/timeout/crashed/"
                             "certificate_error/invalid_input/"
-                            "degenerate_case, or a failed cache "
-                            "write)")
+                            "degenerate_case/numerical_unstable, or a "
+                            "failed cache write)")
 
     sweep = sub.add_parser(
         "sweep", help="run a (case × target × scenario) grid on the "

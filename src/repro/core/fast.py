@@ -54,6 +54,7 @@ from repro.core.session import AnalysisSession, SearchOutcome, SearchStrategy
 from repro.exceptions import CertificateError
 from repro.grid.caseio import CaseDefinition
 from repro.grid.matrices import state_order, susceptance_matrix
+from repro.numerics import collect_diagnostics, guarded_inverse
 from repro.opf.dcopf import solve_dc_opf
 from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
 from repro.smt.budget import SolverBudget
@@ -87,6 +88,16 @@ class FastQuery:
     #: bounded single-line search, so there is nothing to certify for it
     #: beyond "no check failed" — see the report's ``certified`` field.
     self_check: Optional[bool] = None
+    #: Eq. 37 guard band (percentage points): when the best candidate's
+    #: float cost increase lands within this band of the target, the
+    #: verdict is not trusted to floating point — the believed OPF is
+    #: re-solved on the exact rational path and the threshold comparison
+    #: decided in Fractions (boundary escalation, noted on the report).
+    #: The default is wide enough to cover the ``_CERT_REL_TOL`` slack
+    #: region (1e-6 relative on cost is ~1e-4 percentage points), so a
+    #: threshold replayed from an exact believed cost still escalates
+    #: instead of being decided by the last bits of a float compare.
+    escalation_band: float = 5e-4
 
 
 class FastSearchStrategy(SearchStrategy):
@@ -157,28 +168,55 @@ class FastSearchStrategy(SearchStrategy):
                       for i in self.attacker.exclusion_candidates()]
         candidates += [("include", i)
                        for i in self.attacker.inclusion_candidates()]
-        for kind, line_index in candidates:
-            if budget is not None and budget.exhausted():
-                status = "budget_exhausted"
-                budget_reason = budget.exhausted_reason
-                break
-            evaluation = self._evaluate_candidate(
-                kind, line_index, threshold, query)
-            self.evaluations.append(evaluation)
-            session.record_candidate()
-            if evaluation.best_increase_percent is None:
-                continue
-            if best is None or (evaluation.best_increase_percent
-                                > best.best_increase_percent):
-                best = evaluation
+        with collect_diagnostics() as search_warnings:
+            for kind, line_index in candidates:
+                if budget is not None and budget.exhausted():
+                    status = "budget_exhausted"
+                    budget_reason = budget.exhausted_reason
+                    break
+                evaluation = self._evaluate_candidate(
+                    kind, line_index, threshold, query)
+                self.evaluations.append(evaluation)
+                session.record_candidate()
+                if evaluation.best_increase_percent is None:
+                    continue
+                if best is None or (evaluation.best_increase_percent
+                                    > best.best_increase_percent):
+                    best = evaluation
 
         # The threshold encodes the target exactly, so this float equals
         # the query's target percentage bit-for-bit.
         target = float((threshold / self._base_cost - 1) * 100)
         # Eq. 37 boundary semantics: reaching the target exactly counts.
-        if best is not None and best.best_increase_percent >= target:
-            believed_min = self._base_cost * to_fraction(
-                1 + best.best_increase_percent / 100)
+        satisfiable = best is not None \
+            and best.best_increase_percent >= target
+        believed_min: Optional[Fraction] = None
+        in_band = best is not None \
+            and abs(best.best_increase_percent - target) \
+            <= query.escalation_band
+        # A verdict computed under ill-conditioning warnings (from the
+        # per-case PTDF build or this search's guarded solves) is never
+        # trusted either, no matter how far from the boundary it lands.
+        suspect = bool(search_warnings) or session.numerically_suspect
+        if best is not None and (in_band or suspect):
+            # Escalation: the float verdict either sits inside the guard
+            # band around the Eq. 37 threshold or was computed on shaky
+            # numerics, so it is re-decided on the exact path instead of
+            # trusting the last few bits of a float comparison.
+            exact = self._exact_verdict(best, threshold)
+            if exact is None:
+                satisfiable = False
+            else:
+                satisfiable, believed_min = exact
+            session.note_boundary_escalation(
+                best.kind, best.line_index, best.best_increase_percent,
+                target, satisfiable,
+                trigger=None if in_band else
+                "was computed under ill-conditioning warnings")
+        if satisfiable:
+            if believed_min is None:
+                believed_min = self._base_cost * to_fraction(
+                    1 + best.best_increase_percent / 100)
             from repro.core.encoding import AttackVectorSolution
             solution = AttackVectorSolution(
                 excluded=[best.line_index] if best.kind == "exclude" else [],
@@ -204,6 +242,36 @@ class FastSearchStrategy(SearchStrategy):
                                        outcome.believed_min, threshold)
         self.session.merge_cert_stats(stats)
 
+    def _exact_verdict(self, best: CandidateEvaluation,
+                       threshold: Fraction
+                       ) -> Optional[Tuple[bool, Fraction]]:
+        """Re-decide an Eq. 37 boundary verdict on the exact path.
+
+        The best candidate's believed OPF is re-solved with the angle
+        formulation — exact rational simplex up to 30 buses, mirroring
+        the certified-mode method split — and the threshold comparison
+        happens in Fractions, with the same :data:`_CERT_REL_TOL`
+        relative slack the certified recheck applies (the candidate's
+        loads travelled through the float PTDF pipeline, so demanding
+        bit-exact threshold attainment would flip verdicts that
+        certification itself accepts).  Returns ``(satisfiable,
+        believed_cost)``, or None when the believed OPF is infeasible
+        on the independent path (the candidate is then not trusted:
+        verdict falls to unsat).
+        """
+        loads = {bus: to_fraction(round(value, 6))
+                 for bus, value in best.believed_loads.items()}
+        topology = self._believed_topology(best.kind, best.line_index)
+        method = "exact" if self.grid.num_buses <= 30 else "highs"
+        result = solve_dc_opf(self.grid, loads=loads,
+                              line_indices=topology, method=method)
+        if not result.feasible:
+            return None
+        satisfiable = result.cost >= threshold \
+            or float(result.cost) \
+            >= float(threshold) * (1 - _CERT_REL_TOL) - 1e-9
+        return bool(satisfiable), to_fraction(result.cost)
+
     # ------------------------------------------------------------------
     # Trace hooks
     # ------------------------------------------------------------------
@@ -216,6 +284,10 @@ class FastSearchStrategy(SearchStrategy):
                 "encode_seconds": 0.0}
 
     def opf_trace(self) -> Dict:
+        if self._sf_opf is None:
+            # prepare() degraded before the PTDF pipeline existed (e.g.
+            # a numerically unstable susceptance matrix): no solves ran.
+            return {"solves": 0, "seconds": 0.0}
         return {"solves": self._sf_opf.solve_calls - self._opf_calls_before,
                 "seconds": (self._sf_opf.solve_seconds
                             - self._opf_seconds_before)}
@@ -388,8 +460,10 @@ class FastSearchStrategy(SearchStrategy):
             line = grid.line(line_index)
             ref = grid.reference_bus - 1
             keep = [i for i in range(grid.num_buses) if i != ref]
-            B_inv = np.linalg.inv(susceptance_matrix(
-                grid, self.base_topology, reduced=True))
+            B_inv = guarded_inverse(
+                susceptance_matrix(grid, self.base_topology,
+                                   reduced=True),
+                context="would-be-flow base susceptance matrix")
             e = np.zeros(grid.num_buses)
             e[line.from_bus - 1] += 1.0
             e[line.to_bus - 1] -= 1.0

@@ -86,10 +86,16 @@ class ImpactReport:
     #: deliberately never conflated with sat/unsat.  ``"invalid_input"``
     #: / ``"degenerate_case"`` when preflight validation rejected the
     #: case before any encoding: ``diagnostics`` lists the findings and
-    #: no analysis happened at all.
+    #: no analysis happened at all.  ``"numerical_unstable"`` when the
+    #: guarded linear-algebra layer refused to return an unverified
+    #: result (ill-conditioned matrices, unverifiable solves): like
+    #: ``budget_exhausted`` this is a *degradation*, not a bug — the
+    #: verdict is withheld, never conflated with a proven unsat.
     status: str = "complete"
     #: which budget limit ran out (None unless ``budget_exhausted``).
     budget_reason: Optional[str] = None
+    #: what the numeric guard refused (None unless ``numerical_unstable``).
+    numeric_reason: Optional[str] = None
     #: True when every answer behind this report passed its independent
     #: certificate check, False when a check failed (status is then
     #: ``certificate_error``), None when self-check mode was off.
@@ -155,6 +161,12 @@ class ImpactReport:
             if self.certificate_error:
                 lines.append(f"certificate              : "
                              f"{self.certificate_error}")
+        elif self.status == "numerical_unstable":
+            lines.append("verdict                  : "
+                         "numerically unstable (verdict withheld)")
+            if self.numeric_reason:
+                lines.append(f"numeric guard            : "
+                             f"{self.numeric_reason}")
         elif self.is_partial:
             verdict = "sat (partial)" if self.satisfiable \
                 else "unknown (budget exhausted)"

@@ -44,7 +44,13 @@ from fractions import Fraction
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.results import AnalysisTrace, ImpactReport
-from repro.exceptions import BudgetExhausted, CertificateError, ModelError
+from repro.exceptions import (
+    BudgetExhausted,
+    CertificateError,
+    ModelError,
+    NumericalInstability,
+)
+from repro.numerics import collect_diagnostics
 from repro.smt.certificates import (
     CheckReport,
     self_check_default,
@@ -52,12 +58,20 @@ from repro.smt.certificates import (
     verify_unsat,
 )
 from repro.smt.rational import to_fraction
-from repro.validation import FATAL, WARNING, ValidationReport, validate_case
+from repro.validation import (
+    DEGRADED,
+    FATAL,
+    WARNING,
+    ValidationReport,
+    validate_case,
+)
 
 #: cap on the per-check event list kept in the trace (counters are exact).
 _MAX_CERT_EVENTS = 200
 #: cap on the per-run "candidate islands the network" notes recorded.
 _MAX_ISLANDING_NOTES = 3
+#: cap on the per-run numeric warning / escalation notes recorded.
+_MAX_NUMERIC_NOTES = 3
 
 
 @dataclass
@@ -165,17 +179,32 @@ class AnalysisSession:
         self._cert_stats: Dict = {}
         self.candidates_examined = 0
         self._best_seen: Optional[Tuple[Any, Fraction]] = None
+        self._boundary_escalations = 0
+        #: guarded linear algebra refused the case's base matrices; every
+        #: :meth:`analyze` call degrades to ``numerical_unstable``.
+        self._numeric_failure: Optional[NumericalInstability] = None
+        self._prepare_numeric_warnings = 0
         strategy.bind(self)
         if self._rejection is None:
             try:
-                self.grid = case.build_grid()
-                strategy.prepare()
+                with collect_diagnostics() as numeric_notes:
+                    self.grid = case.build_grid()
+                    strategy.prepare()
+                self._note_numeric_warnings(numeric_notes,
+                                            sink=self.preflight)
+                self._prepare_numeric_warnings = len(numeric_notes)
             except ModelError as exc:
                 # Safety net: preflight models the Grid invariants at the
                 # spec level, but a construction failure it missed must
                 # still reject, not crash.
                 self.preflight.add("case.model_error", FATAL, str(exc))
                 self._rejection = self.preflight.fatal_status()
+            except NumericalInstability as exc:
+                # The base topology's matrices are too ill-conditioned to
+                # trust (near-singular B, pathological admittance spread).
+                # Not a modelling error: the case is well-formed, the
+                # arithmetic just cannot be verified at this precision.
+                self._numeric_failure = exc
 
     # ------------------------------------------------------------------
     # Threshold derivation and rejection
@@ -188,6 +217,18 @@ class AnalysisSession:
     @property
     def certify_enabled(self) -> bool:
         return self._certify
+
+    @property
+    def numerically_suspect(self) -> bool:
+        """Did guarded linear algebra warn while preparing this case?
+
+        Warn-band findings (condition/residual past *warn* but under
+        *fail*) don't degrade the analysis, but a float verdict built on
+        them should not be trusted unverified — the fast strategy uses
+        this to escalate its verdict to the exact path even when the
+        result lands far from the Eq. 37 boundary.
+        """
+        return self._prepare_numeric_warnings > 0
 
     def base_cost(self) -> Fraction:
         return self.strategy.base_cost()
@@ -224,6 +265,9 @@ class AnalysisSession:
             return ImpactReport.rejected(
                 self.preflight, percent,
                 elapsed_seconds=time.perf_counter() - started)
+        if self._numeric_failure is not None:
+            return self._numeric_report(
+                None, percent, started, self._numeric_failure)
         try:
             threshold = self.threshold_for(percent)
         except ModelError as exc:
@@ -231,27 +275,36 @@ class AnalysisSession:
             return ImpactReport.rejected(
                 self.preflight, percent,
                 elapsed_seconds=time.perf_counter() - started)
+        except NumericalInstability as exc:
+            return self._numeric_report(None, percent, started, exc)
         self.strategy.validate_query(query)
 
         self._certify = self_check_default(query.self_check)
         self._cert_stats = self._fresh_cert_stats()
         self.candidates_examined = 0
         self._best_seen = None
+        self._boundary_escalations = 0
         budget = query.budget
         if budget is not None:
             budget.start()
-        self.strategy.begin(query, threshold)
 
-        try:
-            outcome = self.strategy.search(query, threshold)
-            if outcome.satisfiable and self._certify:
-                self.strategy.certify_outcome(outcome, threshold)
-        except BudgetExhausted as exc:
-            outcome = SearchOutcome(status="budget_exhausted",
-                                    budget_reason=exc.reason)
-        except CertificateError as exc:
-            return self._certificate_error_report(
-                threshold, percent, started, str(exc))
+        with collect_diagnostics() as numeric_notes:
+            self.strategy.begin(query, threshold)
+            try:
+                outcome = self.strategy.search(query, threshold)
+                if outcome.satisfiable and self._certify:
+                    self.strategy.certify_outcome(outcome, threshold)
+            except BudgetExhausted as exc:
+                outcome = SearchOutcome(status="budget_exhausted",
+                                        budget_reason=exc.reason)
+            except NumericalInstability as exc:
+                self._note_numeric_warnings(numeric_notes)
+                return self._numeric_report(threshold, percent, started, exc)
+            except CertificateError as exc:
+                self._note_numeric_warnings(numeric_notes)
+                return self._certificate_error_report(
+                    threshold, percent, started, str(exc))
+        self._note_numeric_warnings(numeric_notes)
         return self._outcome_report(outcome, threshold, percent, started)
 
     def solve_at(self, percent=None, **attrs) -> ImpactReport:
@@ -295,6 +348,58 @@ class AnalysisSession:
             f"included={included}) islands the believed "
             f"topology; candidate pruned", components,
             hint="the EMS's OPF has no solution on this view")
+
+    def note_boundary_escalation(self, kind: str, line_index: int,
+                                 float_increase: float, target: float,
+                                 satisfiable: bool,
+                                 trigger: Optional[str] = None) -> None:
+        """Record that a float verdict was not trusted and was
+        re-derived on the exact path.
+
+        ``trigger`` names why (defaults to the Eq. 37 guard band; the
+        other trigger is ill-conditioning warnings during analysis).
+        The invariant the degeneracy fuzzer pins: the fast and exact
+        analyzers never *silently* disagree — an untrusted verdict is
+        either escalated (this note) or degraded to
+        ``numerical_unstable``.
+        """
+        self._boundary_escalations += 1
+        notes = [d for d in self._run_notes.diagnostics
+                 if d.code == "numeric.boundary_escalated"]
+        if len(notes) >= _MAX_NUMERIC_NOTES:
+            return
+        why = trigger or (f"lies within the guard band of the Eq. 37 "
+                          f"target {target:.12g}%")
+        self._run_notes.add(
+            "numeric.boundary_escalated", WARNING,
+            f"candidate ({kind} line {line_index}) float cost increase "
+            f"{float_increase:.12g}% {why}; verdict re-derived on the "
+            f"exact OPF path ({'sat' if satisfiable else 'unsat'})",
+            [f"line:{line_index}"],
+            hint="untrusted float verdicts are decided in exact "
+                 "arithmetic, never by float comparison")
+
+    def _note_numeric_warnings(self, diagnostics,
+                               sink: Optional[ValidationReport] = None
+                               ) -> None:
+        """Convert guarded-linalg warning diagnostics into run notes.
+
+        Warnings (condition or residual past the *warn* threshold but
+        under *fail*) degrade nothing — the solves were verified — but
+        they belong in the report so an operator sees the case is near
+        the cliff.  Capped like the islanding notes.
+        """
+        sink = sink if sink is not None else self._run_notes
+        for diagnostic in diagnostics:
+            notes = [d for d in sink.diagnostics
+                     if d.code == "numeric.ill_conditioned"]
+            if len(notes) >= _MAX_NUMERIC_NOTES:
+                return
+            sink.add(
+                "numeric.ill_conditioned", WARNING, diagnostic.render(),
+                hint="condition/residual warning from the guarded "
+                     "linear-algebra layer; results verified but close "
+                     "to the failure thresholds")
 
     def record_candidate(self) -> None:
         """Count one evaluated candidate toward ``candidates_examined``."""
@@ -396,6 +501,7 @@ class AnalysisSession:
                 "encodings_built": int(info.get("encodings_built", 0)),
                 "encode_seconds": encode_seconds,
                 "solve_seconds": max(elapsed - encode_seconds, 0.0),
+                "boundary_escalations": self._boundary_escalations,
             })
 
     def _outcome_report(self, outcome: SearchOutcome, threshold: Fraction,
@@ -423,6 +529,39 @@ class AnalysisSession:
             status=outcome.status,
             budget_reason=outcome.budget_reason,
             certified=True if self._certify else None,
+            diagnostics=self._diagnostics())
+
+    def _numeric_report(self, threshold: Optional[Fraction],
+                        percent: Fraction, started: float,
+                        exc: NumericalInstability) -> ImpactReport:
+        """Guarded linear algebra refused the run: degrade, don't guess.
+
+        ``satisfiable`` is False but ``status="numerical_unstable"``
+        marks the verdict as *absent*, exactly like ``budget_exhausted``
+        marks it partial — callers must never read it as a proven unsat.
+        A ``None`` threshold means the failure predates threshold
+        derivation (the base matrices themselves were refused).
+        """
+        self._run_notes.add(
+            "numeric.unstable", DEGRADED, str(exc),
+            hint="guarded linear algebra refused to return an "
+                 "unverified result; verdict withheld (see the "
+                 "numerical-integrity thresholds)")
+        base = Fraction(0)
+        if self.grid is not None:
+            try:
+                base = self.base_cost()
+            except (ModelError, NumericalInstability):
+                pass
+        return ImpactReport(
+            False, base, threshold if threshold is not None else base,
+            percent,
+            candidates_examined=self.candidates_examined,
+            elapsed_seconds=time.perf_counter() - started,
+            solver_calls=self.strategy.solver_calls(),
+            trace=self._trace(started),
+            status="numerical_unstable",
+            numeric_reason=exc.reason,
             diagnostics=self._diagnostics())
 
     def _certificate_error_report(self, threshold, percent, started,

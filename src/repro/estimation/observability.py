@@ -17,23 +17,28 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
-import numpy as np
-
 from repro.estimation.measurement import MeasurementPlan, MeasurementType
 from repro.grid.matrices import measurement_matrix
 from repro.grid.network import Grid
+from repro.numerics import guarded_rank
 
 
 def is_numerically_observable(plan: MeasurementPlan,
                               topology: Optional[Iterable[int]] = None,
                               taken: Optional[Iterable[int]] = None) -> bool:
-    """Rank test: do the taken measurements determine all states?"""
+    """Rank test: do the taken measurements determine all states?
+
+    Uses the guarded, matrix-scaled rank so a *near*-rank-deficient
+    configuration (which would estimate garbage) reads as unobservable
+    instead of slipping past numpy's machine-epsilon tolerance.
+    """
     grid = plan.grid
     taken_list = sorted(taken) if taken is not None else plan.taken_indices()
     if not taken_list:
         return grid.num_buses <= 1
     H = measurement_matrix(grid, topology)[[i - 1 for i in taken_list], :]
-    return int(np.linalg.matrix_rank(H)) == grid.num_buses - 1
+    rank = guarded_rank(H, context="measurement matrix")
+    return rank == grid.num_buses - 1
 
 
 def observable_islands(plan: MeasurementPlan,

@@ -20,6 +20,7 @@ from repro.exceptions import ModelError, NotObservableError
 from repro.estimation.measurement import MeasurementPlan
 from repro.grid.matrices import measurement_matrix, state_order
 from repro.grid.network import Grid
+from repro.numerics import GuardedFactorization, guarded_rank
 
 
 @dataclass
@@ -74,19 +75,26 @@ class WlsEstimator:
             raise ModelError("one weight per taken measurement required")
         self.W = np.diag(weights)
         gain = self.H.T @ self.W @ self.H
-        rank = np.linalg.matrix_rank(gain)
+        # Matrix-scaled rank tolerance: numpy's machine-epsilon default
+        # lets near-rank-deficient plans pass observability and then
+        # estimate garbage through a raw inverse of the near-singular
+        # gain matrix.
+        rank = guarded_rank(gain, context="WLS gain matrix")
         if rank < self.grid.num_buses - 1:
             raise NotObservableError(
                 f"measurement set leaves the system unobservable "
                 f"(gain rank {rank} < {self.grid.num_buses - 1})")
-        self._gain_inv = np.linalg.inv(gain)
+        self._gain = GuardedFactorization(gain,
+                                          context="WLS gain matrix")
+        self._hat: Optional[np.ndarray] = None
+        self._residual_sensitivity: Optional[np.ndarray] = None
 
     def estimate(self, z: np.ndarray) -> StateEstimate:
         """Run WLS on readings *z* (taken-measurement order)."""
         if len(z) != len(self.taken):
             raise ModelError(
                 f"expected {len(self.taken)} readings, got {len(z)}")
-        x_hat = self._gain_inv @ self.H.T @ self.W @ z
+        x_hat = self._gain.solve(self.H.T @ self.W @ z)
         estimated = self.H @ x_hat
         residual = float(np.linalg.norm(z - estimated))
 
@@ -114,10 +122,19 @@ class WlsEstimator:
 
     @property
     def hat_matrix(self) -> np.ndarray:
-        """K = H (H^T W H)^{-1} H^T W — maps readings to fitted values."""
-        return self.H @ self._gain_inv @ self.H.T @ self.W
+        """K = H (H^T W H)^{-1} H^T W — maps readings to fitted values.
+
+        Computed once through the verified gain factorization (a solve,
+        not the explicit inverse) and cached.
+        """
+        if self._hat is None:
+            self._hat = self.H @ self._gain.solve(self.H.T @ self.W)
+        return self._hat
 
     @property
     def residual_sensitivity(self) -> np.ndarray:
-        """S = I - K — maps readings to residuals."""
-        return np.eye(len(self.taken)) - self.hat_matrix
+        """S = I - K — maps readings to residuals (cached)."""
+        if self._residual_sensitivity is None:
+            self._residual_sensitivity = \
+                np.eye(len(self.taken)) - self.hat_matrix
+        return self._residual_sensitivity

@@ -49,6 +49,27 @@ class BudgetExhausted(ReproError):
         self.reason = reason
 
 
+class NumericalInstability(ReproError):
+    """Guarded linear algebra refused to return an unverified result.
+
+    Raised by :mod:`repro.numerics` when a factorization meets a
+    (near-)singular matrix, a condition-number estimate exceeds the
+    policy's fail threshold, or a verified solve's residual cannot be
+    driven below tolerance.  Like :class:`BudgetExhausted` this is a
+    *degradation*, not a bug: analysis layers catch it and surface a
+    ``numerical_unstable`` status instead of reporting a verdict
+    computed from silently-garbage floating point.
+    """
+
+    def __init__(self, reason: str = "numerically unstable computation",
+                 diagnostic=None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        #: the :class:`repro.numerics.NumericalDiagnostic` that tripped
+        #: the fail threshold (None when raised without one).
+        self.diagnostic = diagnostic
+
+
 class CertificateError(ReproError):
     """An answer failed its independent certificate check.
 

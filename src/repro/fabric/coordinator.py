@@ -63,6 +63,7 @@ from repro.runner.spec import ScenarioSpec
 from repro.runner.trace import (
     CRASHED,
     ERROR,
+    NUMERICAL_UNSTABLE,
     OK,
     REJECTED_STATUSES,
     ScenarioOutcome,
@@ -480,7 +481,8 @@ class Coordinator:
         for idx, outcome in zip(indices, outcomes):
             fingerprint = self.plan.fingerprints[idx]
             cacheable = outcome.status == OK \
-                or outcome.status in REJECTED_STATUSES
+                or outcome.status in REJECTED_STATUSES \
+                or outcome.status == NUMERICAL_UNSTABLE
             if cacheable and fingerprint:
                 self.cache.try_put(fingerprint, outcome.to_dict())
 

@@ -46,7 +46,8 @@ from repro.runner.engine import (
     verify_cached_outcome,
 )
 from repro.runner.spec import ScenarioSpec
-from repro.runner.trace import OK, REJECTED_STATUSES, ScenarioOutcome
+from repro.runner.trace import NUMERICAL_UNSTABLE, OK, \
+    REJECTED_STATUSES, ScenarioOutcome
 from repro.service.client import ServiceClient, ServiceError, \
     ServiceUnavailable
 from repro.smt.certificates import self_check_default
@@ -278,7 +279,8 @@ class FabricWorker:
             return
         for fingerprint, outcome in zip(fingerprints, outcomes):
             cacheable = outcome.status == OK \
-                or outcome.status in REJECTED_STATUSES
+                or outcome.status in REJECTED_STATUSES \
+                or outcome.status == NUMERICAL_UNSTABLE
             if cacheable and fingerprint and not outcome.cache_hit:
                 error = self.cache.try_put(fingerprint,
                                            outcome.to_dict())

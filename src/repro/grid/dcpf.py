@@ -21,6 +21,7 @@ from repro.grid.matrices import (
     susceptance_matrix,
 )
 from repro.grid.network import Grid
+from repro.numerics import guarded_solve
 
 
 @dataclass
@@ -86,7 +87,9 @@ def solve_dc_power_flow(grid: Grid,
     keep = [i for i in range(grid.num_buses) if i != ref]
     B = susceptance_matrix(grid, lines, reduced=True)
     try:
-        theta_reduced = np.linalg.solve(B, injections[keep])
+        theta_reduced = guarded_solve(B, injections[keep],
+                                      context="DC power flow "
+                                              "susceptance matrix")
     except np.linalg.LinAlgError as exc:
         raise ModelError(f"singular susceptance matrix: {exc}") from exc
 

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, NumericalInstability
 from repro.grid.matrices import (
     active_lines,
     connectivity_matrix,
@@ -27,6 +27,9 @@ from repro.grid.matrices import (
     susceptance_matrix,
 )
 from repro.grid.network import Grid
+from repro.numerics import WARNING, guarded_inverse
+from repro.numerics.diagnostics import NumericalDiagnostic, emit
+from repro.numerics.policy import default_policy
 
 
 @dataclass
@@ -61,6 +64,38 @@ class SensitivityFactors:
         return float(row[from_bus - 1] - row[to_bus - 1])
 
 
+def _check_admittance_spread(grid: Grid, lines: List[int]) -> None:
+    """Guard the admittance dynamic range of the PTDF pipeline.
+
+    The reduced susceptance matrix can be perfectly conditioned while
+    the flow computation ``D A B^-1`` is still garbage: a line whose
+    admittance is many orders below its neighbours' contributes flows
+    through catastrophic cancellation, invisible to a condition check
+    on ``B`` alone.  The spread ``max|d| / min|d|`` bounds that
+    amplification, so it is held to the same warn/fail thresholds the
+    condition estimates use.
+    """
+    admittances = np.array([abs(float(grid.line(i).admittance))
+                            for i in lines])
+    if admittances.size == 0 or admittances.min() <= 0.0:
+        return  # zero/absent admittances are rejected by the Grid model
+    spread = float(admittances.max() / admittances.min())
+    policy = default_policy()
+    if spread >= policy.condition_fail:
+        raise NumericalInstability(
+            f"admittance spread {spread:.3e} across the active lines "
+            f"exceeds the failure threshold {policy.condition_fail:.1e}: "
+            f"PTDF flows would be dominated by cancellation noise")
+    if spread >= policy.condition_warn:
+        emit(NumericalDiagnostic(
+            operation="factorize", context="PTDF admittance spread",
+            severity=WARNING,
+            detail=f"active-line admittances span {spread:.3e}; "
+                   f"flow sensitivities lose ~{np.log10(spread):.0f} "
+                   f"digits to cancellation",
+            condition=spread))
+
+
 def compute_ptdf(grid: Grid,
                  line_indices: Optional[Iterable[int]] = None
                  ) -> SensitivityFactors:
@@ -68,13 +103,14 @@ def compute_ptdf(grid: Grid,
     lines = active_lines(grid, line_indices)
     if not grid.is_connected(lines):
         raise ModelError("PTDF requires a connected base topology")
+    _check_admittance_spread(grid, lines)
     A = connectivity_matrix(grid, lines)
     D = admittance_matrix(grid, lines)
     B = susceptance_matrix(grid, lines, reduced=True)
     ref = grid.reference_bus - 1
     keep = [i for i in range(grid.num_buses) if i != ref]
     # theta_reduced = B^-1 P_reduced ; flows = D A theta.
-    B_inv = np.linalg.inv(B)
+    B_inv = guarded_inverse(B, context="PTDF base susceptance matrix")
     ptdf = np.zeros((len(lines), grid.num_buses))
     ptdf[:, keep] = (D @ A)[:, keep] @ B_inv
     return SensitivityFactors(grid, lines, ptdf)
@@ -95,8 +131,19 @@ def lodf_column(factors: SensitivityFactors, outaged_line: int) -> np.ndarray:
     phi = factors.ptdf[:, line.from_bus - 1] - factors.ptdf[:, line.to_bus - 1]
     denominator = 1.0 - phi[k]
     if abs(denominator) < 1e-9:
-        raise ModelError(
-            f"line {outaged_line} is a bridge: outage splits the network")
+        remaining = [index for index in factors.lines
+                     if index != outaged_line]
+        if not grid.is_connected(remaining):
+            raise ModelError(
+                f"line {outaged_line} is a bridge: outage splits the "
+                f"network")
+        # Graph-connected, yet the LODF denominator vanished: the rest
+        # of the network holds together only through near-zero
+        # admittance, so the redistribution factors are pure noise.
+        raise NumericalInstability(
+            f"LODF denominator for the line-{outaged_line} outage is "
+            f"{denominator:.3e}: the remaining network is connected "
+            f"only through near-zero admittance")
     column = phi / denominator
     column[k] = -1.0
     return column
@@ -120,7 +167,7 @@ def lcdf_flow(factors: SensitivityFactors, new_line: int,
     ref = grid.reference_bus - 1
     keep = [i for i in range(grid.num_buses) if i != ref]
     B = susceptance_matrix(grid, factors.lines, reduced=True)
-    B_inv = np.linalg.inv(B)
+    B_inv = guarded_inverse(B, context="LCDF base susceptance matrix")
     e = np.zeros(grid.num_buses)
     e[line.from_bus - 1] += 1.0
     e[line.to_bus - 1] -= 1.0

@@ -59,7 +59,7 @@ def solve_dc_opf(grid: Grid,
                  loads: Optional[Dict[int, Fraction]] = None,
                  line_indices: Optional[Iterable[int]] = None,
                  method: str = "exact",
-                 binding_tolerance: float = 1e-7,
+                 binding_tolerance: float = 1e-6,
                  budget: Optional[SolverBudget] = None) -> DcOpfResult:
     """Minimize generation cost subject to the DC network constraints.
 
@@ -72,6 +72,12 @@ def solve_dc_opf(grid: Grid,
         The topology OPF believes (defaults to in-service lines) — the
         believed view from the topology processor, *not* necessarily the
         physical truth.
+    binding_tolerance:
+        Absolute slack under which a line's capacity constraint counts
+        as binding.  Applied verbatim by *both* solution paths (the
+        shift-factor OPF uses the same default), so exact and HiGHS
+        runs report identical binding sets away from the tolerance
+        boundary.
     budget:
         Optional shared :class:`~repro.smt.budget.SolverBudget`; with
         ``method="exact"`` its pivot/wall limits bound the rational
@@ -236,7 +242,7 @@ def _solve_highs(grid: Grid, demand: Dict[int, Fraction],
         line = grid.line(line_index)
         flow = line.admittance * (angles[line.from_bus] - angles[line.to_bus])
         flows[line_index] = flow
-        if abs(float(line.capacity - abs(flow))) <= binding_tolerance * 10:
+        if abs(float(line.capacity - abs(flow))) <= binding_tolerance:
             binding.append(line_index)
     return DcOpfResult(True, to_fraction(round(result.fun + constant, 9)),
                        dispatch, flows, angles, binding)

@@ -31,6 +31,7 @@ from repro.grid.sensitivities import (
     compute_ptdf,
     lodf_column,
 )
+from repro.numerics import guarded_inverse
 from repro.opf.dcopf import DcOpfResult
 from repro.smt.rational import to_fraction
 
@@ -94,8 +95,9 @@ class ShiftFactorOpf:
         grid = self.grid
         ref = grid.reference_bus - 1
         keep = [i for i in range(grid.num_buses) if i != ref]
-        B_inv = np.linalg.inv(
-            susceptance_matrix(grid, self.base_lines, reduced=True))
+        B_inv = guarded_inverse(
+            susceptance_matrix(grid, self.base_lines, reduced=True),
+            context="shift-factor base susceptance matrix")
         e = np.zeros(grid.num_buses)
         e[line.from_bus - 1] += 1.0
         e[line.to_bus - 1] -= 1.0

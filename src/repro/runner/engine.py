@@ -57,7 +57,7 @@ from fractions import Fraction
 from repro.core.fast import FastImpactAnalyzer, FastQuery
 from repro.core.framework import ImpactAnalyzer, ImpactQuery
 from repro.exceptions import BudgetExhausted, CaseFieldError, \
-    InputFormatError
+    InputFormatError, NumericalInstability
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runner.spec import ScenarioSpec
 from repro.runner.trace import (
@@ -65,6 +65,7 @@ from repro.runner.trace import (
     CRASHED,
     ERROR,
     INVALID_INPUT,
+    NUMERICAL_UNSTABLE,
     OK,
     REJECTED_STATUSES,
     TIMEOUT,
@@ -162,6 +163,11 @@ def _outcome_from_report(outcome: ScenarioOutcome, report,
         # sat/unsat.
         outcome.status = CERTIFICATE_ERROR
         outcome.error = report.certificate_error or "certificate rejected"
+    elif report.status == "numerical_unstable":
+        # The guarded linear algebra refused to return an unverified
+        # result: a deterministic degradation, never a sat/unsat.
+        outcome.status = NUMERICAL_UNSTABLE
+        outcome.error = report.numeric_reason or "numerically unstable"
     elif report.is_rejected:
         # Preflight refused the input: a deterministic verdict with the
         # findings attached, not an error.
@@ -245,6 +251,11 @@ def _outcome_from_max_result(outcome: ScenarioOutcome,
     elif result.status == "certificate_error":
         outcome.status = CERTIFICATE_ERROR
         outcome.error = result.certificate_error or "certificate rejected"
+    elif result.status == "numerical_unstable":
+        outcome.status = NUMERICAL_UNSTABLE
+        reason = result.last_report.numeric_reason \
+            if result.last_report is not None else None
+        outcome.error = reason or "numerically unstable analysis"
     elif result.is_rejected:
         outcome.status = result.status
         if result.diagnostics is not None:
@@ -377,6 +388,14 @@ def execute_with_analyzer(spec: ScenarioSpec, fingerprint: str,
         outcome.error = exc.reason
         outcome.task_seconds = time.perf_counter() - started
         return outcome
+    except NumericalInstability as exc:
+        # The session converts in-run instability into degraded reports;
+        # this catches refusals outside analyze() (e.g. warm analyzer
+        # machinery between scenarios).
+        outcome.status = NUMERICAL_UNSTABLE
+        outcome.error = exc.reason
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
     except Exception as exc:
         outcome.status = ERROR
         outcome.error = "".join(traceback.format_exception_only(
@@ -417,6 +436,11 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
                                   warm=spec.search == "maximize")
     except BudgetExhausted as exc:
         outcome.status = UNKNOWN
+        outcome.error = exc.reason
+        outcome.task_seconds = time.perf_counter() - started
+        return outcome
+    except NumericalInstability as exc:
+        outcome.status = NUMERICAL_UNSTABLE
         outcome.error = exc.reason
         outcome.task_seconds = time.perf_counter() - started
         return outcome
@@ -485,6 +509,12 @@ def execute_scenario_group(specs: Sequence[ScenarioSpec],
             raise GroupInterrupted(outcomes)
         except BudgetExhausted as exc:
             outcome.status = UNKNOWN
+            outcome.error = exc.reason
+            outcome.task_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+            continue
+        except NumericalInstability as exc:
+            outcome.status = NUMERICAL_UNSTABLE
             outcome.error = exc.reason
             outcome.task_seconds = time.perf_counter() - started
             outcomes.append(outcome)
@@ -634,6 +664,18 @@ def verify_cached_outcome(outcome: ScenarioOutcome, spec: ScenarioSpec,
             raise ValueError(
                 f"cached {outcome.status} rejection no longer matches "
                 f"preflight (now {report.fatal_status()!r})")
+        return
+    if outcome.status == NUMERICAL_UNSTABLE:
+        # Deterministic for a given case and numerics policy — and the
+        # active policy is part of the fingerprint, so a threshold change
+        # misses the cache instead of serving a stale refusal.  The
+        # numeric reason is guaranteed by structural validation; costs
+        # may legitimately be absent or zero (the guard can refuse
+        # before the base OPF exists).  No solver answer is involved, so
+        # certified sweeps may serve these like rejections.
+        if outcome.satisfiable is True:
+            raise ValueError(
+                "cached numerical_unstable outcome claims a verdict")
         return
     if outcome.status != OK:
         raise ValueError(
@@ -855,10 +897,12 @@ class SweepEngine:
                 cache: Optional[ResultCache]) -> None:
         """Commit an outcome and checkpoint it to the cache immediately.
 
-        Definitive ``ok`` outcomes and deterministic preflight rejections
-        (``invalid_input``/``degenerate_case``) are cached;
-        budget-dependent (``unknown``/``timeout``) and transient failures
-        must recompute next run.  The outcome's spec must equal the
+        Definitive ``ok`` outcomes, deterministic preflight rejections
+        (``invalid_input``/``degenerate_case``) and numeric refusals
+        (``numerical_unstable`` — deterministic for a given case and
+        numerics policy, and the policy is part of the fingerprint) are
+        cached; budget-dependent (``unknown``/``timeout``) and transient
+        failures must recompute next run.  The outcome's spec must equal the
         submitted spec — a worker that analyzed something else (fault
         injection, memory corruption) must not poison the submitted
         spec's cache slot.  A failed write degrades to
@@ -866,7 +910,8 @@ class SweepEngine:
         """
         outcomes[idx] = outcome
         cacheable = outcome.status == OK \
-            or outcome.status in REJECTED_STATUSES
+            or outcome.status in REJECTED_STATUSES \
+            or outcome.status == NUMERICAL_UNSTABLE
         if cache is not None and cacheable and fingerprints[idx] \
                 and outcome.spec.to_dict() == spec.to_dict():
             error = cache.try_put(fingerprints[idx], outcome.to_dict())

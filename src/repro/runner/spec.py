@@ -25,6 +25,7 @@ from typing import Any, Dict, Optional
 
 from repro.exceptions import ModelError
 from repro.grid.caseio import CaseDefinition, parse_case, write_case
+from repro.numerics import default_policy
 from repro.smt.rational import to_fraction
 
 #: bump when the cached-result layout changes incompatibly.
@@ -39,7 +40,11 @@ from repro.smt.rational import to_fraction
 #: v5: specs grow a ``search`` mode (``decision`` | ``maximize``) and a
 #: bisection ``tolerance``; maximize outcomes carry a ``max_impact``
 #: payload — pre-v5 entries must not alias either mode's results.
-CACHE_FORMAT_VERSION = 5
+#: v6: the guarded-numerics layer adds the ``numerical_unstable``
+#: outcome status (cached like rejections) and fingerprints carry the
+#: active numerics policy thresholds — pre-v6 entries were produced
+#: with unguarded linear algebra and must not be served.
+CACHE_FORMAT_VERSION = 6
 
 #: bus count at and below which ``analyzer="auto"`` picks the full SMT
 #: framework (mirrors the paper's Section IV-A hybrid).
@@ -52,7 +57,7 @@ _encoding_fingerprint: Optional[str] = None
 #: sources determine how a scenario is *encoded and solved* — the part of
 #: the code whose changes can silently alter cached verdicts.
 _ENCODING_SOURCES = ("smt", "core", "opf", "attacks", "estimation",
-                    "grid", "topology")
+                    "grid", "topology", "numerics")
 
 
 def _hash_sources(root: Path, relatives) -> str:
@@ -249,6 +254,11 @@ class ScenarioSpec:
             "sample_seed": self.sample_seed,
             "search": self.search,
             "tolerance": self.tolerance,
+            # The active guardrail thresholds decide when an analysis
+            # degrades to ``numerical_unstable``, so a policy change
+            # (e.g. via REPRO_NUMERIC_* overrides) must miss the cache
+            # rather than serve results produced under different guards.
+            "numerics": default_policy().key(),
         }
         blob = json.dumps(key, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()

@@ -34,9 +34,16 @@ CERTIFICATE_ERROR = "certificate_error"
 #: (``degenerate_case``).  Both carry structured ``diagnostics``.
 INVALID_INPUT = "invalid_input"
 DEGENERATE_CASE = "degenerate_case"
+#: the guarded linear-algebra layer refused to return an unverified
+#: result (ill-conditioned matrices, unverifiable solves).  A graceful
+#: degradation like ``unknown``: the verdict is withheld, never rendered
+#: as sat/unsat.  Deterministic for a given case and numerics policy
+#: (the policy is part of the cache fingerprint), so cacheable.
+NUMERICAL_UNSTABLE = "numerical_unstable"
 
 _KNOWN_STATUSES = (OK, ERROR, TIMEOUT, CRASHED, UNKNOWN,
-                   CERTIFICATE_ERROR, INVALID_INPUT, DEGENERATE_CASE)
+                   CERTIFICATE_ERROR, INVALID_INPUT, DEGENERATE_CASE,
+                   NUMERICAL_UNSTABLE)
 #: statuses that are deterministic verdicts about the *input* — safe to
 #: cache (unlike transient errors/timeouts) and served like OK hits.
 REJECTED_STATUSES = (INVALID_INPUT, DEGENERATE_CASE)
@@ -164,6 +171,10 @@ class ScenarioOutcome:
                 raise ValueError(
                     f"{self.status} outcome must carry fatal diagnostics "
                     f"matching its status")
+        if self.status == NUMERICAL_UNSTABLE and self.error is None:
+            raise ValueError(
+                "numerical_unstable outcome must carry its numeric "
+                "reason in the error field")
         search = getattr(self.spec, "search", "decision")
         if self.status == OK:
             if search == "maximize" and self.max_impact is None:
@@ -256,6 +267,8 @@ class SweepTrace:
                                      for o in self.outcomes),
                 "degenerate_case": sum(o.status == DEGENERATE_CASE
                                        for o in self.outcomes),
+                "numerical_unstable": sum(o.status == NUMERICAL_UNSTABLE
+                                          for o in self.outcomes),
                 "certified": sum(o.certified is True
                                  for o in self.outcomes),
                 "max_impact_cells": sum(o.max_impact is not None

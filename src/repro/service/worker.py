@@ -41,8 +41,8 @@ from repro.runner.engine import (
     verify_cached_outcome,
 )
 from repro.runner.spec import ScenarioSpec
-from repro.runner.trace import ERROR, OK, REJECTED_STATUSES, \
-    ScenarioOutcome
+from repro.runner.trace import ERROR, NUMERICAL_UNSTABLE, OK, \
+    REJECTED_STATUSES, ScenarioOutcome
 from repro.smt.budget import SolverBudget
 from repro.smt.certificates import self_check_default
 from repro.testing.faults import ServiceFaultPlan
@@ -224,7 +224,8 @@ class ServiceWorker:
             # failure: evict so the next request re-encodes cleanly.
             self.pool.invalidate(group)
         cacheable = finished.status == OK \
-            or finished.status in REJECTED_STATUSES
+            or finished.status in REJECTED_STATUSES \
+            or finished.status == NUMERICAL_UNSTABLE
         if cache is not None and cacheable:
             error = cache.try_put(fingerprint, finished.to_dict())
             if error is not None:

@@ -14,6 +14,12 @@ silently accepted.
 text-level *input* fuzzing: corrupted case files driven through the
 parse → preflight → analyze path to prove no malformed input escapes as
 an uncaught exception (``python -m repro fuzz``).
+
+:mod:`repro.testing.degenerate` fuzzes case *numerics* instead of case
+text: seeded ill-conditioned mutants (near-singular B matrices, extreme
+admittance ratios, near-redundant measurement sets) driven through both
+the float and the exact verdict paths to prove they never silently
+disagree (``python -m repro fuzz --degenerate``).
 """
 
 from repro.testing.fuzz import (
@@ -25,6 +31,15 @@ from repro.testing.fuzz import (
     analyze_text,
     fuzz_bundled_case,
     run_fuzz,
+)
+from repro.testing.degenerate import (
+    SILENT_DISAGREEMENT,
+    DegenerateFuzzer,
+    DegenerateMutant,
+    DegenerateRecord,
+    DegenerateReport,
+    fuzz_degenerate_case,
+    run_degenerate_fuzz,
 )
 from repro.testing.faults import (
     COORDINATOR_KILL,
@@ -65,6 +80,13 @@ __all__ = [
     "analyze_text",
     "fuzz_bundled_case",
     "run_fuzz",
+    "SILENT_DISAGREEMENT",
+    "DegenerateFuzzer",
+    "DegenerateMutant",
+    "DegenerateRecord",
+    "DegenerateReport",
+    "fuzz_degenerate_case",
+    "run_degenerate_fuzz",
     "COORDINATOR_KILL",
     "CRASH_WORKER",
     "CORRUPT_CASE",

@@ -1,0 +1,388 @@
+"""Seeded degeneracy fuzzing: ill-conditioned grids vs the guardrails.
+
+Where :mod:`repro.testing.fuzz` corrupts case *text* against the
+preflight boundary, this module corrupts case *numerics* against the
+numerical-integrity layer: near-singular susceptance matrices (line
+admittances scaled toward zero), extreme admittance ratios across the
+grid, near-redundant measurement sets hovering at the observability
+boundary, loads pinned against their plausibility bounds and squeezed
+line capacities.
+
+Every mutant is driven through the fast analyzer twice — once on the
+normal float path, once with the Eq. 37 escalation band forced open so
+the verdict is always re-decided on the exact rational path — plus a
+*boundary probe* that replays any satisfiable verdict's achieved
+increase back as the target, landing the query exactly on the Eq. 37
+boundary.  Two invariants:
+
+* **no escape** — no mutant may raise an uncaught exception; the
+  guards must degrade it to ``numerical_unstable`` or the preflight
+  must reject it, exactly like ``python -m repro analyze`` would;
+* **no silent float/exact disagreement** — wherever both paths reach a
+  verdict, they agree, or the float path's report shows the divergence
+  (a ``numeric.boundary_escalated`` run note or a non-``complete``
+  status).  A disagreement with neither marker is recorded and fails
+  the run.
+
+Mutants are seeded and per-iteration addressable
+(``random.Random(f"{seed}:{iteration}")``), so a failure found in CI
+replays locally with ``python -m repro fuzz --degenerate --seed ...``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.grid.caseio import CaseDefinition
+from repro.testing.fuzz import ESCAPE
+
+#: synthetic status for a recorded float/exact divergence that neither
+#: escalated nor surfaced as a degraded status.
+SILENT_DISAGREEMENT = "silent_disagreement"
+
+#: run-note code the session attaches when a verdict was escalated.
+_ESCALATION_CODE = "numeric.boundary_escalated"
+
+
+def _clone(case: CaseDefinition) -> CaseDefinition:
+    """A mutation-safe copy (the list fields are shared by replace())."""
+    return replace(case,
+                   line_specs=list(case.line_specs),
+                   measurement_specs=list(case.measurement_specs),
+                   bus_types=list(case.bus_types),
+                   generators=list(case.generators),
+                   loads=list(case.loads))
+
+
+# -- degeneracy operators ------------------------------------------------
+#
+# Each operator mutates ``case`` in place and returns a description, or
+# returns None when it has no applicable site.  All mutants stay
+# *well-formed* (positive admittances, loads inside their bounds): the
+# point is to stress the numerics, not the parser.
+
+def _near_singular_line(rng: random.Random,
+                        case: CaseDefinition) -> Optional[str]:
+    """Scale one admittance toward zero: B drifts toward singular."""
+    position = rng.randrange(len(case.line_specs))
+    spec = case.line_specs[position]
+    k = rng.randint(6, 12)
+    case.line_specs[position] = replace(
+        spec, admittance=spec.admittance / 10 ** k)
+    return f"line {spec.index}: admittance /1e{k} (near-singular B)"
+
+
+def _huge_admittance(rng: random.Random,
+                     case: CaseDefinition) -> Optional[str]:
+    position = rng.randrange(len(case.line_specs))
+    spec = case.line_specs[position]
+    k = rng.randint(4, 9)
+    case.line_specs[position] = replace(
+        spec, admittance=spec.admittance * 10 ** k)
+    return f"line {spec.index}: admittance x1e{k}"
+
+
+def _extreme_ratio(rng: random.Random,
+                   case: CaseDefinition) -> Optional[str]:
+    """Push two admittances apart: extreme ratios across the grid."""
+    if len(case.line_specs) < 2:
+        return None
+    up, down = rng.sample(range(len(case.line_specs)), 2)
+    k = rng.randint(3, 6)
+    up_spec, down_spec = case.line_specs[up], case.line_specs[down]
+    case.line_specs[up] = replace(
+        up_spec, admittance=up_spec.admittance * 10 ** k)
+    case.line_specs[down] = replace(
+        down_spec, admittance=down_spec.admittance / 10 ** k)
+    return (f"lines {up_spec.index}/{down_spec.index}: "
+            f"admittance ratio stretched by 1e{2 * k}")
+
+
+def _shed_measurements(rng: random.Random,
+                       case: CaseDefinition) -> Optional[str]:
+    """Clear taken flags: the measurement set nears unobservability."""
+    taken = [i for i, m in enumerate(case.measurement_specs) if m.taken]
+    if not taken:
+        return None
+    shed = rng.sample(taken, min(len(taken), rng.randint(1, 4)))
+    for position in shed:
+        case.measurement_specs[position] = replace(
+            case.measurement_specs[position], taken=False)
+    dropped = [case.measurement_specs[p].index for p in sorted(shed)]
+    return f"measurements {dropped}: taken flag cleared"
+
+
+def _load_to_bound(rng: random.Random,
+                   case: CaseDefinition) -> Optional[str]:
+    """Pin one existing load a hair inside its plausibility bound."""
+    if not case.loads:
+        return None
+    position = rng.randrange(len(case.loads))
+    load = case.loads[position]
+    span = load.p_max - load.p_min
+    if span <= 0:
+        return None
+    margin = span / 10 ** rng.randint(7, 10)
+    if rng.random() < 0.5:
+        existing, edge = load.p_max - margin, "p_max"
+    else:
+        existing, edge = load.p_min + margin, "p_min"
+    case.loads[position] = replace(load, existing=existing)
+    return f"load at bus {load.bus}: existing pinned near {edge}"
+
+
+def _squeeze_capacity(rng: random.Random,
+                      case: CaseDefinition) -> Optional[str]:
+    position = rng.randrange(len(case.line_specs))
+    spec = case.line_specs[position]
+    divisor = rng.randint(2, 8)
+    case.line_specs[position] = replace(
+        spec, capacity=spec.capacity / divisor)
+    return f"line {spec.index}: capacity /{divisor}"
+
+
+#: operator pool; the conditioning attacks are repeated so roughly half
+#: of all mutations target the susceptance matrix itself.
+OPERATORS: Tuple[Callable[[random.Random, CaseDefinition],
+                          Optional[str]], ...] = (
+    _near_singular_line, _near_singular_line,
+    _extreme_ratio, _extreme_ratio,
+    _huge_admittance,
+    _shed_measurements,
+    _load_to_bound,
+    _squeeze_capacity,
+)
+
+
+@dataclass(frozen=True)
+class DegenerateMutant:
+    """One ill-conditioned case, addressable by iteration number."""
+
+    iteration: int
+    case: CaseDefinition
+    mutations: Tuple[str, ...]
+
+
+class DegenerateFuzzer:
+    """Deterministic stream of ill-conditioned case mutants.
+
+    Mutant ``i`` depends only on ``(base case, seed, i)``, mirroring
+    :class:`~repro.testing.fuzz.CaseFuzzer`.
+    """
+
+    def __init__(self, base: CaseDefinition, seed: int = 0,
+                 max_mutations: int = 2) -> None:
+        self.base = base
+        self.seed = seed
+        self.max_mutations = max_mutations
+
+    def mutant(self, iteration: int) -> DegenerateMutant:
+        rng = random.Random(f"{self.seed}:{iteration}")
+        case = _clone(self.base)
+        applied: List[str] = []
+        wanted = rng.randint(1, self.max_mutations)
+        for _ in range(10 * wanted):
+            if len(applied) >= wanted:
+                break
+            description = rng.choice(OPERATORS)(rng, case)
+            if description is not None:
+                applied.append(description)
+        case.name = f"{self.base.name}-degenerate-{iteration}"
+        return DegenerateMutant(iteration, case, tuple(applied))
+
+
+# -- driving mutants through both verdict paths --------------------------
+
+def _fast_report(case: CaseDefinition, *,
+                 escalation_band: Optional[float] = None,
+                 target: Optional[Fraction] = None):
+    from repro.core import FastImpactAnalyzer, FastQuery
+    query = FastQuery(state_samples=2)
+    if escalation_band is not None:
+        query.escalation_band = escalation_band
+    if target is not None:
+        query.target_increase_percent = target
+    return FastImpactAnalyzer(case).analyze(query)
+
+
+def _verdict(report) -> str:
+    if report.status == "complete":
+        return "sat" if report.satisfiable else "unsat"
+    return report.status
+
+
+def _escalated(report) -> bool:
+    if report.diagnostics is None:
+        return False
+    return any(d.code == _ESCALATION_CODE
+               for d in report.diagnostics.diagnostics)
+
+
+def _escalation_count(report) -> int:
+    trace = getattr(report, "trace", None)
+    if trace is None or not getattr(trace, "session", None):
+        return 0
+    return int(trace.session.get("boundary_escalations", 0) or 0)
+
+
+@dataclass
+class DegenerateRecord:
+    """Outcome of one mutant across both verdict paths."""
+
+    iteration: int
+    status: str            # float-path verdict (or ESCAPE)
+    exact_status: str      # forced-exact-path verdict
+    mutations: Tuple[str, ...]
+    probe_status: Optional[str] = None
+    escalated: bool = False
+    detail: Optional[str] = None
+
+
+@dataclass
+class DegenerateReport:
+    """Aggregated result of a degeneracy fuzz run."""
+
+    case: str
+    seed: int
+    iterations: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    escapes: List[DegenerateRecord] = field(default_factory=list)
+    disagreements: List[DegenerateRecord] = field(default_factory=list)
+    escalations: int = 0
+    boundary_probes: int = 0
+    elapsed_seconds: float = 0.0
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.escapes and not self.disagreements
+
+    def render(self) -> str:
+        lines = [f"degenerate fuzz {self.case} (seed={self.seed}): "
+                 f"{self.iterations} mutants in "
+                 f"{self.elapsed_seconds:.1f}s"
+                 + (" [truncated by time limit]" if self.truncated
+                    else "")]
+        for status in sorted(self.counts):
+            lines.append(f"  {status:20s} {self.counts[status]}")
+        lines.append(f"  boundary probes      {self.boundary_probes}")
+        lines.append(f"  exact escalations    {self.escalations}")
+        for record in self.escapes:
+            lines.append(f"ESCAPE at iteration {record.iteration} "
+                         f"(mutations: {', '.join(record.mutations)}):")
+            for raw in (record.detail or "").rstrip().splitlines():
+                lines.append(f"  {raw}")
+        for record in self.disagreements:
+            lines.append(
+                f"SILENT DISAGREEMENT at iteration {record.iteration} "
+                f"(mutations: {', '.join(record.mutations)}): "
+                f"{record.detail}")
+        if self.ok:
+            lines.append("float and exact paths never silently disagreed")
+        return "\n".join(lines)
+
+
+def run_degenerate_fuzz(base: CaseDefinition, *, case: str = "case",
+                        seed: int = 0, iterations: int = 200,
+                        max_mutations: int = 2,
+                        time_limit: Optional[float] = None,
+                        on_record: Optional[
+                            Callable[[DegenerateRecord], None]] = None,
+                        ) -> DegenerateReport:
+    """Fuzz ``base`` with degeneracy operators; tally both-path verdicts.
+
+    Never raises on a misbehaving mutant: exceptions become ``escape``
+    records, float/exact divergences without an escalation marker become
+    ``silent_disagreement`` records, and :attr:`DegenerateReport.ok`
+    summarizes the invariant.
+    """
+    fuzzer = DegenerateFuzzer(base, seed=seed,
+                              max_mutations=max_mutations)
+    report = DegenerateReport(case=case, seed=seed,
+                              iterations=iterations)
+    started = time.monotonic()
+    for iteration in range(iterations):
+        if time_limit is not None \
+                and time.monotonic() - started > time_limit:
+            report.truncated = True
+            report.iterations = iteration
+            break
+        mutant = fuzzer.mutant(iteration)
+        record = _examine(mutant, report)
+        report.counts[record.status] = \
+            report.counts.get(record.status, 0) + 1
+        if record.status == ESCAPE:
+            report.escapes.append(record)
+        if on_record is not None:
+            on_record(record)
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+def _examine(mutant: DegenerateMutant,
+             report: DegenerateReport) -> DegenerateRecord:
+    """Run one mutant through float path, exact path and boundary probe."""
+    try:
+        float_report = _fast_report(mutant.case)
+        # The exact oracle: same candidate search, but the escalation
+        # band forced open so the final verdict always comes from the
+        # exact rational re-solve.
+        exact_report = _fast_report(mutant.case,
+                                    escalation_band=float("inf"))
+    except Exception:
+        return DegenerateRecord(mutant.iteration, ESCAPE, ESCAPE,
+                                mutant.mutations,
+                                detail=traceback.format_exc())
+    record = DegenerateRecord(mutant.iteration, _verdict(float_report),
+                              _verdict(exact_report), mutant.mutations,
+                              escalated=_escalated(float_report))
+    report.escalations += _escalation_count(float_report)
+    if record.status in ("sat", "unsat") \
+            and record.exact_status in ("sat", "unsat") \
+            and record.status != record.exact_status \
+            and not record.escalated:
+        record.detail = (f"float path says {record.status}, exact path "
+                         f"says {record.exact_status}, no escalation")
+        report.disagreements.append(record)
+        return record
+
+    # Boundary probe: replay the achieved increase as the target, so the
+    # query sits exactly on the Eq. 37 boundary.  Eq. 37 is inclusive:
+    # the verdict must stay sat — or visibly escalate/degrade.
+    if record.status == "sat" \
+            and float_report.achieved_increase_percent is not None:
+        report.boundary_probes += 1
+        try:
+            probe = _fast_report(
+                mutant.case,
+                target=float_report.achieved_increase_percent)
+        except Exception:
+            record.status = ESCAPE
+            record.detail = traceback.format_exc()
+            return record
+        record.probe_status = _verdict(probe)
+        report.escalations += _escalation_count(probe)
+        if record.probe_status == "unsat" and not _escalated(probe):
+            record.detail = (
+                "boundary probe at the achieved increase flipped to "
+                "unsat without escalation")
+            report.disagreements.append(record)
+    return record
+
+
+def fuzz_degenerate_case(name: str, *, seed: int = 0,
+                         iterations: int = 200,
+                         max_mutations: int = 2,
+                         time_limit: Optional[float] = None,
+                         ) -> DegenerateReport:
+    """Degeneracy-fuzz one bundled case by name."""
+    from repro.grid.cases import get_case
+    return run_degenerate_fuzz(get_case(name), case=name, seed=seed,
+                               iterations=iterations,
+                               max_mutations=max_mutations,
+                               time_limit=time_limit)

@@ -60,14 +60,18 @@ class TestSmtBoundary:
             * (1 + percent / 100)
 
 
+def _best_percent(fast_analyzer):
+    baseline = fast_analyzer.analyze(FastQuery(state_samples=4))
+    assert baseline.satisfiable
+    values = [e.best_increase_percent
+              for e in fast_analyzer.evaluations
+              if e.best_increase_percent is not None]
+    return max(values)
+
+
 class TestFastBoundary:
     def _best_percent(self, fast_analyzer):
-        baseline = fast_analyzer.analyze(FastQuery(state_samples=4))
-        assert baseline.satisfiable
-        values = [e.best_increase_percent
-                  for e in fast_analyzer.evaluations
-                  if e.best_increase_percent is not None]
-        return max(values)
+        return _best_percent(fast_analyzer)
 
     def test_exact_boundary_is_satisfiable(self, fast_analyzer):
         best = self._best_percent(fast_analyzer)
@@ -84,3 +88,52 @@ class TestFastBoundary:
             target_increase_percent=Fraction(best) + Fraction(1, 1000),
             state_samples=4))
         assert not report.satisfiable
+
+
+class TestBoundaryEscalationParity:
+    """A float verdict that lands inside the Eq. 37 guard band is never
+    decided by float comparison: it is re-derived on the exact OPF path,
+    and the verdict agrees between a warm (reused) analyzer and a cold
+    (freshly prepared) one."""
+
+    def _codes(self, report):
+        return {d.code for d in (report.diagnostics.diagnostics
+                                 if report.diagnostics else [])}
+
+    def test_boundary_hit_is_escalated(self, fast_analyzer):
+        best = _best_percent(fast_analyzer)
+        report = fast_analyzer.analyze(FastQuery(
+            target_increase_percent=Fraction(best), state_samples=4))
+        assert report.satisfiable
+        assert "numeric.boundary_escalated" in self._codes(report)
+        assert report.trace.session["boundary_escalations"] >= 1
+
+    def test_warm_and_cold_verdicts_agree_at_boundary(self, fast_analyzer):
+        best = _best_percent(fast_analyzer)
+        for delta in (Fraction(0), Fraction(1, 1000)):
+            query = FastQuery(target_increase_percent=Fraction(best) + delta,
+                              state_samples=4)
+            warm = fast_analyzer.analyze(query)  # session reused
+            cold = FastImpactAnalyzer(
+                get_case("5bus-study1")).analyze(query)
+            assert warm.satisfiable == cold.satisfiable, delta
+            assert warm.status == cold.status == "complete"
+
+    def test_fast_and_smt_verdicts_agree_at_boundary(self, fast_analyzer,
+                                                     smt_analyzer):
+        # The fast analyzer's own maximum, replayed as the target, must
+        # be reachable by the exhaustive exact analyzer too: the exact
+        # optimum dominates the fast path's best candidate.
+        best = _best_percent(fast_analyzer)
+        fast = fast_analyzer.analyze(FastQuery(
+            target_increase_percent=Fraction(best), state_samples=4))
+        smt = smt_analyzer.analyze(
+            ImpactQuery(target_increase_percent=Fraction(best)))
+        assert fast.satisfiable and smt.satisfiable
+
+    def test_far_from_boundary_no_escalation(self, fast_analyzer):
+        # A comfortable target on a clean grid decides on floats alone.
+        report = fast_analyzer.analyze(FastQuery(
+            target_increase_percent=1, state_samples=4))
+        assert report.satisfiable
+        assert report.trace.session["boundary_escalations"] == 0

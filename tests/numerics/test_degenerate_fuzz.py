@@ -1,0 +1,98 @@
+"""Degeneracy-fuzzer smoke tests plus the targeted ill-conditioning
+escalation behaviors the fuzzer's invariant rests on."""
+
+import pytest
+
+from repro.core import FastImpactAnalyzer, FastQuery
+from repro.grid.caseio import parse_case, write_case
+from repro.grid.cases import get_case
+from repro.testing.degenerate import (
+    DegenerateFuzzer,
+    fuzz_degenerate_case,
+    run_degenerate_fuzz,
+)
+
+
+def _scaled_case(factor, line_row="3 2 3 5.05 0.05 1 1 1 1 1",
+                 admittance="5.05"):
+    """5bus-study1 with one line's admittance rescaled."""
+    text = write_case(get_case("5bus-study1"))
+    scaled = line_row.replace(admittance, repr(float(admittance) * factor))
+    return parse_case(text.replace(line_row, scaled), name="scaled")
+
+
+class TestFuzzerDeterminism:
+    def test_mutants_are_iteration_addressable(self):
+        base = get_case("5bus-study1")
+        first = DegenerateFuzzer(base, seed=3).mutant(17)
+        again = DegenerateFuzzer(base, seed=3).mutant(17)
+        assert first.mutations == again.mutations
+        assert [s.admittance for s in first.case.line_specs] == \
+            [s.admittance for s in again.case.line_specs]
+
+    def test_mutations_do_not_leak_into_base(self):
+        base = get_case("5bus-study1")
+        before = [s.admittance for s in base.line_specs]
+        DegenerateFuzzer(base, seed=0).mutant(0)
+        assert [s.admittance for s in base.line_specs] == before
+
+
+class TestFuzzSmoke:
+    def test_no_escape_no_silent_disagreement(self):
+        report = run_degenerate_fuzz(get_case("5bus-study1"),
+                                     case="5bus-study1", seed=0,
+                                     iterations=40)
+        assert report.ok, report.render()
+        assert report.iterations == 40
+        assert sum(report.counts.values()) == 40
+        # The stream must actually exercise analysis, not only rejection.
+        assert report.counts.get("sat", 0) \
+            + report.counts.get("unsat", 0) > 0
+
+    def test_bundled_entry_point_and_render(self):
+        report = fuzz_degenerate_case("5bus-study2", seed=7,
+                                      iterations=15)
+        assert report.ok, report.render()
+        text = report.render()
+        assert "degenerate fuzz 5bus-study2" in text
+        assert "never silently disagreed" in text
+
+    def test_time_limit_truncates(self):
+        report = run_degenerate_fuzz(get_case("5bus-study1"), seed=0,
+                                     iterations=10_000, time_limit=1.0)
+        assert report.truncated
+        assert report.iterations < 10_000
+
+
+class TestIllConditioningEscalation:
+    """A verdict computed under guarded-linalg warnings is re-decided on
+    the exact path even far from the Eq. 37 boundary."""
+
+    def test_warn_band_spread_escalates_verdict(self):
+        # Spread ~4.7e8: above the 1e8 warn threshold, below fail.
+        case = _scaled_case(1e-8)
+        report = FastImpactAnalyzer(case).analyze(FastQuery(
+            target_increase_percent=1, state_samples=2))
+        assert report.status == "complete"
+        codes = {d.code for d in report.diagnostics.diagnostics}
+        assert "numeric.ill_conditioned" in codes
+        assert "numeric.boundary_escalated" in codes
+        assert report.trace.session["boundary_escalations"] >= 1
+
+    def test_fail_band_spread_degrades_to_numerical_unstable(self):
+        # Spread ~4.7e12: past the 1e12 fail threshold.
+        case = _scaled_case(1e-12)
+        report = FastImpactAnalyzer(case).analyze(FastQuery(
+            target_increase_percent=1, state_samples=2))
+        assert report.status == "numerical_unstable"
+        assert not report.satisfiable
+        assert "admittance spread" in report.numeric_reason
+
+    def test_clean_case_does_not_escalate(self):
+        report = FastImpactAnalyzer(get_case("5bus-study1")).analyze(
+            FastQuery(target_increase_percent=1, state_samples=2))
+        assert report.status == "complete"
+        codes = {d.code for d in (report.diagnostics.diagnostics
+                                  if report.diagnostics else [])}
+        assert "numeric.boundary_escalated" not in codes
+        assert report.trace.session["boundary_escalations"] == 0

@@ -1,0 +1,51 @@
+"""Differential test for the unified binding-line tolerance: the exact
+rational simplex and the HiGHS path must classify binding constraints
+with the same absolute slack threshold (satellite of the
+numerical-integrity hardening)."""
+
+import inspect
+
+import pytest
+
+from repro.grid.cases import get_case
+from repro.opf.dcopf import solve_dc_opf
+
+
+CASES = ["5bus-study1", "5bus-study2", "ieee14"]
+
+
+class TestUnifiedDefault:
+    def test_single_shared_default(self):
+        # The regression being pinned: _solve_highs used to widen the
+        # tolerance by 10x, so the two paths disagreed about binding
+        # sets near the threshold.
+        signature = inspect.signature(solve_dc_opf)
+        assert signature.parameters["binding_tolerance"].default == 1e-6
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_exact_and_highs_agree_on_binding_sets(self, name):
+        grid = get_case(name).build_grid()
+        exact = solve_dc_opf(grid, method="exact")
+        highs = solve_dc_opf(grid, method="highs")
+        assert exact.feasible and highs.feasible
+        assert sorted(exact.binding_lines) == sorted(highs.binding_lines)
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_custom_tolerance_honored_by_both_paths(self, name):
+        # A tolerance wider than every line's slack makes every active
+        # line binding, on either path.
+        grid = get_case(name).build_grid()
+        wide = float(max(line.capacity for line in grid.lines)) + 1.0
+        exact = solve_dc_opf(grid, method="exact",
+                             binding_tolerance=wide)
+        highs = solve_dc_opf(grid, method="highs",
+                             binding_tolerance=wide)
+        active = [line.index for line in grid.lines if line.in_service]
+        assert sorted(exact.binding_lines) == active
+        assert sorted(highs.binding_lines) == active
+
+    def test_zero_tolerance_restricts_to_exact_hits(self):
+        grid = get_case("5bus-study1").build_grid()
+        strict = solve_dc_opf(grid, method="exact", binding_tolerance=0)
+        loose = solve_dc_opf(grid, method="exact", binding_tolerance=1e-6)
+        assert set(strict.binding_lines) <= set(loose.binding_lines)
