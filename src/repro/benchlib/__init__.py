@@ -1,7 +1,13 @@
 """Benchmark harness support: scenario randomization, time/memory
 measurement and paper-style table formatting."""
 
-from repro.benchlib.measure import measured, MemoryProfile, profile_memory
+from repro.benchlib.measure import (
+    measured,
+    MemoryProfile,
+    ResourceProfile,
+    profile_memory,
+    profile_resources,
+)
 from repro.benchlib.scenarios import (
     combined_spec,
     randomize_attacker,
@@ -11,11 +17,13 @@ from repro.benchlib.tables import format_series, format_table
 
 __all__ = [
     "MemoryProfile",
+    "ResourceProfile",
     "combined_spec",
     "format_series",
     "format_table",
     "measured",
     "profile_memory",
+    "profile_resources",
     "randomize_attacker",
     "scenario_seeds",
 ]

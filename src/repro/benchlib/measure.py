@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import resource
 import time
 import tracemalloc
 from dataclasses import dataclass
@@ -18,6 +19,31 @@ class MemoryProfile:
     @property
     def peak_mb(self) -> float:
         return self.peak_bytes / (1024 * 1024)
+
+
+@dataclass
+class ResourceProfile:
+    """Time + allocation + process-RSS footprint of a measured run.
+
+    ``peak_alloc_bytes`` is tracemalloc's Python-heap high-water mark
+    *within the run* — it excludes numpy buffer reuse noise and resets
+    per measurement.  ``peak_rss_bytes`` is the OS-reported maximum
+    resident set of the whole process so far (``ru_maxrss``); it is a
+    monotone high-water mark, so deltas between successive profiles of
+    growing problem sizes trace the real memory growth curve.
+    """
+
+    peak_alloc_bytes: int
+    peak_rss_bytes: int
+    elapsed_seconds: float
+
+    @property
+    def peak_alloc_mb(self) -> float:
+        return self.peak_alloc_bytes / (1024 * 1024)
+
+    @property
+    def peak_rss_mb(self) -> float:
+        return self.peak_rss_bytes / (1024 * 1024)
 
 
 def measured(fn: Callable[[], Any]) -> Tuple[Any, float]:
@@ -53,3 +79,33 @@ def profile_memory(fn: Callable[[], Any]) -> Tuple[Any, MemoryProfile]:
             tracemalloc.stop()
     elapsed = time.perf_counter() - started
     return result, MemoryProfile(peak, elapsed)
+
+
+def _max_rss_bytes() -> int:
+    """Process max resident set in bytes (``ru_maxrss`` is kB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def profile_resources(fn: Callable[[], Any]
+                      ) -> Tuple[Any, ResourceProfile]:
+    """Run *fn* under tracemalloc + RSS tracking; (result, profile).
+
+    Reentrant the same way :func:`profile_memory` is: an outer
+    tracemalloc session is left running and only its peak counter is
+    reset, so nested measurements (a benchmark stage inside a profiled
+    sweep) each see their own high-water mark.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if was_tracing:
+        tracemalloc.reset_peak()
+    else:
+        tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        if not was_tracing:
+            tracemalloc.stop()
+    elapsed = time.perf_counter() - started
+    return result, ResourceProfile(peak, _max_rss_bytes(), elapsed)

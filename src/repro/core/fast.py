@@ -53,8 +53,8 @@ from repro.core.results import CandidateEvaluation, ImpactReport
 from repro.core.session import AnalysisSession, SearchOutcome, SearchStrategy
 from repro.exceptions import CertificateError
 from repro.grid.caseio import CaseDefinition
-from repro.grid.matrices import state_order, susceptance_matrix
-from repro.numerics import collect_diagnostics, guarded_inverse
+from repro.grid.matrices import state_order
+from repro.numerics import collect_diagnostics
 from repro.opf.dcopf import solve_dc_opf
 from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
 from repro.smt.budget import SolverBudget
@@ -105,8 +105,10 @@ class FastSearchStrategy(SearchStrategy):
 
     kind = "fast"
 
-    def __init__(self, case: CaseDefinition) -> None:
+    def __init__(self, case: CaseDefinition,
+                 backend: Optional[str] = None) -> None:
         self.case = case
+        self.backend = backend
         self._base_cost = Fraction(0)
         self.evaluations: List[CandidateEvaluation] = []
         self.attacker: Optional[AttackerModel] = None
@@ -136,7 +138,8 @@ class FastSearchStrategy(SearchStrategy):
         case, grid = self.case, self.session.grid
         self.attacker = AttackerModel.from_case(case, grid)
         self.base_topology = [l.index for l in grid.lines if l.in_service]
-        self._sf_opf = ShiftFactorOpf(grid, self.base_topology)
+        self._sf_opf = ShiftFactorOpf(grid, self.base_topology,
+                                      backend=self.backend)
         base = self._sf_opf.solve()
         self._prepare_seconds = time.perf_counter() - built
         if not base.feasible:
@@ -454,31 +457,18 @@ class FastSearchStrategy(SearchStrategy):
             demand[load.bus - 1] = float(load.existing)
 
         if kind == "exclude":
-            row = factors.ptdf[factors.row_of(line_index)]
+            row = factors.row(line_index)
         else:
-            # Would-be flow of the open line: d * (theta_f - theta_e).
-            line = grid.line(line_index)
-            ref = grid.reference_bus - 1
-            keep = [i for i in range(grid.num_buses) if i != ref]
-            B_inv = guarded_inverse(
-                susceptance_matrix(grid, self.base_topology,
-                                   reduced=True),
-                context="would-be-flow base susceptance matrix")
-            e = np.zeros(grid.num_buses)
-            e[line.from_bus - 1] += 1.0
-            e[line.to_bus - 1] -= 1.0
-            row = np.zeros(grid.num_buses)
-            row[keep] = float(line.admittance) * (e[keep] @ B_inv)
+            # Would-be flow of the open line: d * (theta_f - theta_e),
+            # a cached factorized solve on the base susceptance matrix.
+            row = factors.open_line_flow_row(line_index)
 
-        gen_matrix = np.zeros((grid.num_buses, len(gens)))
-        for k, bus in enumerate(gens):
-            gen_matrix[bus - 1, k] = 1.0
-        flow_gen = row @ gen_matrix
+        flow_gen = np.array([row[bus - 1] for bus in gens])
         flow_const = -float(row @ demand)
 
         # Operating constraints: all base-topology line capacities.
-        M = factors.ptdf @ gen_matrix
-        base = -(factors.ptdf @ demand)
+        M = self._sf_opf.gen_flow_matrix()
+        base = factors.flows_for_injections(-demand)
         capacities = np.array([float(grid.line(i).capacity)
                                for i in factors.lines])
         A_ub = np.vstack([M, -M])
@@ -704,10 +694,12 @@ class FastImpactAnalyzer:
     """
 
     def __init__(self, case: CaseDefinition,
-                 preflight: bool = True) -> None:
-        self._strategy = FastSearchStrategy(case)
+                 preflight: bool = True,
+                 backend: Optional[str] = None) -> None:
+        self._strategy = FastSearchStrategy(case, backend=backend)
         self.session = AnalysisSession(case, self._strategy,
-                                       preflight=preflight)
+                                       preflight=preflight,
+                                       backend=backend)
 
     @property
     def case(self) -> CaseDefinition:

@@ -20,7 +20,11 @@ from repro.exceptions import ModelError, NotObservableError
 from repro.estimation.measurement import MeasurementPlan
 from repro.grid.matrices import measurement_matrix, state_order
 from repro.grid.network import Grid
-from repro.numerics import GuardedFactorization, guarded_rank
+from repro.numerics import (
+    GuardedFactorization,
+    guarded_rank,
+    resolve_backend,
+)
 
 
 @dataclass
@@ -59,7 +63,8 @@ class WlsEstimator:
 
     def __init__(self, plan: MeasurementPlan,
                  topology: Optional[Iterable[int]] = None,
-                 weights: Optional[np.ndarray] = None) -> None:
+                 weights: Optional[np.ndarray] = None,
+                 backend: Optional[str] = None) -> None:
         self.plan = plan
         self.grid = plan.grid
         self.topology = sorted(topology) if topology is not None else [
@@ -67,18 +72,30 @@ class WlsEstimator:
         self.taken = plan.taken_indices()
         if not self.taken:
             raise ModelError("no measurements taken")
-        H_full = measurement_matrix(self.grid, self.topology)
-        self.H = H_full[[i - 1 for i in self.taken], :]
+        self.backend = resolve_backend(backend, self.grid.num_buses)
         if weights is None:
             weights = np.ones(len(self.taken))
         if len(weights) != len(self.taken):
             raise ModelError("one weight per taken measurement required")
-        self.W = np.diag(weights)
-        gain = self.H.T @ self.W @ self.H
+        self._weights = np.asarray(weights, dtype=float)
+        rows = [i - 1 for i in self.taken]
+        if self.backend == "sparse":
+            H_full = measurement_matrix(self.grid, self.topology,
+                                        backend="sparse")
+            self.H = H_full.select_rows(rows)
+            self.W = None          # the diagonal stays a vector at scale
+            # Gain = H^T diag(w) H without any dense intermediate.
+            gain = self.H.gram(self._weights)
+        else:
+            H_full = measurement_matrix(self.grid, self.topology)
+            self.H = H_full[rows, :]
+            self.W = np.diag(self._weights)
+            gain = self.H.T @ self.W @ self.H
         # Matrix-scaled rank tolerance: numpy's machine-epsilon default
         # lets near-rank-deficient plans pass observability and then
         # estimate garbage through a raw inverse of the near-singular
-        # gain matrix.
+        # gain matrix.  (On the sparse backend the rank comes from LU
+        # pivot magnitudes of the gain — same cutoff scaling.)
         rank = guarded_rank(gain, context="WLS gain matrix")
         if rank < self.grid.num_buses - 1:
             raise NotObservableError(
@@ -94,8 +111,13 @@ class WlsEstimator:
         if len(z) != len(self.taken):
             raise ModelError(
                 f"expected {len(self.taken)} readings, got {len(z)}")
-        x_hat = self._gain.solve(self.H.T @ self.W @ z)
-        estimated = self.H @ x_hat
+        z = np.asarray(z, dtype=float)
+        if self.backend == "sparse":
+            x_hat = self._gain.solve(self.H.rmatvec(self._weights * z))
+            estimated = self.H.matvec(x_hat)
+        else:
+            x_hat = self._gain.solve(self.H.T @ self.W @ z)
+            estimated = self.H @ x_hat
         residual = float(np.linalg.norm(z - estimated))
 
         order = state_order(self.grid)
@@ -125,10 +147,18 @@ class WlsEstimator:
         """K = H (H^T W H)^{-1} H^T W — maps readings to fitted values.
 
         Computed once through the verified gain factorization (a solve,
-        not the explicit inverse) and cached.
+        not the explicit inverse) and cached.  The hat matrix is dense
+        m x m by definition; on the sparse backend it is materialized
+        only when this property is read (bad-data detection runs on the
+        small cases, not the 10k-bus sweeps).
         """
         if self._hat is None:
-            self._hat = self.H @ self._gain.solve(self.H.T @ self.W)
+            if self.backend == "sparse":
+                weighted_ht = self.H.scale_rows(
+                    self._weights).transpose().to_dense()
+                self._hat = self.H.matvec(self._gain.solve(weighted_ht))
+            else:
+                self._hat = self.H @ self._gain.solve(self.H.T @ self.W)
         return self._hat
 
     @property

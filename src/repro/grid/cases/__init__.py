@@ -18,7 +18,16 @@ from repro.exceptions import ModelError
 from repro.grid.caseio import CaseDefinition
 from repro.grid.cases.five_bus import case_study_1, case_study_2
 from repro.grid.cases.ieee14 import ieee14
-from repro.grid.cases.synthetic import ieee118, ieee30, ieee57, synthetic_case
+from repro.grid.cases.synthetic import (
+    ieee118,
+    ieee30,
+    ieee57,
+    synth300,
+    synth1354,
+    synth2869,
+    synth10000,
+    synthetic_case,
+)
 
 _REGISTRY: Dict[str, Callable[[], CaseDefinition]] = {
     "5bus-study1": case_study_1,
@@ -27,10 +36,17 @@ _REGISTRY: Dict[str, Callable[[], CaseDefinition]] = {
     "ieee30": ieee30,
     "ieee57": ieee57,
     "ieee118": ieee118,
+    "synth300": synth300,
+    "synth1354": synth1354,
+    "synth2869": synth2869,
+    "synth10000": synth10000,
 }
 
 #: The bus-count sweep of the paper's scalability evaluation (Section IV).
 SCALABILITY_SWEEP = ["5bus-study2", "ieee14", "ieee30", "ieee57", "ieee118"]
+
+#: The thousand-bus scaling axis enabled by the sparse backend.
+SCALING_SWEEP = ["synth300", "synth1354", "synth2869", "synth10000"]
 
 
 def case_names() -> List[str]:
@@ -47,6 +63,7 @@ def get_case(name: str) -> CaseDefinition:
 
 __all__ = [
     "SCALABILITY_SWEEP",
+    "SCALING_SWEEP",
     "case_names",
     "case_study_1",
     "case_study_2",
@@ -55,5 +72,9 @@ __all__ = [
     "ieee30",
     "ieee57",
     "ieee118",
+    "synth300",
+    "synth1354",
+    "synth2869",
+    "synth10000",
     "synthetic_case",
 ]

@@ -21,7 +21,7 @@ from repro.grid.matrices import (
     susceptance_matrix,
 )
 from repro.grid.network import Grid
-from repro.numerics import guarded_solve
+from repro.numerics import guarded_solve, resolve_backend
 
 
 @dataclass
@@ -70,7 +70,8 @@ def net_injections(grid: Grid,
 def solve_dc_power_flow(grid: Grid,
                         dispatch: Optional[Dict[int, float]] = None,
                         loads: Optional[Dict[int, float]] = None,
-                        line_indices: Optional[Iterable[int]] = None
+                        line_indices: Optional[Iterable[int]] = None,
+                        backend: Optional[str] = None
                         ) -> DcPowerFlowResult:
     """Solve the DC power flow for the given dispatch and topology.
 
@@ -85,7 +86,8 @@ def solve_dc_power_flow(grid: Grid,
     injections = net_injections(grid, dispatch, loads)
     ref = grid.reference_bus - 1
     keep = [i for i in range(grid.num_buses) if i != ref]
-    B = susceptance_matrix(grid, lines, reduced=True)
+    resolved = resolve_backend(backend, grid.num_buses)
+    B = susceptance_matrix(grid, lines, reduced=True, backend=resolved)
     try:
         theta_reduced = guarded_solve(B, injections[keep],
                                       context="DC power flow "

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.exceptions import ModelError
 from repro.grid.network import Grid
+from repro.numerics.sparse import CsrMatrix
 
 
 def _active_line_list(grid: Grid,
@@ -34,15 +35,43 @@ def _active_line_list(grid: Grid,
     return sorted(set(line_indices))
 
 
+def _check_backend(backend: str) -> None:
+    if backend not in ("dense", "sparse"):
+        raise ValueError(f"matrix builders take backend='dense' or "
+                         f"'sparse', got {backend!r}")
+
+
+def _line_terminals(grid: Grid, active: List[int]):
+    """0-based (from, to) arrays and admittances for the active lines."""
+    f = np.empty(len(active), dtype=np.int64)
+    t = np.empty(len(active), dtype=np.int64)
+    y = np.empty(len(active))
+    for row, line_index in enumerate(active):
+        line = grid.line(line_index)
+        f[row] = line.from_bus - 1
+        t[row] = line.to_bus - 1
+        y[row] = float(line.admittance)
+    return f, t, y
+
+
 def connectivity_matrix(grid: Grid,
-                        line_indices: Optional[Iterable[int]] = None
-                        ) -> np.ndarray:
+                        line_indices: Optional[Iterable[int]] = None,
+                        backend: str = "dense"):
     """The l_active x b connectivity (incidence) matrix **A**.
 
     Rows follow the order of ``sorted(line_indices)``; use
-    :func:`active_lines` for the row-to-line mapping.
+    :func:`active_lines` for the row-to-line mapping.  With
+    ``backend="sparse"`` the result is a :class:`CsrMatrix`.
     """
+    _check_backend(backend)
     active = _active_line_list(grid, line_indices)
+    if backend == "sparse":
+        f, t, _ = _line_terminals(grid, active)
+        rows = np.repeat(np.arange(len(active), dtype=np.int64), 2)
+        cols = np.column_stack([f, t]).ravel()
+        vals = np.tile(np.array([1.0, -1.0]), len(active))
+        return CsrMatrix.from_coo(rows, cols, vals,
+                                  (len(active), grid.num_buses))
     matrix = np.zeros((len(active), grid.num_buses))
     for row, line_index in enumerate(active):
         line = grid.line(line_index)
@@ -65,27 +94,64 @@ def admittance_matrix(grid: Grid,
     return np.diag([float(grid.line(i).admittance) for i in active])
 
 
+def admittance_values(grid: Grid,
+                      line_indices: Optional[Iterable[int]] = None
+                      ) -> np.ndarray:
+    """The branch admittances (the diagonal of **D**) in row order."""
+    active = _active_line_list(grid, line_indices)
+    return np.array([float(grid.line(i).admittance) for i in active])
+
+
+def flow_matrix(grid: Grid,
+                line_indices: Optional[Iterable[int]] = None,
+                backend: str = "dense"):
+    """The flow operator ``D A`` (line flows per bus angle vector)."""
+    _check_backend(backend)
+    active = _active_line_list(grid, line_indices)
+    y = admittance_values(grid, active)
+    A = connectivity_matrix(grid, active, backend=backend)
+    if backend == "sparse":
+        return A.scale_rows(y)
+    return y[:, None] * A
+
+
 def susceptance_matrix(grid: Grid,
                        line_indices: Optional[Iterable[int]] = None,
-                       reduced: bool = True) -> np.ndarray:
+                       reduced: bool = True,
+                       backend: str = "dense"):
     """The nodal susceptance matrix ``B = A^T D A``.
 
     With ``reduced=True`` the reference-bus row and column are removed,
     yielding the invertible (b-1)-dimensional matrix of ``B theta = P``.
+    With ``backend="sparse"`` the result is a :class:`CsrMatrix` built
+    directly from per-line stamps (no dense intermediates).
     """
+    _check_backend(backend)
+    b = grid.num_buses
+    ref = grid.reference_bus - 1
+    if backend == "sparse":
+        active = _active_line_list(grid, line_indices)
+        f, t, y = _line_terminals(grid, active)
+        rows = np.concatenate([f, t, f, t])
+        cols = np.concatenate([f, t, t, f])
+        vals = np.concatenate([y, y, -y, -y])
+        B = CsrMatrix.from_coo(rows, cols, vals, (b, b))
+        if not reduced:
+            return B
+        keep = [i for i in range(b) if i != ref]
+        return B.select_rows(keep).select_columns(keep)
     A = connectivity_matrix(grid, line_indices)
     D = admittance_matrix(grid, line_indices)
     B = A.T @ D @ A
     if not reduced:
         return B
-    ref = grid.reference_bus - 1
-    keep = [i for i in range(grid.num_buses) if i != ref]
+    keep = [i for i in range(b) if i != ref]
     return B[np.ix_(keep, keep)]
 
 
 def measurement_matrix(grid: Grid,
-                       line_indices: Optional[Iterable[int]] = None
-                       ) -> np.ndarray:
+                       line_indices: Optional[Iterable[int]] = None,
+                       backend: str = "dense"):
     """The full potential-measurement matrix **H** (paper Eq. 2).
 
     Shape is ``(2 * l + b, b - 1)``: every *potential* measurement gets a
@@ -96,12 +162,31 @@ def measurement_matrix(grid: Grid,
     * rows ``0 .. l-1``  — forward flow of line ``i+1``,
     * rows ``l .. 2l-1`` — backward flow of line ``i+1-l``,
     * rows ``2l .. 2l+b-1`` — consumption at bus ``j+1-2l``.
+
+    With ``backend="sparse"`` the result is a :class:`CsrMatrix` with
+    the same row/column layout.
     """
+    _check_backend(backend)
     l = grid.num_lines
     b = grid.num_buses
     active = set(_active_line_list(grid, line_indices))
     ref = grid.reference_bus - 1
     keep = [i for i in range(b) if i != ref]
+
+    if backend == "sparse":
+        act = sorted(active)
+        f, t, y = _line_terminals(grid, act)
+        line_rows = np.array([grid.line(i).index - 1 for i in act],
+                             dtype=np.int64)
+        rows = np.concatenate([
+            line_rows, line_rows,                     # forward flows
+            line_rows + l, line_rows + l,             # backward flows
+            2 * l + f, 2 * l + f, 2 * l + t, 2 * l + t,
+        ])
+        cols = np.concatenate([f, t, f, t, f, t, f, t])
+        vals = np.concatenate([y, -y, -y, y, -y, y, y, -y])
+        H = CsrMatrix.from_coo(rows, cols, vals, (2 * l + b, b))
+        return H.select_columns(keep)
 
     forward = np.zeros((l, b))
     for line in grid.lines:

@@ -11,6 +11,14 @@ instead of trusting silently-garbage floating point near the paper's
 Eq. 37 decision boundaries.
 """
 
+from repro.numerics.backend import (
+    BACKENDS,
+    SPARSE_AUTO_MIN_BUSES,
+    default_backend,
+    normalize_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.numerics.diagnostics import (
     FATAL,
     WARNING,
@@ -24,17 +32,35 @@ from repro.numerics.guards import (
     guarded_solve,
 )
 from repro.numerics.policy import NumericsPolicy, default_policy, set_policy
+from repro.numerics.sparse import (
+    CsrMatrix,
+    SingularMatrixError,
+    SparseLU,
+    UpdatedSolver,
+    rcm_ordering,
+)
 
 __all__ = [
+    "BACKENDS",
     "FATAL",
+    "SPARSE_AUTO_MIN_BUSES",
     "WARNING",
+    "CsrMatrix",
     "GuardedFactorization",
     "NumericalDiagnostic",
     "NumericsPolicy",
+    "SingularMatrixError",
+    "SparseLU",
+    "UpdatedSolver",
     "collect_diagnostics",
+    "default_backend",
     "default_policy",
     "guarded_inverse",
     "guarded_rank",
     "guarded_solve",
+    "normalize_backend",
+    "rcm_ordering",
+    "resolve_backend",
+    "set_default_backend",
     "set_policy",
 ]

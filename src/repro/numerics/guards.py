@@ -34,6 +34,12 @@ from repro.numerics.diagnostics import (
     emit,
 )
 from repro.numerics.policy import NumericsPolicy, default_policy
+from repro.numerics.sparse import (
+    CsrMatrix,
+    SingularMatrixError,
+    SparseLU,
+    UpdatedSolver,
+)
 
 try:                                   # scipy ships with the toolchain,
     from scipy.linalg import lu_factor, lu_solve    # but stay importable
@@ -77,17 +83,30 @@ class GuardedFactorization:
                  policy: Optional[NumericsPolicy] = None) -> None:
         self.context = context
         self.policy = policy or default_policy()
-        a = np.asarray(matrix, dtype=float)
-        if a.ndim != 2 or a.shape[0] != a.shape[1]:
-            raise ValueError(f"{context}: expected a square matrix, "
-                             f"got shape {a.shape}")
-        if not np.all(np.isfinite(a)):
-            raise _fail("factorize", context,
-                        "matrix contains non-finite entries")
-        self._a = a
-        self._n = a.shape[0]
-        self.anorm = float(
-            np.max(np.abs(a).sum(axis=0))) if self._n else 0.0
+        if isinstance(matrix, CsrMatrix):
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ValueError(f"{context}: expected a square matrix, "
+                                 f"got shape {matrix.shape}")
+            if not np.all(np.isfinite(matrix.data)):
+                raise _fail("factorize", context,
+                            "matrix contains non-finite entries")
+            self.backend = "sparse"
+            self._a = matrix
+            self._n = matrix.shape[0]
+            self.anorm = matrix.one_norm()
+        else:
+            a = np.asarray(matrix, dtype=float)
+            if a.ndim != 2 or a.shape[0] != a.shape[1]:
+                raise ValueError(f"{context}: expected a square matrix, "
+                                 f"got shape {a.shape}")
+            if not np.all(np.isfinite(a)):
+                raise _fail("factorize", context,
+                            "matrix contains non-finite entries")
+            self.backend = "dense"
+            self._a = a
+            self._n = a.shape[0]
+            self.anorm = float(
+                np.max(np.abs(a).sum(axis=0))) if self._n else 0.0
         self._factorize()
         self.condition = self._estimate_condition()
         if self.condition >= self.policy.condition_fail:
@@ -107,6 +126,17 @@ class GuardedFactorization:
     def _factorize(self) -> None:
         if self._n == 0:
             self._lu = None
+            return
+        if self.backend == "sparse":
+            try:
+                self._lu = SparseLU(self._a)
+            except SingularMatrixError:
+                raise _fail("factorize", self.context,
+                            "matrix is singular to working precision") \
+                    from None
+            if not np.all(np.isfinite(self._lu._u_diag)):
+                raise _fail("factorize", self.context,
+                            "matrix is singular to working precision")
             return
         if _HAVE_SCIPY:
             with _pywarnings.catch_warnings():
@@ -133,11 +163,19 @@ class GuardedFactorization:
                    transpose: bool = False) -> np.ndarray:
         if self._n == 0:
             return np.zeros_like(rhs)
+        if self.backend == "sparse":
+            return (self._lu.solve_transpose(rhs) if transpose
+                    else self._lu.solve(rhs))
         if _HAVE_SCIPY and self._lu is not None:
             return lu_solve(self._lu, rhs, trans=1 if transpose else 0,
                             check_finite=False)
         matrix = self._a.T if transpose else self._a
         return np.linalg.solve(matrix, rhs)    # pragma: no cover
+
+    def _matvec(self, x: np.ndarray) -> np.ndarray:
+        if self.backend == "sparse":
+            return self._a.matvec(x)
+        return self._a @ x
 
     # -- condition estimation (Hager 1988 / Higham 1988) ---------------
 
@@ -146,7 +184,8 @@ class GuardedFactorization:
         if n == 0:
             return 0.0
         if n == 1:
-            pivot = abs(self._a[0, 0])
+            pivot = (abs(self._a.diagonal()[0]) if self.backend == "sparse"
+                     else abs(self._a[0, 0]))
             return float("inf") if pivot == 0.0 else 1.0
         with np.errstate(all="ignore"):
             x = np.full(n, 1.0 / n)
@@ -172,7 +211,7 @@ class GuardedFactorization:
 
     def _relative_residual(self, rhs: np.ndarray,
                            solution: np.ndarray) -> float:
-        residual = rhs - self._a @ solution
+        residual = rhs - self._matvec(solution)
         denominator = self.anorm * _max_abs(solution) + _max_abs(rhs)
         if denominator == 0.0:
             return _max_abs(residual)
@@ -201,7 +240,7 @@ class GuardedFactorization:
             for _ in range(self.policy.refine_steps):
                 if residual <= self.policy.residual_warn:
                     break
-                correction = self._raw_solve(b - self._a @ x)
+                correction = self._raw_solve(b - self._matvec(x))
                 if not np.all(np.isfinite(correction)):
                     break
                 refined = x + correction
@@ -224,6 +263,21 @@ class GuardedFactorization:
     def inverse(self) -> np.ndarray:
         """The verified explicit inverse (a solve against identity)."""
         return self.solve(np.eye(self._n), operation="inverse")
+
+    def updated(self, updates, operation: str = "rank-1 update"
+                ) -> UpdatedSolver:
+        """A Sherman–Morrison/Woodbury solver for ``A + Σ α u v^T``.
+
+        Solves against the updated matrix reuse this factorization's
+        verified :meth:`solve`; a singular capacitance matrix (e.g. a
+        bridge-line outage) raises :class:`NumericalInstability` with
+        the same structured diagnostics as a direct factorization.
+        """
+        try:
+            return UpdatedSolver(self.solve, self._matvec, updates)
+        except SingularMatrixError as exc:
+            raise _fail(operation, self.context, str(exc),
+                        condition=self.condition) from None
 
 
 def guarded_solve(matrix, rhs, context: str = "linear system",
@@ -252,6 +306,30 @@ def guarded_rank(matrix, context: str = "matrix",
     """
     active = policy or default_policy()
     tolerance = active.rank_rtol if rtol is None else rtol
+    if isinstance(matrix, CsrMatrix):
+        # Sparse branch: numerical rank from the LU pivot magnitudes of
+        # an ``allow_singular`` factorization (tiny pivots are recorded,
+        # never divided through), with the same matrix-scaled cutoff and
+        # the same near-deficiency warning semantics.  Only meaningful
+        # for square matrices (the observability guard passes the Gram
+        # matrix H^T H, whose rank equals H's).
+        if matrix.nnz == 0 or min(matrix.shape) == 0:
+            return 0
+        if not np.all(np.isfinite(matrix.data)):
+            raise _fail("rank", context,
+                        "matrix contains non-finite entries")
+        lu = SparseLU(matrix, allow_singular=True)
+        magnitudes = np.sort(lu.pivot_magnitudes)[::-1]
+        if magnitudes.size == 0 or magnitudes[0] == 0.0:
+            return 0
+        cutoff = float(magnitudes[0]) * tolerance
+        rank = int(np.count_nonzero(magnitudes > cutoff))
+        if rank and float(magnitudes[rank - 1]) <= cutoff * 10.0:
+            _warn("rank", context,
+                  f"near-rank-deficient: smallest counted pivot "
+                  f"{magnitudes[rank - 1]:.3e} within 10x of cutoff "
+                  f"{cutoff:.3e}")
+        return rank
     a = np.asarray(matrix, dtype=float)
     if a.size == 0:
         return 0

@@ -7,10 +7,20 @@ line exclusion (or inclusion) through line-outage / line-closure
 distribution factors instead of rebuilding the network equations.
 
 The formulation is mathematically equivalent to the angle formulation for
-the same topology (verified in the tests) but solves much faster on the
-57/118-bus systems because the LP drops from ``b + g`` variables and
-``b + 2l`` constraints to ``g`` variables and ``2l + 1`` constraints, and
-the PTDF matrix is computed once per base topology.
+the same topology (verified in the tests) but solves much faster because
+the LP drops from ``b + g`` variables and ``b + 2l`` constraints to ``g``
+variables and at most ``2l + 1`` constraints, and the susceptance
+factorization is computed once per base topology.
+
+Since the sparse-scaling refactor the flow model is built from the
+*generator columns* of the PTDF (one batched factorized solve) plus one
+solve per demand vector — the full l x b PTDF array is never formed.  On
+the sparse backend the LP additionally uses *row generation*: it starts
+with no line-capacity rows and adds only the rows a candidate dispatch
+actually violates, so each solve touches the handful of shift-factor
+rows it binds instead of all ``2l``.  (The restricted LP is a relaxation
+of the full one, so an infeasible restriction proves infeasibility and a
+violation-free optimum is the true optimum.)
 """
 
 from __future__ import annotations
@@ -18,22 +28,25 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
 
 from repro.exceptions import ModelError
-from repro.grid.matrices import active_lines, susceptance_matrix
+from repro.grid.matrices import active_lines
 from repro.grid.network import Grid
 from repro.grid.sensitivities import (
-    SensitivityFactors,
     compute_ptdf,
+    lcdf_column,
     lodf_column,
 )
-from repro.numerics import guarded_inverse
+from repro.numerics import resolve_backend
 from repro.opf.dcopf import DcOpfResult
 from repro.smt.rational import to_fraction
+
+#: Safety cap on row-generation rounds before falling back to the full LP.
+_MAX_ROW_GENERATION_ROUNDS = 50
 
 
 @dataclass
@@ -57,62 +70,82 @@ class ShiftFactorOpf:
     """
 
     def __init__(self, grid: Grid,
-                 base_topology: Optional[Iterable[int]] = None) -> None:
+                 base_topology: Optional[Iterable[int]] = None,
+                 backend: Optional[str] = None) -> None:
         self.grid = grid
         self.base_lines = active_lines(grid, base_topology)
-        self.factors = compute_ptdf(grid, self.base_lines)
+        self.backend = resolve_backend(backend, grid.num_buses)
+        self.factors = compute_ptdf(grid, self.base_lines,
+                                    backend=self.backend)
         self.gen_buses = sorted(grid.generators)
         #: cumulative work counters for sweep traces.
         self.solve_calls = 0
         self.solve_seconds = 0.0
-        # Injection map: columns are generator outputs.
-        self._gen_matrix = np.zeros((grid.num_buses, len(self.gen_buses)))
-        for k, bus in enumerate(self.gen_buses):
-            self._gen_matrix[bus - 1, k] = 1.0
+        #: capacity rows materialized by row generation (sparse backend).
+        self.rows_generated = 0
+        self._row_generation = self.backend == "sparse"
+        self._gen_flow: Optional[np.ndarray] = None
+        # Warm-started active sets per topology change, so bisection
+        # loops re-solve with yesterday's binding rows already present.
+        self._active_rows: Dict[Optional[Tuple[str, int]],
+                                Set[Tuple[int, int]]] = {}
 
     # -- flow model -----------------------------------------------------
 
-    def _flow_operator(self, change: Optional[TopologyChange]
-                       ) -> Tuple[np.ndarray, List[int]]:
-        """(matrix mapping bus injections to flows, line order)."""
-        M = self.factors.ptdf.copy()
+    def gen_flow_matrix(self) -> np.ndarray:
+        """Base-topology flows per unit generator output (l x g)."""
+        if self._gen_flow is None:
+            self._gen_flow = self.factors.columns(self.gen_buses)
+        return self._gen_flow
+
+    def _flow_model(self, change: Optional[TopologyChange],
+                    demand: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, List[int]]:
+        """``(flow_gen, flow_base, line order)`` for a topology change.
+
+        ``flows = flow_gen @ p + flow_base`` for generator outputs
+        ``p``.  The base model is one batched solve for the generator
+        columns plus one solve for the demand; changes are rank-1
+        LODF/LCDF corrections of those vectors — never a new
+        factorization.
+        """
+        flow_gen = self.gen_flow_matrix()
+        flow_base = self.factors.flows_for_injections(-demand)
         lines = list(self.factors.lines)
         if change is None:
-            return M, lines
+            return flow_gen, flow_base, lines
         if change.kind == "exclude":
             k = self.factors.row_of(change.line_index)
             column = lodf_column(self.factors, change.line_index)
             # flow_i' = flow_i + LODF_i * flow_k ; row k removed.
-            M = M + np.outer(column, M[k])
-            M = np.delete(M, k, axis=0)
+            flow_gen = flow_gen + np.outer(column, flow_gen[k])
+            flow_base = flow_base + column * flow_base[k]
+            flow_gen = np.delete(flow_gen, k, axis=0)
+            flow_base = np.delete(flow_base, k)
             lines.pop(k)
-            return M, lines
-        # Inclusion: compute the closed line's flow as a linear operator.
-        line = self.grid.line(change.line_index)
+            return flow_gen, flow_base, lines
+        # Inclusion: the closed line's flow as a linear operator over
+        # injections, from the cached base factorization.
         if change.line_index in self.factors.lines:
             raise ModelError(
                 f"line {change.line_index} is already in the base topology")
-        grid = self.grid
-        ref = grid.reference_bus - 1
-        keep = [i for i in range(grid.num_buses) if i != ref]
-        B_inv = guarded_inverse(
-            susceptance_matrix(grid, self.base_lines, reduced=True),
-            context="shift-factor base susceptance matrix")
-        e = np.zeros(grid.num_buses)
-        e[line.from_bus - 1] += 1.0
-        e[line.to_bus - 1] -= 1.0
-        x_thevenin = float(e[keep] @ B_inv @ e[keep])
+        line = self.grid.line(change.line_index)
         y = float(line.admittance)
-        # delta-theta operator: row vector over injections.
-        dtheta = np.zeros(grid.num_buses)
-        dtheta[keep] = e[keep] @ B_inv
-        new_row = (y / (1.0 + y * x_thevenin)) * dtheta
-        column = -(self.factors.ptdf[:, line.from_bus - 1]
-                   - self.factors.ptdf[:, line.to_bus - 1])
-        M = M + np.outer(column, new_row)
-        M = np.vstack([M, new_row])
+        x_thevenin = self.factors.thevenin_impedance(line.from_bus,
+                                                     line.to_bus)
+        scale = 1.0 / (1.0 + y * x_thevenin)
+        # delta-theta sensitivity row over bus injections.
+        dtheta = self.factors.open_line_flow_row(change.line_index)
+        new_row_gen = scale * np.array(
+            [dtheta[bus - 1] for bus in self.gen_buses])
+        new_base = scale * float(dtheta @ (-demand))
+        column = lcdf_column(self.factors, change.line_index)
+        flow_gen = flow_gen + np.outer(column, new_row_gen)
+        flow_base = flow_base + column * new_base
+        flow_gen = np.vstack([flow_gen, new_row_gen])
+        flow_base = np.append(flow_base, new_base)
         lines.append(change.line_index)
-        return M, lines
+        return flow_gen, flow_base, lines
 
     # -- solve ------------------------------------------------------------
 
@@ -145,10 +178,7 @@ class ShiftFactorOpf:
             for bus, value in loads.items():
                 demand[bus - 1] = float(value)
 
-        M, line_order = self._flow_operator(change)
-        # flows = M (G p - demand)
-        flow_gen = M @ self._gen_matrix
-        flow_base = -(M @ demand)
+        flow_gen, flow_base, line_order = self._flow_model(change, demand)
 
         num_gens = len(self.gen_buses)
         c = np.array([float(grid.generators[b].cost_beta)
@@ -158,15 +188,20 @@ class ShiftFactorOpf:
                   for b in self.gen_buses]
         capacities = np.array([float(grid.line(i).capacity)
                                for i in line_order])
-        A_ub = np.vstack([flow_gen, -flow_gen])
-        b_ub = np.concatenate([capacities - flow_base,
-                               capacities + flow_base])
         A_eq = np.ones((1, num_gens))
         b_eq = np.array([float(demand.sum())])
 
-        result = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
-                         bounds=bounds, method="highs")
-        if not result.success:
+        if self._row_generation:
+            result = self._solve_with_row_generation(
+                change, c, bounds, A_eq, b_eq,
+                flow_gen, flow_base, capacities)
+        else:
+            A_ub = np.vstack([flow_gen, -flow_gen])
+            b_ub = np.concatenate([capacities - flow_base,
+                                   capacities + flow_base])
+            result = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                             bounds=bounds, method="highs")
+        if result is None or not result.success:
             return DcOpfResult(False, None)
 
         constant = sum(float(g.cost_alpha) for g in grid.generators.values())
@@ -181,3 +216,53 @@ class ShiftFactorOpf:
         return DcOpfResult(True,
                            to_fraction(round(result.fun + constant, 9)),
                            dispatch, flows, {}, binding)
+
+    def _solve_with_row_generation(self, change: Optional[TopologyChange],
+                                   c: np.ndarray, bounds, A_eq, b_eq,
+                                   flow_gen: np.ndarray,
+                                   flow_base: np.ndarray,
+                                   capacities: np.ndarray):
+        """Cutting-plane LP over the line-capacity rows.
+
+        Each active row is a ``(line row, sign)`` pair for one side of
+        ``|flow| <= capacity``.  The restricted LP is a relaxation of
+        the full problem: infeasibility is conclusive, and an optimum
+        violating no capacity is the full optimum.  The active set is
+        warm-started per topology change across calls.
+        """
+        key = (change.kind, change.line_index) if change else None
+        active = self._active_rows.setdefault(key, set())
+        active = {(r, s) for r, s in active if r < flow_gen.shape[0]}
+        feasibility_slack = 1e-9
+        result = None
+        for _ in range(_MAX_ROW_GENERATION_ROUNDS):
+            if active:
+                ordered = sorted(active)
+                rows = np.array([r for r, _ in ordered])
+                signs = np.array([float(s) for _, s in ordered])
+                A_ub = signs[:, None] * flow_gen[rows]
+                b_ub = capacities[rows] - signs * flow_base[rows]
+            else:
+                A_ub = None
+                b_ub = None
+            result = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq,
+                             b_eq=b_eq, bounds=bounds, method="highs")
+            if not result.success:
+                return result       # relaxation infeasible => infeasible
+            flows = flow_gen @ result.x + flow_base
+            over = flows - capacities > feasibility_slack
+            under = -flows - capacities > feasibility_slack
+            violated = ([(int(r), 1) for r in np.flatnonzero(over)]
+                        + [(int(r), -1) for r in np.flatnonzero(under)])
+            fresh = [rs for rs in violated if rs not in active]
+            if not fresh:
+                self._active_rows[key] = active
+                return result
+            active.update(fresh)
+            self.rows_generated += len(fresh)
+        # Degenerate cycling safety net: solve the full LP once.
+        A_ub = np.vstack([flow_gen, -flow_gen])
+        b_ub = np.concatenate([capacities - flow_base,
+                               capacities + flow_base])
+        return linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq,
+                       bounds=bounds, method="highs")

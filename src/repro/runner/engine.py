@@ -344,11 +344,16 @@ def plan_units(specs: Sequence[ScenarioSpec], pending: Sequence[int],
     return units
 
 
-def build_analyzer(case, kind: str, warm: bool = False):
-    """The analyzer a resolved case runs on (warm = incremental SMT)."""
+def build_analyzer(case, kind: str, warm: bool = False,
+                   backend: Optional[str] = None):
+    """The analyzer a resolved case runs on (warm = incremental SMT).
+
+    ``backend`` picks the fast analyzer's linear-algebra path; the SMT
+    analyzer works in exact rationals and ignores it.
+    """
     if kind == "smt":
         return ImpactAnalyzer(case, incremental=warm)
-    return FastImpactAnalyzer(case)
+    return FastImpactAnalyzer(case, backend=backend)
 
 
 def execute_with_analyzer(spec: ScenarioSpec, fingerprint: str,
@@ -433,7 +438,8 @@ def execute_scenario(spec: ScenarioSpec, fingerprint: str = "",
         # decision mode keeps the cold single-shot path (bit-identical
         # witnesses).
         analyzer = build_analyzer(case, kind,
-                                  warm=spec.search == "maximize")
+                                  warm=spec.search == "maximize",
+                                  backend=spec.resolved_backend(case))
     except BudgetExhausted as exc:
         outcome.status = UNKNOWN
         outcome.error = exc.reason
@@ -501,7 +507,9 @@ def execute_scenario_group(specs: Sequence[ScenarioSpec],
                 continue
             kind = spec.resolved_analyzer(case)
             if analyzer is None:
-                analyzer = build_analyzer(case, kind, warm=True)
+                analyzer = build_analyzer(
+                    case, kind, warm=True,
+                    backend=spec.resolved_backend(case))
         except KeyboardInterrupt:
             # A SIGINT/SIGTERM mid-unit: hand the completed outcomes
             # back so the engine checkpoints them before re-raising —

@@ -253,7 +253,8 @@ def check_feasibility(case: CaseDefinition) -> ValidationReport:
 # ---------------------------------------------------------------------------
 
 def check_measurements(case: CaseDefinition,
-                       observability: bool = True) -> ValidationReport:
+                       observability: bool = True,
+                       backend=None) -> ValidationReport:
     """Sensor references, duplicates and (optionally) observability."""
     report = ValidationReport(subject=case.name)
     expected = case.num_potential_measurements
@@ -293,18 +294,19 @@ def check_measurements(case: CaseDefinition,
                    "no measurement is taken; the estimator sees nothing")
     elif observability and report.ok \
             and len(specs) == expected:
-        report.extend(_check_observability(case))
+        report.extend(_check_observability(case, backend=backend))
     return report
 
 
-def _check_observability(case: CaseDefinition) -> ValidationReport:
+def _check_observability(case: CaseDefinition,
+                         backend=None) -> ValidationReport:
     """Numerical observability of the taken set (needs a sound case)."""
     from repro.estimation.measurement import MeasurementPlan
     from repro.estimation.observability import is_numerically_observable
     report = ValidationReport(subject=case.name)
     try:
         plan = MeasurementPlan.from_case(case)
-        observable = is_numerically_observable(plan)
+        observable = is_numerically_observable(plan, backend=backend)
     except Exception:
         # Structure problems are reported by their own checks; the
         # observability probe never escalates them into a crash.
@@ -363,7 +365,8 @@ def check_attack_spec(case: CaseDefinition) -> ValidationReport:
 # ---------------------------------------------------------------------------
 
 def validate_case(case: CaseDefinition,
-                  observability: bool = True) -> ValidationReport:
+                  observability: bool = True,
+                  backend=None) -> ValidationReport:
     """Full preflight: structure, then degeneracy/measurements/attack.
 
     Topology, feasibility and measurement checks only run when the
@@ -375,7 +378,8 @@ def validate_case(case: CaseDefinition,
         report.extend(check_topology(case))
         report.extend(check_feasibility(case))
         report.extend(check_measurements(case,
-                                         observability=observability))
+                                         observability=observability,
+                                         backend=backend))
     report.extend(check_attack_spec(case))
     return report
 

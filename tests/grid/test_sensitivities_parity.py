@@ -1,0 +1,226 @@
+"""Dense-vs-sparse differential suite for the analysis pipeline.
+
+Every quantity the impact analysis consumes — PTDF, LODF/LCDF columns,
+WLS estimates, shift-factor OPF results — is computed on both backends
+and required to agree to floating-point noise, on the bundled cases and
+on randomized seeded grids.  The rank-1 outage update is additionally
+checked against the refactorize-from-scratch oracle, and the bridge /
+islanding edge cases must fail identically on both paths.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.estimation.measurement import MeasurementPlan
+from repro.estimation.wls import WlsEstimator
+from repro.grid.cases import get_case
+from repro.grid.cases.builders import proportional_dispatch
+from repro.grid.cases.synthetic import synthetic_case
+from repro.grid.dcpf import net_injections
+from repro.grid.sensitivities import (
+    compute_ptdf,
+    flows_after_exclusion,
+    lcdf_column,
+    lodf_column,
+)
+from repro.opf.shift_factor import ShiftFactorOpf, TopologyChange
+
+CASES = ["5bus-study1", "ieee14", "ieee118"]
+
+
+def _both_factors(grid, line_indices=None):
+    return (compute_ptdf(grid, line_indices, backend="dense"),
+            compute_ptdf(grid, line_indices, backend="sparse"))
+
+
+def _seeded_grid(seed):
+    """A small randomized case (connected by construction)."""
+    case = synthetic_case(f"rand{seed}", 40, 62, 6, seed)
+    return case.build_grid()
+
+
+class TestPtdfParity:
+    @pytest.mark.parametrize("name", CASES)
+    def test_full_matrix(self, name):
+        grid = get_case(name).build_grid()
+        dense, sparse = _both_factors(grid)
+        assert np.allclose(dense.ptdf, sparse.ptdf, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_grids(self, seed):
+        grid = _seeded_grid(seed)
+        dense, sparse = _both_factors(grid)
+        assert np.allclose(dense.ptdf, sparse.ptdf, atol=1e-9)
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_rows_and_columns(self, name):
+        grid = get_case(name).build_grid()
+        dense, sparse = _both_factors(grid)
+        rng = random.Random(11)
+        for line_index in rng.sample(dense.lines, 3):
+            assert np.allclose(dense.row(line_index),
+                               sparse.row(line_index), atol=1e-9)
+        for bus in rng.sample([b.index for b in grid.buses], 3):
+            assert np.allclose(dense.column(bus), sparse.column(bus),
+                               atol=1e-9)
+
+
+class TestLodfLcdfParity:
+    @pytest.mark.parametrize("name", CASES)
+    def test_lodf_columns(self, name):
+        grid = get_case(name).build_grid()
+        dense, sparse = _both_factors(grid)
+        for outage in dense.lines:
+            remaining = [i for i in dense.lines if i != outage]
+            if not grid.is_connected(remaining):
+                with pytest.raises(ModelError):
+                    lodf_column(dense, outage)
+                with pytest.raises(ModelError):
+                    lodf_column(sparse, outage)
+                continue
+            assert np.allclose(lodf_column(dense, outage),
+                               lodf_column(sparse, outage), atol=1e-8), \
+                (name, outage)
+
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14"])
+    def test_lcdf_columns(self, name):
+        grid = get_case(name).build_grid()
+        all_lines = [l.index for l in grid.lines]
+        rng = random.Random(5)
+        for new_line in rng.sample(all_lines, min(4, len(all_lines))):
+            base = [i for i in all_lines if i != new_line]
+            if not grid.is_connected(base):
+                continue
+            dense, sparse = _both_factors(grid, base)
+            assert np.allclose(lcdf_column(dense, new_line),
+                               lcdf_column(sparse, new_line), atol=1e-8)
+
+    def test_bridge_rejected_on_both_backends(self):
+        grid = get_case("5bus-study1").build_grid()
+        for backend in ("dense", "sparse"):
+            factors = compute_ptdf(grid, [1, 3, 4, 5, 6, 7],
+                                   backend=backend)
+            with pytest.raises(ModelError, match="bridge"):
+                lodf_column(factors, 1)
+
+
+class TestRankOneUpdateOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_outage_update_matches_refactorization(self, seed):
+        """Sherman-Morrison outage solves equal a fresh factorization."""
+        grid = _seeded_grid(seed + 20)
+        factors = compute_ptdf(grid, backend="sparse")
+        rng = random.Random(seed)
+        candidates = [i for i in factors.lines
+                      if grid.is_connected(
+                          [j for j in factors.lines if j != i])]
+        injections = np.array(
+            [rng.uniform(-0.3, 0.3) for _ in range(grid.num_buses)])
+        keep = [i for i in range(grid.num_buses)
+                if i != grid.reference_bus - 1]
+        reduced = injections[keep]
+        for outage in rng.sample(candidates, 3):
+            updated = factors.outage_update(outage)
+            remaining = [i for i in factors.lines if i != outage]
+            oracle = compute_ptdf(grid, remaining, backend="sparse")
+            assert np.allclose(
+                updated.solve(reduced),
+                oracle.factorization.solve(reduced), atol=1e-8), outage
+
+    def test_bridge_outage_update_fails(self):
+        grid = get_case("5bus-study1").build_grid()
+        factors = compute_ptdf(grid, [1, 3, 4, 5, 6, 7],
+                               backend="sparse")
+        from repro.numerics import SingularMatrixError
+        from repro.exceptions import NumericalInstability
+        with pytest.raises((SingularMatrixError, NumericalInstability,
+                            ModelError)):
+            factors.outage_update(1).solve(
+                np.zeros(grid.num_buses - 1))
+
+
+class TestWlsParity:
+    @pytest.mark.parametrize("name", CASES)
+    def test_estimates_agree(self, name):
+        grid = get_case(name).build_grid()
+        plan = MeasurementPlan.full(grid)
+        rng = np.random.default_rng(13)
+        m = len(plan.taken_indices())
+        weights = rng.uniform(0.5, 2.0, m)
+        z = rng.normal(size=m)
+        dense = WlsEstimator(plan, weights=weights, backend="dense")
+        sparse = WlsEstimator(plan, weights=weights, backend="sparse")
+        ed, es = dense.estimate(z), sparse.estimate(z)
+        assert ed.residual_norm == pytest.approx(es.residual_norm,
+                                                 abs=1e-9)
+        for bus, angle in ed.angles.items():
+            assert es.angles[bus] == pytest.approx(angle, abs=1e-9)
+        for line, flow in ed.flows.items():
+            assert es.flows[line] == pytest.approx(flow, abs=1e-9)
+        assert np.allclose(dense.hat_matrix, sparse.hat_matrix,
+                           atol=1e-8)
+
+
+class TestDcOpfParity:
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14", "ieee118"])
+    def test_objective_and_dispatch_agree(self, name):
+        grid = get_case(name).build_grid()
+        dense = ShiftFactorOpf(grid, backend="dense")
+        sparse = ShiftFactorOpf(grid, backend="sparse")
+        rd, rs = dense.solve(), sparse.solve()
+        assert rd.feasible == rs.feasible
+        if rd.feasible:
+            assert float(rd.cost) == pytest.approx(
+                float(rs.cost), abs=1e-5)
+            for bus, value in rd.dispatch.items():
+                assert float(rs.dispatch[bus]) == pytest.approx(
+                    float(value), abs=1e-5)
+
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14"])
+    def test_topology_changes_agree(self, name):
+        grid = get_case(name).build_grid()
+        dense = ShiftFactorOpf(grid, backend="dense")
+        sparse = ShiftFactorOpf(grid, backend="sparse")
+        for line in list(dense.factors.lines)[:4]:
+            change = TopologyChange("exclude", line)
+            rd, rs = dense.solve(change=change), \
+                sparse.solve(change=change)
+            assert rd.feasible == rs.feasible, (name, line)
+            if rd.feasible:
+                assert float(rd.cost) == pytest.approx(
+                    float(rs.cost), abs=1e-5), (name, line)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_random_grid_objectives_agree(self, seed):
+        grid = _seeded_grid(seed + 40)
+        dense = ShiftFactorOpf(grid, backend="dense")
+        sparse = ShiftFactorOpf(grid, backend="sparse")
+        rd, rs = dense.solve(), sparse.solve()
+        assert rd.feasible == rs.feasible
+        if rd.feasible:
+            assert float(rd.cost) == pytest.approx(
+                float(rs.cost), abs=1e-5)
+
+
+class TestExclusionFlowsParity:
+    @pytest.mark.parametrize("name", ["5bus-study1", "ieee14"])
+    def test_flows_after_exclusion(self, name):
+        grid = get_case(name).build_grid()
+        dispatch = {b: float(p) for b, p in proportional_dispatch(
+            list(grid.generators.values()), grid.total_load()).items()}
+        injections = net_injections(grid, dispatch)
+        dense, sparse = _both_factors(grid)
+        base_d = dense.flows_for_injections(injections)
+        base_s = sparse.flows_for_injections(injections)
+        assert np.allclose(base_d, base_s, atol=1e-9)
+        for outage in dense.lines:
+            remaining = [i for i in dense.lines if i != outage]
+            if not grid.is_connected(remaining):
+                continue
+            assert np.allclose(
+                flows_after_exclusion(dense, base_d, outage),
+                flows_after_exclusion(sparse, base_s, outage),
+                atol=1e-8)

@@ -1,0 +1,87 @@
+"""Regression tests for the deterministic synthetic case generators.
+
+The four scaling cases (300/1354/2869/10000 buses) must be connected,
+dimensionally exact and *byte-identical* across generations — their
+serialized text is part of every scenario fingerprint, so any
+nondeterminism would silently split the result cache.  The historical
+IEEE-30/57/118 substitutes must survive topology-generator changes
+byte for byte as well.
+"""
+
+import pytest
+
+from repro.grid.caseio import write_case
+from repro.grid.cases import SCALING_SWEEP, get_case
+from repro.grid.cases.synthetic import random_topology
+
+EXPECTED_DIMENSIONS = {
+    "synth300": (300, 411, 30),
+    "synth1354": (1354, 1991, 80),
+    "synth2869": (2869, 4582, 120),
+    "synth10000": (10000, 13500, 250),
+}
+
+
+def test_scaling_sweep_names_all_sizes():
+    assert SCALING_SWEEP == list(EXPECTED_DIMENSIONS)
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_DIMENSIONS))
+def test_dimensions_and_connectivity(name):
+    case = get_case(name)
+    buses, lines, gens = EXPECTED_DIMENSIONS[name]
+    assert case.num_buses == buses
+    assert case.num_lines == lines
+    assert len(case.generators) == gens
+    grid = case.build_grid()
+    assert grid.is_connected([l.index for l in grid.lines])
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_DIMENSIONS))
+def test_byte_identical_across_generations(name):
+    assert write_case(get_case(name)) == write_case(get_case(name))
+
+
+@pytest.mark.parametrize("name", ["synth300", "synth1354", "synth2869"])
+def test_preflight_clean(name):
+    """The scaling cases pass validation without errors.
+
+    (synth10000 is exercised by the scaling benchmark; its preflight
+    takes ~15s, too slow for the unit tier.)
+    """
+    from repro.validation.checks import validate_case
+    report = validate_case(get_case(name))
+    assert report.ok, report.fatal
+
+
+def test_random_topology_exact_line_count():
+    """The completion sweep guarantees the requested branch budget."""
+    for num_buses, num_lines in ((50, 75), (200, 270), (300, 411)):
+        branches = random_topology(num_buses, num_lines, seed=1,
+                                   span=8, tie_probability=0.02,
+                                   tie_span=64)
+        assert len(branches) == num_lines
+        keys = {(f, t) for f, t, _ in branches}
+        assert len(keys) == num_lines        # no duplicate edges
+
+
+def test_random_topology_rejects_impossible_budgets():
+    with pytest.raises(ValueError):
+        random_topology(10, 8, seed=1)       # below spanning tree
+    with pytest.raises(ValueError):
+        random_topology(4, 7, seed=1)        # above complete graph
+
+
+def test_legacy_cases_unchanged():
+    """Pinned digests: the generator refactor must not move ieee30/57/118."""
+    import hashlib
+    digests = {
+        name: hashlib.sha256(write_case(get_case(name)).encode())
+        .hexdigest()[:16]
+        for name in ("ieee30", "ieee57", "ieee118")
+    }
+    assert digests == {
+        "ieee30": "1369503515ecc9aa",
+        "ieee57": "a242383243c495a8",
+        "ieee118": "927847056922b189",
+    }

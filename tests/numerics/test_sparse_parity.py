@@ -1,0 +1,225 @@
+"""Differential tests for the sparse core against dense numpy oracles.
+
+Every CSR operation, the sparse LU (solve, transpose solve, batched
+RHS), the rank-1 Sherman-Morrison updates and the guarded-layer
+dispatch are checked bit-for-tolerance against the dense equivalents on
+randomized seeded systems, so the sparse backend can only ever disagree
+with the dense one by floating-point noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NumericalInstability
+from repro.numerics import (
+    CsrMatrix,
+    GuardedFactorization,
+    SingularMatrixError,
+    SparseLU,
+    UpdatedSolver,
+    guarded_rank,
+    rcm_ordering,
+)
+
+
+def _random_spd_system(n, seed, density=0.25):
+    """A diagonally-dominant sparse system (always factorizable)."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, n))
+    dense[rng.random((n, n)) > density] = 0.0
+    dense = dense + dense.T
+    dense[np.arange(n), np.arange(n)] = np.abs(dense).sum(axis=1) + 1.0
+    return dense
+
+
+def _random_sparse(rows, cols, seed, density=0.3):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(rows, cols))
+    dense[rng.random((rows, cols)) > density] = 0.0
+    return dense
+
+
+class TestCsrMatrix:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_and_matvec(self, seed):
+        dense = _random_sparse(13, 9, seed)
+        csr = CsrMatrix.from_dense(dense)
+        assert np.array_equal(csr.to_dense(), dense)
+        rng = np.random.default_rng(seed + 100)
+        x = rng.normal(size=9)
+        y = rng.normal(size=13)
+        assert np.allclose(csr.matvec(x), dense @ x)
+        assert np.allclose(csr.rmatvec(y), dense.T @ y)
+        X = rng.normal(size=(9, 4))
+        assert np.allclose(csr.matvec(X), dense @ X)
+
+    def test_from_coo_deduplicates(self):
+        rows = np.array([0, 0, 1, 0])
+        cols = np.array([1, 1, 0, 2])
+        vals = np.array([2.0, 3.0, 4.0, 5.0])
+        csr = CsrMatrix.from_coo(rows, cols, vals, (2, 3))
+        expected = np.array([[0.0, 5.0, 5.0], [4.0, 0.0, 0.0]])
+        assert np.array_equal(csr.to_dense(), expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_select_scale_transpose(self, seed):
+        dense = _random_sparse(11, 7, seed)
+        csr = CsrMatrix.from_dense(dense)
+        keep_rows = [0, 3, 4, 9]
+        assert np.array_equal(csr.select_rows(keep_rows).to_dense(),
+                              dense[keep_rows])
+        keep_cols = [1, 2, 5]
+        assert np.array_equal(csr.select_columns(keep_cols).to_dense(),
+                              dense[:, keep_cols])
+        scale = np.arange(1.0, 12.0)
+        assert np.allclose(csr.scale_rows(scale).to_dense(),
+                           scale[:, None] * dense)
+        assert np.array_equal(csr.transpose().to_dense(), dense.T)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gram_matches_dense(self, seed):
+        dense = _random_sparse(17, 8, seed)
+        csr = CsrMatrix.from_dense(dense)
+        assert np.allclose(csr.gram().to_dense(), dense.T @ dense)
+        w = np.random.default_rng(seed).uniform(0.5, 2.0, 17)
+        assert np.allclose(csr.gram(w).to_dense(),
+                           dense.T @ np.diag(w) @ dense)
+
+    def test_one_norm(self):
+        dense = np.array([[1.0, -4.0], [2.0, 0.0]])
+        assert CsrMatrix.from_dense(dense).one_norm() == 4.0
+
+
+class TestSparseLU:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_solve_matches_numpy(self, seed):
+        n = 20
+        dense = _random_spd_system(n, seed)
+        lu = SparseLU(CsrMatrix.from_dense(dense))
+        rng = np.random.default_rng(seed + 50)
+        b = rng.normal(size=n)
+        assert np.allclose(lu.solve(b), np.linalg.solve(dense, b),
+                           atol=1e-10)
+        assert np.allclose(lu.solve_transpose(b),
+                           np.linalg.solve(dense.T, b), atol=1e-10)
+        B = rng.normal(size=(n, 5))
+        assert np.allclose(lu.solve(B), np.linalg.solve(dense, B),
+                           atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unsymmetric_with_pivoting(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 15
+        dense = _random_sparse(n, n, seed, density=0.4)
+        dense += np.diag(rng.uniform(0.01, 0.1, n))  # weak diagonal
+        if abs(np.linalg.det(dense)) < 1e-8:
+            pytest.skip("singular draw")
+        lu = SparseLU(CsrMatrix.from_dense(dense))
+        b = rng.normal(size=n)
+        assert np.allclose(lu.solve(b), np.linalg.solve(dense, b),
+                           atol=1e-8)
+
+    def test_singular_raises(self):
+        dense = np.array([[1.0, 2.0], [2.0, 4.0]])
+        with pytest.raises(SingularMatrixError):
+            SparseLU(CsrMatrix.from_dense(dense))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_allow_singular_rank_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        n, r = 12, 12 - (seed % 4)
+        basis = rng.normal(size=(n, r))
+        dense = basis @ basis.T              # rank r, symmetric PSD
+        lu = SparseLU(CsrMatrix.from_dense(dense), allow_singular=True)
+        magnitudes = np.sort(np.abs(lu.pivot_magnitudes))[::-1]
+        cutoff = magnitudes[0] * 1e-8
+        assert int(np.sum(magnitudes > cutoff)) == \
+            np.linalg.matrix_rank(dense)
+
+    def test_rcm_reduces_bandwidth(self):
+        rng = np.random.default_rng(3)
+        n = 30
+        perm_in = rng.permutation(n)
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[perm_in[i], perm_in[i]] = 4.0
+        for i in range(n - 1):
+            dense[perm_in[i], perm_in[i + 1]] = -1.0
+            dense[perm_in[i + 1], perm_in[i]] = -1.0
+        perm = rcm_ordering(CsrMatrix.from_dense(dense))
+        reordered = dense[np.ix_(perm, perm)]
+        rows, cols = np.nonzero(reordered)
+        assert np.max(np.abs(rows - cols)) <= 2
+
+    def test_fill_stays_bounded_on_chain(self):
+        n = 200
+        dense = np.zeros((n, n))
+        dense[np.arange(n), np.arange(n)] = 2.0
+        dense[np.arange(n - 1), np.arange(1, n)] = -1.0
+        dense[np.arange(1, n), np.arange(n - 1)] = -1.0
+        lu = SparseLU(CsrMatrix.from_dense(dense))
+        assert lu.fill_nnz <= 3 * n     # tridiagonal: no fill blow-up
+
+
+class TestUpdatedSolver:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rank1_update_matches_refactorization(self, seed):
+        """The Sherman-Morrison path against the refactorize oracle."""
+        n = 18
+        dense = _random_spd_system(n, seed)
+        lu = SparseLU(CsrMatrix.from_dense(dense))
+        rng = np.random.default_rng(seed + 10)
+        u = np.zeros(n)
+        u[rng.integers(0, n)] = 1.0
+        u[rng.integers(0, n)] -= 1.0
+        alpha = rng.uniform(0.5, 2.0)
+        updated_dense = dense + alpha * np.outer(u, u)
+        if abs(np.linalg.det(updated_dense)) < 1e-8:
+            pytest.skip("update made the draw singular")
+        solver = UpdatedSolver(
+            lu.solve,
+            lambda x: CsrMatrix.from_dense(dense).matvec(x),
+            [(alpha, u, u)])
+        b = rng.normal(size=n)
+        oracle = np.linalg.solve(updated_dense, b)
+        assert np.allclose(solver.solve(b), oracle, atol=1e-8)
+
+    def test_singular_capacitance_raises(self):
+        """Removing a bridge line makes the capacitance singular."""
+        # 2-bus network reduced susceptance: B = [y]; removing the only
+        # line (alpha = -y) zeroes it out.
+        dense = np.array([[2.0]])
+        lu = SparseLU(CsrMatrix.from_dense(dense))
+        with pytest.raises(SingularMatrixError):
+            UpdatedSolver(lu.solve,
+                          lambda x: dense @ x,
+                          [(-2.0, np.array([1.0]), np.array([1.0]))])
+
+
+class TestGuardedSparseDispatch:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_guarded_factorization_parity(self, seed):
+        n = 16
+        dense = _random_spd_system(n, seed)
+        fact_d = GuardedFactorization(dense, context="parity test")
+        fact_s = GuardedFactorization(CsrMatrix.from_dense(dense),
+                                      context="parity test")
+        assert fact_s.backend == "sparse"
+        b = np.random.default_rng(seed).normal(size=n)
+        assert np.allclose(fact_d.solve(b), fact_s.solve(b), atol=1e-10)
+
+    def test_guarded_rank_parity(self):
+        for seed in range(10):
+            rng = np.random.default_rng(seed + 200)
+            n, r = 10, 10 - (seed % 3)
+            basis = rng.normal(size=(n, r))
+            gram = basis @ basis.T
+            assert guarded_rank(gram, context="t") == \
+                guarded_rank(CsrMatrix.from_dense(gram), context="t")
+
+    def test_sparse_singular_fails_guarded(self):
+        dense = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(NumericalInstability):
+            GuardedFactorization(CsrMatrix.from_dense(dense),
+                                 context="singular test").solve(
+                                     np.ones(2))
